@@ -1,0 +1,273 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+// recorded paper-vs-measured outcomes). Each benchmark times the pipeline
+// that produces the corresponding artifact; `go run ./cmd/experiments`
+// prints the artifacts themselves.
+package protogen_test
+
+import (
+	"testing"
+
+	"protogen"
+)
+
+func mustSpec(b *testing.B, src string) *protogen.Spec {
+	b.Helper()
+	s, err := protogen.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func mustGen(b *testing.B, src string, o protogen.Options) *protogen.Protocol {
+	b.Helper()
+	p, err := protogen.GenerateSource(src, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkTableI_ParseMSI: Table I — parse the atomic MSI SSP and render
+// the cache-side table.
+func BenchmarkTableI_ParseMSI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := mustSpec(b, protogen.BuiltinMSI)
+		cache, _ := protogen.RenderSpecTables(spec)
+		if len(cache) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTableII_ParseMSIDir: Table II — the directory-side table.
+func BenchmarkTableII_ParseMSIDir(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := mustSpec(b, protogen.BuiltinMSI)
+		_, dir := protogen.RenderSpecTables(spec)
+		if len(dir) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTableIII_IV_PreprocessMOSI: Tables III/IV — MOSI generation
+// including the forwarded-request renaming.
+func BenchmarkTableIII_IV_PreprocessMOSI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := mustGen(b, protogen.BuiltinMOSI, protogen.NonStalling())
+		if len(p.Renames) != 2 {
+			b.Fatalf("renames = %v", p.Renames)
+		}
+	}
+}
+
+// BenchmarkTableV_Step2MSI: Table V — the concurrency-free transient chain
+// (stalling generation exposes exactly the Step-2 states).
+func BenchmarkTableV_Step2MSI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := mustGen(b, protogen.BuiltinMSI, protogen.Stalling())
+		if p.Cache.State("IMAD") == nil || p.Cache.State("IMA") == nil {
+			b.Fatal("missing Step-2 states")
+		}
+	}
+}
+
+// BenchmarkFigure1_SMTransaction: Figure 1 — generation plus the SM_AD
+// Case-1 query.
+func BenchmarkFigure1_SMTransaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := mustGen(b, protogen.BuiltinMSI, protogen.NonStalling())
+		trs := p.Cache.Find("SMAD", protogen.Event{Kind: 1, Msg: "Inv"})
+		if len(trs) != 1 || trs[0].Next != "IMAD" {
+			b.Fatal("Figure 1 transition missing")
+		}
+	}
+}
+
+// BenchmarkFigure2_ISTransition: Figure 2 — the IS_D / IS_D_I pair.
+func BenchmarkFigure2_ISTransition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := mustGen(b, protogen.BuiltinMSI, protogen.NonStalling())
+		if p.Cache.State("ISDI") == nil {
+			b.Fatal("ISDI missing")
+		}
+	}
+}
+
+// BenchmarkTableVI_NonStallingMSI: Table VI — generate the non-stalling
+// MSI, render the table and diff it against the primer baseline.
+func BenchmarkTableVI_NonStallingMSI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := mustGen(b, protogen.BuiltinMSI, protogen.NonStalling())
+		out := protogen.RenderTable(p.Cache, protogen.TableOptions{ShowGuards: true})
+		r := protogen.CompareWithBaseline(p.Cache, protogen.PrimerNonStallingMSI())
+		if len(out) == 0 || len(r.DeStalls()) != 4 {
+			b.Fatalf("Table VI shape wrong: %d de-stalls", len(r.DeStalls()))
+		}
+	}
+}
+
+// BenchmarkExpA_StallingGeneration: §VI-A — generate the three stalling
+// protocols and diff MSI against the primer.
+func BenchmarkExpA_StallingGeneration(b *testing.B) {
+	srcs := []string{protogen.BuiltinMSI, protogen.BuiltinMESI, protogen.BuiltinMOSI}
+	for i := 0; i < b.N; i++ {
+		for _, src := range srcs {
+			mustGen(b, src, protogen.Stalling())
+		}
+		p := mustGen(b, protogen.BuiltinMSI, protogen.Stalling())
+		r := protogen.CompareWithBaseline(p.Cache, protogen.PrimerStallingMSI())
+		if len(r.ExtraSts) != 0 {
+			b.Fatal("stalling MSI differs from the primer")
+		}
+	}
+}
+
+// BenchmarkExpA_VerifyStallingMSI: §VI-A — model-check the stalling MSI
+// (2 caches; the 3-cache paper setup runs via cmd/experiments).
+func BenchmarkExpA_VerifyStallingMSI(b *testing.B) {
+	p := mustGen(b, protogen.BuiltinMSI, protogen.Stalling())
+	for i := 0; i < b.N; i++ {
+		res := protogen.Verify(p, protogen.QuickVerifyConfig())
+		if !res.OK() {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkExpB_NonStallingGeneration: §VI-B — generate the three
+// non-stalling protocols and check the state-count claims.
+func BenchmarkExpB_NonStallingGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := mustGen(b, protogen.BuiltinMSI, protogen.NonStalling())
+		if s, _, _ := p.Cache.Counts(); s != 19 {
+			b.Fatalf("MSI states = %d, want Table VI's 19", s)
+		}
+		mustGen(b, protogen.BuiltinMESI, protogen.NonStalling())
+		mustGen(b, protogen.BuiltinMOSI, protogen.NonStalling())
+	}
+}
+
+// BenchmarkExpB_VerifyNonStallingMSI: §VI-B — model-check the Table VI
+// protocol.
+func BenchmarkExpB_VerifyNonStallingMSI(b *testing.B) {
+	p := mustGen(b, protogen.BuiltinMSI, protogen.NonStalling())
+	for i := 0; i < b.N; i++ {
+		res := protogen.Verify(p, protogen.QuickVerifyConfig())
+		if !res.OK() {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkExpC_UnorderedMSI: §VI-C — generate and model-check the
+// handshake protocol on an unordered network.
+func BenchmarkExpC_UnorderedMSI(b *testing.B) {
+	p := mustGen(b, protogen.BuiltinMSIUnordered, protogen.NonStalling())
+	for i := 0; i < b.N; i++ {
+		res := protogen.Verify(p, protogen.QuickVerifyConfig())
+		if !res.OK() {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkExpD_TSOCCLitmus: §VI-D — generate TSO-CC and run the litmus
+// suite standing in for the Banks et al. TSO check.
+func BenchmarkExpD_TSOCCLitmus(b *testing.B) {
+	p := mustGen(b, protogen.BuiltinTSOCC, protogen.NonStalling())
+	for i := 0; i < b.N; i++ {
+		r, err := protogen.RunLitmus(p, protogen.LitmusMP(true), 50, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Forbidden != 0 {
+			b.Fatal("TSO broken")
+		}
+	}
+}
+
+// BenchmarkExpE_GenerationRuntime: §VI-E — the end-to-end generation time
+// for every built-in protocol ("always well less than one second").
+func BenchmarkExpE_GenerationRuntime(b *testing.B) {
+	for _, e := range protogen.Builtins() {
+		b.Run(e.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := protogen.GenerateSource(e.Source, protogen.NonStalling()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkX1_StallingVsNonStalling: extension — the contended-workload
+// comparison behind the "reduce stalling" claim.
+func BenchmarkX1_StallingVsNonStalling(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts protogen.Options
+	}{{"stalling", protogen.Stalling()}, {"nonstalling", protogen.NonStalling()}} {
+		p := mustGen(b, protogen.BuiltinMSI, mode.opts)
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := protogen.Simulate(p, protogen.SimConfig{
+					Caches: 3, Steps: 10000, Seed: 7,
+					Workload: protogen.StandardWorkloads()[0],
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.SCViolations != 0 {
+					b.Fatal("SC violation")
+				}
+				b.ReportMetric(float64(st.StallEvents), "stalls/run")
+				b.ReportMetric(st.AvgLatency(), "steps/txn")
+			}
+		})
+	}
+}
+
+// BenchmarkX2_PendingLimitSweep: extension — absorption depth L vs
+// generated size and stall behavior.
+func BenchmarkX2_PendingLimitSweep(b *testing.B) {
+	for _, l := range []int{0, 1, 3} {
+		opts := protogen.NonStalling()
+		opts.PendingLimit = l
+		b.Run(map[int]string{0: "L0", 1: "L1", 3: "L3"}[l], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := mustGen(b, protogen.BuiltinMSI, opts)
+				s, _, _ := p.Cache.Counts()
+				b.ReportMetric(float64(s), "states")
+			}
+		})
+	}
+}
+
+// BenchmarkX3_ResponsePolicyAblation: extension — verification cost of the
+// three Case-2 policies (all must pass with pruning on).
+func BenchmarkX3_ResponsePolicyAblation(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts protogen.Options
+	}{
+		{"stall", protogen.Stalling()},
+		{"deferred", protogen.Deferred()},
+		{"immediate", protogen.NonStalling()},
+	} {
+		p := mustGen(b, protogen.BuiltinMSI, mode.opts)
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := protogen.QuickVerifyConfig()
+				cfg.CheckLiveness = false
+				res := protogen.Verify(p, cfg)
+				if !res.OK() {
+					b.Fatal(res)
+				}
+				b.ReportMetric(float64(res.States), "states")
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+// Command protogen generates a complete concurrent directory protocol from
+// a stable-state specification and prints it as a paper-style table, DSL
+// source, Murphi source, or a summary.
+//
+// Usage:
+//
+//	protogen -protocol MSI -mode nonstalling -out table
+//	protogen -file my.ssp -mode stalling -out murphi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"protogen"
+)
+
+func main() {
+	var (
+		name    = flag.String("protocol", "MSI", "built-in protocol name (MSI, MESI, MOSI, MSI_Upgrade, MSI_Unordered, TSO_CC)")
+		file    = flag.String("file", "", "read the SSP from a file instead of a built-in")
+		mode    = flag.String("mode", "nonstalling", "generation mode: nonstalling, stalling, deferred")
+		limit   = flag.Int("L", 0, "pending-transaction limit (0 = default)")
+		out     = flag.String("out", "summary", "output: summary, table, dsl, murphi, dot, fsm")
+		machine = flag.String("machine", "cache", "which controller to print: cache, dir")
+		stale   = flag.Bool("stale", false, "show generated stale handling in tables")
+		list    = flag.Bool("list", false, "list built-in protocols")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range protogen.Builtins() {
+			fmt.Printf("%-14s %s\n", e.Name, e.Paper)
+		}
+		return
+	}
+
+	src := ""
+	if *file != "" {
+		b, err := os.ReadFile(*file)
+		fatal(err)
+		src = string(b)
+	} else {
+		e, ok := protogen.LookupBuiltin(*name)
+		if !ok {
+			fatal(fmt.Errorf("unknown protocol %q (try -list)", *name))
+		}
+		src = e.Source
+	}
+
+	opts, err := modeOptions(*mode)
+	fatal(err)
+	if *limit > 0 {
+		opts.PendingLimit = *limit
+	}
+	spec, err := protogen.Parse(src)
+	fatal(err)
+	p, err := protogen.Generate(spec, opts)
+	fatal(err)
+
+	m := p.Cache
+	if strings.HasPrefix(*machine, "dir") {
+		m = p.Dir
+	}
+	switch *out {
+	case "summary":
+		printSummary(p)
+	case "table":
+		fmt.Print(protogen.RenderTable(m, protogen.TableOptions{ShowGuards: true, ShowStale: *stale}))
+	case "dsl":
+		fmt.Print(protogen.FormatSSP(spec))
+	case "murphi":
+		fmt.Print(protogen.EmitMurphi(p, protogen.DefaultMurphiOptions()))
+	case "dot":
+		fmt.Print(protogen.RenderDot(m, nil))
+	case "fsm":
+		fmt.Print(protogen.FormatProtocol(p))
+	default:
+		fatal(fmt.Errorf("unknown -out %q", *out))
+	}
+}
+
+func modeOptions(mode string) (protogen.Options, error) {
+	switch mode {
+	case "nonstalling":
+		return protogen.NonStalling(), nil
+	case "stalling":
+		return protogen.Stalling(), nil
+	case "deferred":
+		return protogen.Deferred(), nil
+	}
+	return protogen.Options{}, fmt.Errorf("unknown -mode %q", mode)
+}
+
+func printSummary(p *protogen.Protocol) {
+	fmt.Printf("protocol %s (%s)\n", p.Name, p.OptsNote)
+	for _, m := range []*protogen.Machine{p.Cache, p.Dir} {
+		s, tr, st := m.Counts()
+		fmt.Printf("  %-10s %2d states, %3d transitions, %3d stalls\n", m.Name+":", s, tr, st)
+		fmt.Printf("    states: %s\n", join(m))
+	}
+	if len(p.Renames) > 0 {
+		fmt.Printf("  renames: %v\n", p.Renames)
+	}
+	if len(p.Reinterpret) > 0 {
+		fmt.Printf("  reinterpretations: %v\n", p.Reinterpret)
+	}
+}
+
+func join(m *protogen.Machine) string {
+	var parts []string
+	for _, n := range m.Order {
+		st := m.State(n)
+		s := string(n)
+		for _, a := range st.Aliases {
+			s += "=" + string(a)
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, " ")
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protogen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// MOSI renaming: reproduces the preprocessing example of paper Tables
+// III/IV. The MOSI SSP is written the natural way — Fwd_GetS handled at
+// both M and O — and the generator renames the O copy so a cache can infer
+// the serialization order of racing transactions from the message name.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"protogen"
+)
+
+func main() {
+	p, err := protogen.GenerateSource(protogen.BuiltinMOSI, protogen.NonStalling())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Preprocessing renames (paper Table IV):")
+	for from, tos := range p.Renames {
+		fmt.Printf("  %-10s -> %v\n", from, tos)
+	}
+
+	fmt.Println("\nWhy it matters: consider a cache in O that issued a GetM (state below).")
+	var omRoot protogen.StateName
+	for _, n := range p.Cache.Order {
+		st := p.Cache.State(n)
+		if st.Kind == 1 && st.Origin == "O" && st.Target == "M" && len(st.Chain) == 0 && !st.RespSeen {
+			omRoot = n
+			break
+		}
+	}
+	fmt.Printf("\nIn %s the two renamed messages disambiguate the race:\n", omRoot)
+	for _, t := range p.Cache.TransFrom(omRoot) {
+		if t.Ev.Kind != 1 {
+			continue
+		}
+		msg := string(t.Ev.Msg)
+		switch msg {
+		case "O_Fwd_GetS":
+			fmt.Printf("  %-12s => the other GetS was ordered FIRST (case 1): %s\n", msg, t.CellString())
+		case "Fwd_GetS":
+			fmt.Printf("  %-12s => our GetM was ordered FIRST (case 2):      %s\n", msg, t.CellString())
+		case "O_Fwd_GetM":
+			fmt.Printf("  %-12s => the other GetM was ordered FIRST (case 1): %s\n", msg, t.CellString())
+		case "Fwd_GetM":
+			fmt.Printf("  %-12s => our GetM was ordered FIRST (case 2):      %s\n", msg, t.CellString())
+		}
+	}
+
+	fmt.Println("\nFull cache controller:")
+	fmt.Println(protogen.RenderTable(p.Cache, protogen.TableOptions{}))
+}

@@ -1,0 +1,43 @@
+// Simulate: quantifies the paper's "reduce stalling" claim by running the
+// stalling and non-stalling MSI protocols under identical contended
+// workloads and comparing blocked deliveries, hits and latencies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"protogen"
+)
+
+func main() {
+	stalling, err := protogen.GenerateSource(protogen.BuiltinMSI, protogen.Stalling())
+	if err != nil {
+		log.Fatal(err)
+	}
+	nonstalling, err := protogen.GenerateSource(protogen.BuiltinMSI, protogen.NonStalling())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-18s %-12s %s\n", "workload", "mode", "result")
+	for _, w := range protogen.StandardWorkloads() {
+		for _, pc := range []struct {
+			name string
+			p    *protogen.Protocol
+		}{{"stalling", stalling}, {"non-stalling", nonstalling}} {
+			st, err := protogen.Simulate(pc.p, protogen.SimConfig{
+				Caches: 3, Steps: 50000, Seed: 7, Workload: w,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if st.SCViolations > 0 {
+				log.Fatalf("%s/%s: per-location SC violated", w.Name(), pc.name)
+			}
+			fmt.Printf("%-18s %-12s %s\n", w.Name(), pc.name, st)
+		}
+	}
+	fmt.Println("\nThe generated non-stalling protocol absorbs racing forwarded requests")
+	fmt.Println("into derived transient states instead of blocking its channels.")
+}

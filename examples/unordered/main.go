@@ -1,0 +1,32 @@
+// Unordered-network MSI (paper §VI-C): the SSP adds Unblock handshakes so
+// the directory serializes conflicting transactions, which makes the
+// protocol correct without point-to-point ordering. ProtoGen generates the
+// concurrency; the model checker explores an unordered interconnect.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"protogen"
+)
+
+func main() {
+	p, err := protogen.GenerateSource(protogen.BuiltinMSIUnordered, protogen.NonStalling())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network ordered: %v\n\n", p.Ordered)
+
+	fmt.Println("Directory controller (busy states hold the serialization):")
+	fmt.Println(protogen.RenderTable(p.Dir, protogen.TableOptions{ShowGuards: true}))
+
+	fmt.Println("Verifying on an unordered network (messages delivered in any order):")
+	res := protogen.Verify(p, protogen.QuickVerifyConfig())
+	fmt.Println(res)
+	if !res.OK() {
+		log.Fatalf("verification failed: %v", res.Violations[0])
+	}
+	fmt.Println("\nThe same stable states as MSI, with the races the paper describes")
+	fmt.Println("handled by generated transient states — no manual concurrency design.")
+}

@@ -1,0 +1,273 @@
+// Package compare diffs a generated protocol against a hand-built
+// baseline, reproducing the comparison of paper Table VI (generated
+// non-stalling MSI vs the primer's): which cells stall less, which states
+// were merged, which transient states are new.
+package compare
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"protogen/internal/ir"
+)
+
+// CellKind classifies a baseline cell.
+type CellKind int
+
+// Cell classifications after diffing.
+const (
+	Same CellKind = iota
+	DeStalled
+	Changed
+	OnlyGenerated
+	OnlyBaseline
+)
+
+func (k CellKind) String() string {
+	switch k {
+	case Same:
+		return "same"
+	case DeStalled:
+		return "de-stalled"
+	case Changed:
+		return "changed"
+	case OnlyGenerated:
+		return "only-generated"
+	case OnlyBaseline:
+		return "only-baseline"
+	}
+	return "?"
+}
+
+// Diff is one cell-level difference.
+type Diff struct {
+	State     string
+	Event     string
+	Kind      CellKind
+	Generated string
+	Baseline  string
+}
+
+func (d Diff) String() string {
+	return fmt.Sprintf("%-8s %-12s %-14s gen=%q primer=%q", d.State, d.Event, d.Kind, d.Generated, d.Baseline)
+}
+
+// Report is the full comparison.
+type Report struct {
+	SameCells  int
+	Diffs      []Diff
+	Merges     map[string][]string // canonical -> aliases in the generated protocol
+	ExtraSts   []string            // generated-only states
+	MissingSts []string            // baseline-only states
+}
+
+// DeStalls lists the cells where the generated protocol avoids a baseline
+// stall (the paper's headline observation about ProtoGen's output).
+func (r *Report) DeStalls() []Diff {
+	var out []Diff
+	for _, d := range r.Diffs {
+		if d.Kind == DeStalled {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d identical cells, %d differing, %d merges, %d extra states, %d missing states\n",
+		r.SameCells, len(r.Diffs), len(r.Merges), len(r.ExtraSts), len(r.MissingSts))
+	for _, d := range r.Diffs {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+// Baseline is a hand-encoded controller table: cell strings keyed by
+// "state|event". Cells use the canonical shorthand produced by Canon.
+type Baseline struct {
+	Name   string
+	States []string
+	Cells  map[string]string
+}
+
+// Canon reduces a generated transition set for (state, event-column) to
+// the baseline shorthand: "stall", "hit", "-", "ack", "data>req",
+// "data>req+dir", joined with next-state as "…/NEXT".
+func Canon(m *ir.Machine, s ir.StateName, evKey string) (string, bool) {
+	var parts []string
+	for _, t := range m.Trans {
+		if t.From != s || t.Stale {
+			continue
+		}
+		if eventKey(t) != evKey {
+			continue
+		}
+		parts = append(parts, canonTransition(m, t))
+	}
+	if len(parts) == 0 {
+		return "", false
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "&"), true
+}
+
+// eventKey folds guard labels into the paper's column names.
+func eventKey(t ir.Transition) string {
+	if t.Ev.Kind == ir.EvAccess {
+		return t.Ev.Access.String()
+	}
+	name := string(t.Ev.Msg)
+	switch {
+	case name == "Data" && strings.Contains(t.GuardLabel, "== 0"):
+		return "Data0"
+	case name == "Data" && strings.Contains(t.GuardLabel, "acksReceived != acks"):
+		return "DataN"
+	case name == "Data" && strings.Contains(t.GuardLabel, "acksReceived == acks"):
+		return "DataNLast" // the SSP's "all acks already arrived" refinement
+	case name == "Inv_Ack" && strings.Contains(t.GuardLabel, "+ 1 =="):
+		return "LastInvAck"
+	case name == "Inv_Ack":
+		return "InvAck"
+	}
+	return name
+}
+
+func canonTransition(m *ir.Machine, t ir.Transition) string {
+	if t.Stall {
+		return "stall"
+	}
+	st := m.State(t.From)
+	var acts []string
+	add := func(a ir.Action) {
+		switch a.Op {
+		case ir.ASend:
+			dst := "req"
+			if a.Dst == ir.DstDir {
+				dst = "dir"
+			}
+			what := "ack"
+			if a.Payload.WithData {
+				what = "data"
+			} else if strings.Contains(strings.ToLower(string(a.Msg)), "put") {
+				what = "putack"
+			}
+			acts = append(acts, what+">"+dst)
+		case ir.AHit:
+			acts = append(acts, "hit")
+		}
+	}
+	for _, a := range t.Actions {
+		if a.Op == ir.AFlush {
+			for _, f := range st.Defers {
+				for _, da := range m.DeferredActions[f] {
+					add(da)
+				}
+			}
+			continue
+		}
+		add(a)
+	}
+	sort.Strings(acts)
+	body := strings.Join(acts, ",")
+	if body == "" {
+		body = "-"
+	}
+	if t.Next == t.From {
+		return body
+	}
+	return body + "/" + string(t.Next)
+}
+
+// Against compares a generated machine with a baseline.
+func Against(m *ir.Machine, b *Baseline, events []string) *Report {
+	r := &Report{Merges: map[string][]string{}}
+	// State inventory. A baseline state matches if it is a generated state
+	// or a merge alias of one.
+	gen := map[string]bool{}
+	aliasOf := map[string]string{}
+	for _, n := range m.Order {
+		gen[string(n)] = true
+		st := m.State(n)
+		for _, a := range st.Aliases {
+			aliasOf[string(a)] = string(n)
+			r.Merges[string(n)] = append(r.Merges[string(n)], string(a))
+		}
+	}
+	base := map[string]bool{}
+	for _, s := range b.States {
+		base[s] = true
+		if !gen[s] {
+			if _, merged := aliasOf[s]; !merged {
+				r.MissingSts = append(r.MissingSts, s)
+			}
+		}
+	}
+	for _, n := range m.Order {
+		if !base[string(n)] {
+			r.ExtraSts = append(r.ExtraSts, string(n))
+		}
+	}
+	// Cells. Both sides are folded through the merge aliases so a baseline
+	// written with pre-merge names ("-/SMAS") matches the merged output.
+	seen := map[string]bool{}
+	for key, bcell := range b.Cells {
+		seen[key] = true
+		parts := strings.SplitN(key, "|", 2)
+		state, ev := parts[0], parts[1]
+		target := state
+		if c, merged := aliasOf[state]; merged {
+			target = c
+			seen[target+"|"+ev] = true
+		}
+		gcell, ok := Canon(m, ir.StateName(target), ev)
+		bcell = foldAliases(bcell, aliasOf)
+		switch {
+		case !ok:
+			r.Diffs = append(r.Diffs, Diff{state, ev, OnlyBaseline, "", bcell})
+		case gcell == bcell:
+			r.SameCells++
+		case bcell == "stall":
+			r.Diffs = append(r.Diffs, Diff{state, ev, DeStalled, gcell, bcell})
+		default:
+			r.Diffs = append(r.Diffs, Diff{state, ev, Changed, gcell, bcell})
+		}
+	}
+	// Generated-only cells are reported only for states the baseline has;
+	// whole extra states are summarized in ExtraSts.
+	for _, n := range m.Order {
+		if !base[string(n)] {
+			continue
+		}
+		for _, ev := range events {
+			key := string(n) + "|" + ev
+			if seen[key] {
+				continue
+			}
+			if gcell, ok := Canon(m, n, ev); ok {
+				r.Diffs = append(r.Diffs, Diff{string(n), ev, OnlyGenerated, gcell, ""})
+			}
+		}
+	}
+	sort.Slice(r.Diffs, func(i, j int) bool {
+		if r.Diffs[i].State != r.Diffs[j].State {
+			return r.Diffs[i].State < r.Diffs[j].State
+		}
+		return r.Diffs[i].Event < r.Diffs[j].Event
+	})
+	return r
+}
+
+// foldAliases rewrites next-state names through the merge map so baseline
+// cells written as ".../SMAS" match generated ".../IMAS" after the merge.
+func foldAliases(cell string, aliasOf map[string]string) string {
+	i := strings.LastIndexByte(cell, '/')
+	if i < 0 {
+		return cell
+	}
+	if c, ok := aliasOf[cell[i+1:]]; ok {
+		return cell[:i+1] + c
+	}
+	return cell
+}

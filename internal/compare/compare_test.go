@@ -1,0 +1,151 @@
+package compare
+
+import (
+	"testing"
+
+	"protogen/internal/core"
+	"protogen/internal/dsl"
+	"protogen/internal/ir"
+	"protogen/internal/protocols"
+)
+
+func genMSI(t *testing.T, opts core.Options) *Report {
+	t.Helper()
+	spec, err := dsl.Parse(protocols.MSI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Generate(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b *Baseline
+	if opts.NonStalling {
+		b = PrimerMSINonStalling()
+	} else {
+		b = PrimerMSIStalling()
+	}
+	return Against(p.Cache, b, Events)
+}
+
+// TestTableVIDiff reproduces the paper's Table VI comparison: exactly the
+// four crossed-out stalls are improved, exactly the four bold extra states
+// appear, and exactly the three merges happen.
+func TestTableVIDiff(t *testing.T) {
+	r := genMSI(t, core.NonStallingOpts())
+	t.Logf("\n%s", r)
+
+	de := map[string]bool{}
+	for _, d := range r.DeStalls() {
+		de[d.State+"|"+d.Event] = true
+	}
+	want := []string{"IMAD|Fwd_GetS", "IMAD|Fwd_GetM", "SMAD|Fwd_GetS", "SMAD|Fwd_GetM"}
+	for _, k := range want {
+		if !de[k] {
+			t.Errorf("missing de-stalled cell %s (paper Table VI bold)", k)
+		}
+	}
+	if len(de) != len(want) {
+		t.Errorf("de-stalled cells = %v, want exactly %v", de, want)
+	}
+
+	extra := map[string]bool{}
+	for _, s := range r.ExtraSts {
+		extra[s] = true
+	}
+	for _, s := range []string{"IMADS", "IMADI", "IMADSI", "SMADS"} {
+		if !extra[s] {
+			t.Errorf("missing extra state %s (paper: \"possesses the additional transient states\")", s)
+		}
+	}
+	if len(r.ExtraSts) != 4 {
+		t.Errorf("extra states = %v, want the 4 of Table VI", r.ExtraSts)
+	}
+
+	for canon, aliases := range map[string]string{
+		"IMAS": "SMAS", "IMASI": "SMASI", "IMAI": "SMAI",
+	} {
+		found := false
+		for _, a := range r.Merges[canon] {
+			if a == aliases {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("merge %s = %s missing (got %v)", canon, aliases, r.Merges[canon])
+		}
+	}
+	if len(r.MissingSts) != 0 {
+		t.Errorf("baseline states missing from generated protocol: %v", r.MissingSts)
+	}
+
+	// Everything else must be identical or the documented guard
+	// refinement (the SSP's "all acks already arrived" Data case).
+	for _, d := range r.Diffs {
+		switch d.Kind {
+		case DeStalled:
+		case OnlyGenerated:
+			if d.Event != "DataNLast" {
+				t.Errorf("unexpected generated-only cell: %s", d)
+			}
+		case Changed, OnlyBaseline:
+			t.Errorf("unexpected difference: %s", d)
+		}
+	}
+	if r.SameCells < 50 {
+		t.Errorf("only %d identical cells; expected the bulk of Table VI to match", r.SameCells)
+	}
+}
+
+// TestStallingIdenticalToPrimer reproduces §VI-A: "ProtoGen generated the
+// same cache controller specifications as in the primer".
+func TestStallingIdenticalToPrimer(t *testing.T) {
+	r := genMSI(t, core.StallingOpts())
+	t.Logf("\n%s", r)
+	if len(r.ExtraSts) != 0 || len(r.MissingSts) != 0 {
+		t.Errorf("state inventory differs: extra %v, missing %v", r.ExtraSts, r.MissingSts)
+	}
+	for _, d := range r.Diffs {
+		if d.Kind == OnlyGenerated && d.Event == "DataNLast" {
+			continue // the Listing-1 guard refinement
+		}
+		t.Errorf("stalling protocol differs from the primer: %s", d)
+	}
+}
+
+// TestCanonShorthand pins the canonical cell forms the baselines rely on.
+func TestCanonShorthand(t *testing.T) {
+	spec, err := dsl.Parse(protocols.MSI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Generate(spec, core.NonStallingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		state, ev, want string
+	}{
+		{"M", "Fwd_GetS", "data>dir,data>req/S"},
+		{"M", "repl", "data>dir/MIA"},
+		{"S", "Inv", "ack>req/I"},
+		{"IMAD", "Data0", "-/M"},
+		{"IMADS", "Data0", "data>dir,data>req/S"}, // flush expansion
+		{"IMAD", "InvAck", "-"},
+		{"ISD", "load", "stall"},
+		{"SMAD", "load", "hit"},
+	}
+	for _, tc := range tests {
+		got, ok := Canon(p.Cache, ir2(tc.state), tc.ev)
+		if !ok {
+			t.Errorf("Canon(%s, %s): missing", tc.state, tc.ev)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Canon(%s, %s) = %q, want %q", tc.state, tc.ev, got, tc.want)
+		}
+	}
+}
+
+// ir2 converts to ir.StateName without importing ir at every call site.
+func ir2(s string) ir.StateName { return ir.StateName(s) }

@@ -1,0 +1,155 @@
+package compare
+
+// Hand-encoded cache-controller baselines from Sorin, Hill & Wood's primer
+// (the comparisons of paper §VI-A and Table VI), in the Canon shorthand:
+// sends as "what>dst" (sorted, comma-joined), "-" for silent moves,
+// "…/NEXT" for state changes, "hit" and "stall" verbatim. Requests render
+// as "ack>dir" / "putack>dir" / "data>dir" depending on payload.
+
+// Events is the standard MSI column list used when diffing.
+var Events = []string{
+	"load", "store", "repl",
+	"Fwd_GetS", "Fwd_GetM", "Inv", "Put_Ack",
+	"Data", "Data0", "DataN", "DataNLast", "InvAck", "LastInvAck",
+}
+
+// PrimerMSINonStalling is the primer's non-stalling MSI cache controller —
+// the plain (non-bold) entries of paper Table VI, including the cells the
+// paper crosses out where ProtoGen does better.
+func PrimerMSINonStalling() *Baseline {
+	b := &Baseline{
+		Name: "primer non-stalling MSI",
+		States: []string{
+			"I", "ISD", "ISDI", "IMAD", "IMA", "IMAS", "IMASI", "IMAI",
+			"S", "SMAD", "SMA", "SMAS", "SMASI", "SMAI",
+			"M", "MIA", "SIA", "IIA",
+		},
+		Cells: map[string]string{},
+	}
+	c := b.Cells
+	stall3 := func(s string) {
+		c[s+"|load"] = "stall"
+		c[s+"|store"] = "stall"
+		c[s+"|repl"] = "stall"
+	}
+
+	c["I|load"] = "ack>dir/ISD"
+	c["I|store"] = "ack>dir/IMAD"
+
+	stall3("ISD")
+	c["ISD|Inv"] = "ack>req/ISDI"
+	c["ISD|Data"] = "-/S"
+
+	stall3("ISDI")
+	c["ISDI|Data"] = "-/I"
+
+	stall3("IMAD")
+	c["IMAD|Fwd_GetS"] = "stall" // crossed out in Table VI: ProtoGen -/IMADS
+	c["IMAD|Fwd_GetM"] = "stall" // crossed out: ProtoGen -/IMADI
+	c["IMAD|Data0"] = "-/M"
+	c["IMAD|DataN"] = "-/IMA"
+	c["IMAD|InvAck"] = "-"
+
+	stall3("IMA")
+	c["IMA|Fwd_GetS"] = "-/IMAS"
+	c["IMA|Fwd_GetM"] = "-/IMAI"
+	c["IMA|InvAck"] = "-"
+	c["IMA|LastInvAck"] = "-/M"
+
+	stall3("IMAS")
+	c["IMAS|Inv"] = "ack>req/IMASI"
+	c["IMAS|InvAck"] = "-"
+	c["IMAS|LastInvAck"] = "data>dir,data>req/S"
+
+	stall3("IMASI")
+	c["IMASI|InvAck"] = "-"
+	c["IMASI|LastInvAck"] = "data>dir,data>req/I"
+
+	stall3("IMAI")
+	c["IMAI|InvAck"] = "-"
+	c["IMAI|LastInvAck"] = "data>req/I"
+
+	c["S|load"] = "hit"
+	c["S|store"] = "ack>dir/SMAD"
+	c["S|repl"] = "putack>dir/SIA"
+	c["S|Inv"] = "ack>req/I"
+
+	c["SMAD|load"] = "hit"
+	c["SMAD|store"] = "stall"
+	c["SMAD|repl"] = "stall"
+	c["SMAD|Fwd_GetS"] = "stall" // crossed out: ProtoGen -/SMADS
+	c["SMAD|Fwd_GetM"] = "stall" // crossed out: ProtoGen -/IMADI
+	c["SMAD|Inv"] = "ack>req/IMAD"
+	c["SMAD|Data0"] = "-/M"
+	c["SMAD|DataN"] = "-/SMA"
+	c["SMAD|InvAck"] = "-"
+
+	c["SMA|load"] = "hit"
+	c["SMA|store"] = "stall"
+	c["SMA|repl"] = "stall"
+	c["SMA|Fwd_GetS"] = "-/SMAS"
+	c["SMA|Fwd_GetM"] = "-/SMAI"
+	c["SMA|InvAck"] = "-"
+	c["SMA|LastInvAck"] = "-/M"
+
+	stall3("SMAS")
+	c["SMAS|Inv"] = "ack>req/SMASI"
+	c["SMAS|InvAck"] = "-"
+	c["SMAS|LastInvAck"] = "data>dir,data>req/S"
+
+	stall3("SMASI")
+	c["SMASI|InvAck"] = "-"
+	c["SMASI|LastInvAck"] = "data>dir,data>req/I"
+
+	stall3("SMAI")
+	c["SMAI|InvAck"] = "-"
+	c["SMAI|LastInvAck"] = "data>req/I"
+
+	c["M|load"] = "hit"
+	c["M|store"] = "hit"
+	c["M|repl"] = "data>dir/MIA"
+	c["M|Fwd_GetS"] = "data>dir,data>req/S"
+	c["M|Fwd_GetM"] = "data>req/I"
+
+	stall3("MIA")
+	c["MIA|Fwd_GetS"] = "data>dir,data>req/SIA"
+	c["MIA|Fwd_GetM"] = "data>req/IIA"
+	c["MIA|Put_Ack"] = "-/I"
+
+	stall3("SIA")
+	c["SIA|Inv"] = "ack>req/IIA"
+	c["SIA|Put_Ack"] = "-/I"
+
+	stall3("IIA")
+	c["IIA|Put_Ack"] = "-/I"
+
+	return b
+}
+
+// PrimerMSIStalling is the primer's stalling MSI cache controller
+// (Table 8.3): every Case-2 forwarded request stalls; Case-1 responses
+// are immediate as always.
+func PrimerMSIStalling() *Baseline {
+	b := PrimerMSINonStalling()
+	b.Name = "primer stalling MSI"
+	b.States = []string{
+		"I", "ISD", "IMAD", "IMA",
+		"S", "SMAD", "SMA",
+		"M", "MIA", "SIA", "IIA",
+	}
+	c := b.Cells
+	// Remove the non-stalling extras.
+	for key := range c {
+		for _, gone := range []string{"ISDI", "IMAS", "IMASI", "IMAI", "SMAS", "SMASI", "SMAI"} {
+			if len(key) >= len(gone) && key[:len(gone)] == gone && key[len(gone)] == '|' {
+				delete(c, key)
+			}
+		}
+	}
+	c["ISD|Inv"] = "stall"
+	c["IMA|Fwd_GetS"] = "stall"
+	c["IMA|Fwd_GetM"] = "stall"
+	c["SMA|Fwd_GetS"] = "stall"
+	c["SMA|Fwd_GetM"] = "stall"
+	return b
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"protogen/internal/ir"
+	"protogen/internal/protocols"
+)
+
+// TestLateFwdClosure: the O_Fwd_GetS late handlers appear exactly where
+// the race can reach — the O->M transients, stable M, and the M->I
+// replacement root — and nowhere a forward-class message must precede.
+func TestLateFwdClosure(t *testing.T) {
+	p := genProtocol(t, protocols.MOSI, NonStallingOpts())
+	late := map[ir.StateName]bool{}
+	for _, tr := range p.Cache.Trans {
+		if tr.Ev.Kind == ir.EvMsg && tr.Ev.Msg == "O_Fwd_GetS" && strings.Contains(tr.Note, "late case 1") {
+			if tr.Next != tr.From {
+				t.Errorf("late handler at %s must stay, goes to %s", tr.From, tr.Next)
+			}
+			hasData := false
+			for _, a := range tr.Actions {
+				if a.Op == ir.ASend && a.Payload.WithData {
+					hasData = true
+				}
+			}
+			if !hasData {
+				t.Errorf("late handler at %s must answer with data", tr.From)
+			}
+			late[tr.From] = true
+		}
+	}
+	// Stable M and the M->I root must carry the handler (the Put-Ack
+	// queues behind the forward, so the race cannot outlive MI^A).
+	for _, want := range []ir.StateName{"M", "MIA"} {
+		if !late[want] {
+			t.Errorf("missing late O_Fwd_GetS handler at %s (got %v)", want, late)
+		}
+	}
+	// I must NOT have one: reaching I requires consuming a forward-class
+	// message (Put-Ack or O_Fwd_GetM), which is ordered behind the race.
+	if late["I"] {
+		t.Errorf("I must not carry a late O_Fwd_GetS handler")
+	}
+	// Non-owner-preserving forwards get no late handlers at all.
+	for _, tr := range p.Cache.Trans {
+		if tr.Ev.Kind == ir.EvMsg && tr.Ev.Msg == "O_Fwd_GetM" && strings.Contains(tr.Note, "late case 1") {
+			t.Errorf("O_Fwd_GetM demotes the owner and must not get late handlers (found at %s)", tr.From)
+		}
+	}
+}
+
+// TestLateFwdAbsentInMSI: MSI has no owner-preserving forwards, so the
+// pass must add nothing.
+func TestLateFwdAbsentInMSI(t *testing.T) {
+	p := genProtocol(t, protocols.MSI, NonStallingOpts())
+	for _, tr := range p.Cache.Trans {
+		if strings.Contains(tr.Note, "late case 1") {
+			t.Errorf("MSI must have no late-case-1 handlers, found at %s+%s", tr.From, tr.Ev)
+		}
+	}
+}

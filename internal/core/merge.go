@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"protogen/internal/ir"
+)
+
+// mergeStates merges transient states with identical behavior (identical
+// outgoing rows, with self-references canonicalized), iterating to a
+// fixpoint so that chains of equivalent states collapse together — this is
+// what unifies the paper's IM_A_S = SM_A_S, IM_A_SI = SM_A_SI and
+// IM_A_I = SM_A_I (Table VI). Earlier-created states win the name; merged
+// names are recorded as aliases. Returns the rename map.
+func mergeStates(m *ir.Machine) map[ir.StateName]ir.StateName {
+	canon := map[ir.StateName]ir.StateName{}
+	resolve := func(n ir.StateName) ir.StateName {
+		for {
+			c, ok := canon[n]
+			if !ok {
+				return n
+			}
+			n = c
+		}
+	}
+
+	for {
+		groups := map[string][]ir.StateName{}
+		var order []string
+		for _, n := range m.Order {
+			if resolve(n) != n {
+				continue // already merged away
+			}
+			st := m.State(n)
+			if st.Kind != ir.Transient {
+				continue
+			}
+			sig := signature(m, n, resolve)
+			if _, ok := groups[sig]; !ok {
+				order = append(order, sig)
+			}
+			groups[sig] = append(groups[sig], n)
+		}
+		changed := false
+		for _, sig := range order {
+			g := groups[sig]
+			if len(g) < 2 {
+				continue
+			}
+			for _, n := range g[1:] {
+				canon[n] = g[0]
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if len(canon) == 0 {
+		return nil
+	}
+
+	// Rewrite the machine: drop merged states and their transitions,
+	// retarget every Next, record aliases.
+	renames := map[ir.StateName]ir.StateName{}
+	for n := range canon {
+		renames[n] = resolve(n)
+	}
+	var keepOrder []ir.StateName
+	for _, n := range m.Order {
+		if _, merged := renames[n]; merged {
+			tgt := m.State(renames[n])
+			tgt.Aliases = append(tgt.Aliases, n)
+			tgt.Aliases = append(tgt.Aliases, m.State(n).Aliases...)
+			delete(m.Sts, n)
+			continue
+		}
+		keepOrder = append(keepOrder, n)
+	}
+	m.Order = keepOrder
+	var keepTrans []ir.Transition
+	for _, t := range m.Trans {
+		if _, merged := renames[t.From]; merged {
+			continue
+		}
+		if to, merged := renames[t.Next]; merged {
+			t.Next = to
+		}
+		keepTrans = append(keepTrans, t)
+	}
+	m.Trans = keepTrans
+	for _, st := range m.Sts {
+		sort.Slice(st.Aliases, func(i, j int) bool { return st.Aliases[i] < st.Aliases[j] })
+	}
+	return renames
+}
+
+// signature canonicalizes a state's outgoing behavior. The deferred
+// obligations are part of the behavior (AFlush discharges them), so states
+// with different defers never merge: IM_AD_SI (owes Data to a GetS
+// requestor and the directory) must stay distinct from IM_AD_I (owes Data
+// to a GetM requestor) even though their transition rows look alike.
+func signature(m *ir.Machine, n ir.StateName, resolve func(ir.StateName) ir.StateName) string {
+	st := m.State(n)
+	rows := []string{fmt.Sprintf("defers=%v", st.Defers)}
+	for _, t := range m.Trans {
+		if t.From != n {
+			continue
+		}
+		next := string(resolve(t.Next))
+		if resolve(t.Next) == resolve(n) {
+			next = "@self"
+		}
+		rows = append(rows, fmt.Sprintf("%s|%s|%v|%v|%s|%s",
+			t.Ev, t.GuardLabel, t.Stall, t.Stale, ir.ActionsString(t.Actions), next))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"protogen/internal/ir"
+)
+
+// classes computes the directory-visible classes of the cache's stable
+// states: states connected by silent (message-free) transactions are
+// indistinguishable to the directory (MESI's E -> M on a store) and form
+// one class. The map sends every stable state to its class representative;
+// the representative is the member with the highest declaration index
+// (the most-permissive state by MOESI convention, e.g. M for {E, M}).
+func classes(cache *ir.MachineSpec) map[ir.StateName]ir.StateName {
+	idx := map[ir.StateName]int{}
+	for i, d := range cache.Stable {
+		idx[d.Name] = i
+	}
+	parent := map[ir.StateName]ir.StateName{}
+	var find func(s ir.StateName) ir.StateName
+	find = func(s ir.StateName) ir.StateName {
+		if parent[s] == s {
+			return s
+		}
+		r := find(parent[s])
+		parent[s] = r
+		return r
+	}
+	union := func(a, b ir.StateName) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		// Keep the higher-declaration-index member as representative.
+		if idx[ra] > idx[rb] {
+			ra, rb = rb, ra
+		}
+		parent[ra] = rb
+	}
+	for _, d := range cache.Stable {
+		parent[d.Name] = d.Name
+	}
+	for _, t := range cache.Txns {
+		if t.Request == "" && t.Await == nil && cache.HasStable(t.Final) && t.Final != t.Start {
+			// A silent stable-to-stable transition (no message): the
+			// directory cannot observe it.
+			if silent(t) {
+				union(t.Start, t.Final)
+			}
+		}
+	}
+	out := map[ir.StateName]ir.StateName{}
+	for _, d := range cache.Stable {
+		out[d.Name] = find(d.Name)
+	}
+	return out
+}
+
+// silent reports whether a transaction sends no messages at all.
+func silent(t *ir.Transaction) bool {
+	for _, a := range t.InitActions {
+		if a.Op == ir.ASend {
+			return false
+		}
+	}
+	return true
+}
+
+// fwdInfo captures where each forwarded request can arrive after
+// preprocessing: its unique home class and the SSP handler per stable state.
+type fwdInfo struct {
+	home     ir.StateName                     // class representative
+	handlers map[ir.StateName]*ir.Transaction // per member stable state
+}
+
+// preprocess enforces the renaming invariant of paper §V-A: every forwarded
+// request arrives at exactly one directory-visible class. When a forwarded
+// request has handlers in several classes, all but one class get a fresh
+// message name "<Class>_<Fwd>"; the class containing the most-permissive
+// member keeps the original name (the paper's Table IV keeps Fwd_GetS at M
+// and renames O's copy to O_Fwd_GetS). Directory sends are rewritten by
+// matching the directory state's name against the target class's members.
+// The spec is mutated in place (callers pass a clone).
+func preprocess(spec *ir.Spec, cls map[ir.StateName]ir.StateName) (map[ir.MsgType][]ir.MsgType, error) {
+	renames := map[ir.MsgType][]ir.MsgType{}
+	idx := map[ir.StateName]int{}
+	for i, d := range spec.Cache.Stable {
+		idx[d.Name] = i
+	}
+
+	// Collect, per forwarded request, the classes with handlers.
+	type classSet struct {
+		reps  []ir.StateName
+		byRep map[ir.StateName][]*ir.Transaction
+	}
+	fwdClasses := map[ir.MsgType]*classSet{}
+	for _, t := range spec.Cache.Txns {
+		if t.Trigger.Kind != ir.EvMsg {
+			continue
+		}
+		d, ok := spec.MsgDecl(t.Trigger.Msg)
+		if !ok || d.Class != ir.ClassForward {
+			continue
+		}
+		cs := fwdClasses[t.Trigger.Msg]
+		if cs == nil {
+			cs = &classSet{byRep: map[ir.StateName][]*ir.Transaction{}}
+			fwdClasses[t.Trigger.Msg] = cs
+		}
+		rep := cls[t.Start]
+		if _, seen := cs.byRep[rep]; !seen {
+			cs.reps = append(cs.reps, rep)
+		}
+		cs.byRep[rep] = append(cs.byRep[rep], t)
+	}
+
+	var fwds []ir.MsgType
+	for f := range fwdClasses {
+		fwds = append(fwds, f)
+	}
+	sort.Slice(fwds, func(i, j int) bool { return fwds[i] < fwds[j] })
+
+	for _, f := range fwds {
+		cs := fwdClasses[f]
+		if len(cs.reps) <= 1 {
+			continue
+		}
+		// Keep the original name at the class whose representative has the
+		// highest declaration index; rename the others.
+		sort.Slice(cs.reps, func(i, j int) bool { return idx[cs.reps[i]] < idx[cs.reps[j]] })
+		keep := cs.reps[len(cs.reps)-1]
+		for _, rep := range cs.reps {
+			if rep == keep {
+				continue
+			}
+			newName := ir.MsgType(fmt.Sprintf("%s_%s", rep, f))
+			if _, exists := spec.MsgDecl(newName); exists {
+				return nil, fmt.Errorf("preprocess: rename target %s already declared", newName)
+			}
+			decl, _ := spec.MsgDecl(f)
+			decl.Type = newName
+			spec.Msgs = append(spec.Msgs, decl)
+			renames[f] = append(renames[f], newName)
+			// Rewrite cache handlers of this class.
+			for _, t := range cs.byRep[rep] {
+				t.Trigger.Msg = newName
+				t.ID = ir.TxnID(t.Start, t.Trigger)
+			}
+			// Rewrite directory sends issued from directory states named
+			// after members of this class.
+			members := map[ir.StateName]bool{}
+			for s, r := range cls {
+				if r == rep {
+					members[s] = true
+				}
+			}
+			rewritten := false
+			for _, dt := range spec.Dir.Txns {
+				if !members[dt.Start] {
+					continue
+				}
+				if rewriteSends(dt, f, newName) {
+					rewritten = true
+				}
+			}
+			if !rewritten {
+				return nil, fmt.Errorf(
+					"preprocess: forwarded request %s arrives at classes %v but no directory state named after class %s sends it; name directory states after the owner's stable state",
+					f, cs.reps, rep)
+			}
+		}
+	}
+	return renames, nil
+}
+
+// rewriteSends renames every send of msg old inside transaction t
+// (init actions and await cases) to new; reports whether any changed.
+func rewriteSends(t *ir.Transaction, old, new ir.MsgType) bool {
+	changed := false
+	rw := func(as []ir.Action) {
+		for i := range as {
+			if as[i].Op == ir.ASend && as[i].Msg == old {
+				as[i].Msg = new
+				changed = true
+			}
+		}
+	}
+	rw(t.InitActions)
+	t.Await.EachAwait(func(a *ir.Await) {
+		for _, c := range a.Cases {
+			rw(c.Actions)
+		}
+	})
+	return changed
+}
+
+// fwdTable builds the post-preprocessing forwarded-request table: for each
+// forwarded request with cache handlers, its unique home class and the
+// handler at every member state. It errors if the renaming invariant does
+// not hold.
+func fwdTable(spec *ir.Spec, cls map[ir.StateName]ir.StateName) (map[ir.MsgType]*fwdInfo, error) {
+	out := map[ir.MsgType]*fwdInfo{}
+	for _, t := range spec.Cache.Txns {
+		if t.Trigger.Kind != ir.EvMsg {
+			continue
+		}
+		d, ok := spec.MsgDecl(t.Trigger.Msg)
+		if !ok || d.Class != ir.ClassForward {
+			continue
+		}
+		fi := out[t.Trigger.Msg]
+		if fi == nil {
+			fi = &fwdInfo{home: cls[t.Start], handlers: map[ir.StateName]*ir.Transaction{}}
+			out[t.Trigger.Msg] = fi
+		}
+		if fi.home != cls[t.Start] {
+			return nil, fmt.Errorf("forwarded request %s arrives at two classes (%s, %s) after preprocessing",
+				t.Trigger.Msg, fi.home, cls[t.Start])
+		}
+		fi.handlers[t.Start] = t
+	}
+	return out, nil
+}
+
+// dataMsgs returns the message types that ever carry data (used to pick
+// the D/A letters of transient-state names).
+func dataMsgs(spec *ir.Spec) map[ir.MsgType]bool {
+	out := map[ir.MsgType]bool{}
+	scan := func(as []ir.Action) {
+		for _, a := range as {
+			if a.Op == ir.ASend && a.Payload.WithData {
+				out[a.Msg] = true
+			}
+		}
+	}
+	for _, m := range []*ir.MachineSpec{spec.Cache, spec.Dir} {
+		for _, t := range m.Txns {
+			scan(t.InitActions)
+			t.Await.EachAwait(func(a *ir.Await) {
+				for _, c := range a.Cases {
+					scan(c.Actions)
+				}
+			})
+		}
+	}
+	return out
+}

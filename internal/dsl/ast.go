@@ -1,0 +1,99 @@
+package dsl
+
+import "protogen/internal/ir"
+
+// File is the parsed form of one DSL source file.
+type File struct {
+	Protocol string
+	Ordered  bool
+	Messages []MsgDecl
+	Machines []*MachineDecl
+	Archs    []*ArchDecl
+}
+
+// MsgDecl declares a batch of message names on one virtual channel class.
+type MsgDecl struct {
+	Name  string
+	Class ir.MsgClass
+	Put   bool
+}
+
+// MachineDecl declares a machine's stable states and auxiliary variables.
+type MachineDecl struct {
+	Role   ir.MachineKind
+	States []string
+	Init   string
+	Vars   []ir.VarDecl
+	Tok    Token
+}
+
+// ArchDecl is an architecture block: the processes of one machine.
+type ArchDecl struct {
+	Role  ir.MachineKind
+	Procs []*ProcessDecl
+	Tok   Token
+}
+
+// ProcessDecl is one process(state, trigger) block.
+type ProcessDecl struct {
+	State   string
+	Trigger string           // access name or message name
+	From    ir.SrcConstraint // directory-side sender constraint
+	Body    []Stmt
+	Tok     Token
+}
+
+// StmtKind tags statement variants.
+type StmtKind int
+
+// Statement kinds.
+const (
+	StSend StmtKind = iota
+	StAssign
+	StSetAdd
+	StSetDel
+	StSetClear
+	StCopyData
+	StWriteback
+	StHit
+	StState
+	StAwait
+	StIf
+)
+
+// Stmt is one statement; meaningful fields depend on Kind.
+type Stmt struct {
+	Kind StmtKind
+	Tok  Token
+
+	// StSend
+	Msg       string
+	Dst       ir.DstKind
+	DstExcept bool // sharers except src
+	WithData  bool
+	Acks      *ir.Expr
+	Req       *ir.Expr
+
+	// StAssign / StSetAdd / StSetDel / StSetClear
+	Var  string
+	Expr *ir.Expr
+
+	// StState
+	State string
+
+	// StAwait
+	Whens []*WhenClause
+
+	// StIf
+	Cond *ir.Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhenClause is one arm of an await.
+type WhenClause struct {
+	Msg   string
+	Guard *ir.Expr
+	Body  []Stmt
+	Tok   Token
+}

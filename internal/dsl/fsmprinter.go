@@ -1,0 +1,133 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+
+	"protogen/internal/ir"
+)
+
+// FormatProtocol renders a generated protocol in the DSL's controller
+// form — the output format §IV-B of the paper describes ("These FSMs are
+// expressed in the same DSL"). Each state lists its reactions:
+//
+//	state IM_AD (transient, origin I, target M, set {I M}) {
+//	  on store { stall }
+//	  on Data if (acks == 0) { copydata; perform; next M }
+//	  on Fwd_GetS { defer; next IMADS }
+//	}
+//
+// The text is for reading and diffing; regeneration happens from the SSP.
+func FormatProtocol(p *ir.Protocol) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// protocol %s — generated (%s)\n", p.Name, p.OptsNote)
+	if len(p.Renames) > 0 {
+		fmt.Fprintf(&b, "// renames: %v\n", p.Renames)
+	}
+	if len(p.Reinterpret) > 0 {
+		fmt.Fprintf(&b, "// reinterpretations: %v\n", p.Reinterpret)
+	}
+	for _, m := range []*ir.Machine{p.Cache, p.Dir} {
+		formatController(&b, m)
+	}
+	return b.String()
+}
+
+func formatController(b *strings.Builder, m *ir.Machine) {
+	fmt.Fprintf(b, "\ncontroller %s {\n", m.Name)
+	for _, n := range m.Order {
+		st := m.State(n)
+		fmt.Fprintf(b, "  state %s (%s", n, st.Kind)
+		if st.Kind == ir.Transient {
+			fmt.Fprintf(b, ", origin %s, target %s", st.Origin, st.Target)
+			if len(st.Chain) > 0 {
+				fmt.Fprintf(b, ", chain %s", joinStates(st.Chain))
+			}
+			if len(st.StateSet) > 0 {
+				fmt.Fprintf(b, ", set {%s}", joinStates(st.StateSet))
+			}
+			if len(st.Defers) > 0 {
+				fmt.Fprintf(b, ", owes %s", joinMsgs(st.Defers))
+			}
+			if st.Stale {
+				b.WriteString(", stale")
+			}
+		}
+		if len(st.Aliases) > 0 {
+			fmt.Fprintf(b, ", merged %s", joinStates(st.Aliases))
+		}
+		b.WriteString(") {\n")
+		for _, t := range m.TransFrom(n) {
+			formatReaction(b, &t)
+		}
+		b.WriteString("  }\n")
+	}
+	if len(m.DeferredActions) > 0 {
+		b.WriteString("  deferred obligations {\n")
+		for _, f := range sortedMsgKeys(m.DeferredActions) {
+			fmt.Fprintf(b, "    %s: %s\n", f, ir.ActionsString(m.DeferredActions[f]))
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+}
+
+func formatReaction(b *strings.Builder, t *ir.Transition) {
+	fmt.Fprintf(b, "    on %s", t.Ev)
+	if t.GuardLabel != "" {
+		fmt.Fprintf(b, " if (%s)", t.GuardLabel)
+	}
+	b.WriteString(" { ")
+	switch {
+	case t.Stall:
+		b.WriteString("stall")
+	default:
+		var parts []string
+		for _, a := range t.Actions {
+			parts = append(parts, a.String())
+		}
+		if t.Next != t.From {
+			parts = append(parts, "next "+string(t.Next))
+		}
+		if len(parts) == 0 {
+			parts = []string{"stay"}
+		}
+		b.WriteString(strings.Join(parts, "; "))
+	}
+	b.WriteString(" }")
+	if t.Note != "" {
+		b.WriteString(" // " + t.Note)
+	} else if t.Stale {
+		b.WriteString(" // stale")
+	}
+	b.WriteString("\n")
+}
+
+func joinStates(xs []ir.StateName) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = string(x)
+	}
+	return strings.Join(parts, " ")
+}
+
+func joinMsgs(xs []ir.MsgType) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = string(x)
+	}
+	return strings.Join(parts, " ")
+}
+
+func sortedMsgKeys(m map[ir.MsgType][]ir.Action) []ir.MsgType {
+	out := make([]ir.MsgType, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

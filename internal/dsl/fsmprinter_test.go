@@ -1,0 +1,56 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+
+	"protogen/internal/ir"
+)
+
+// buildTinyProtocol assembles a small generated protocol by hand (dsl
+// cannot import core without a cycle).
+func buildTinyProtocol(t *testing.T) *ir.Protocol {
+	t.Helper()
+	cache := ir.NewMachine("cache", ir.KindCache)
+	for _, s := range []*ir.State{
+		{Name: "I", Kind: ir.Stable},
+		{Name: "S", Kind: ir.Stable},
+		{Name: "ISD", Kind: ir.Transient, Origin: "I", Target: "S", StateSet: []ir.StateName{"I", "S"}},
+		{Name: "ISDI", Kind: ir.Transient, Origin: "I", Target: "S", Chain: []ir.StateName{"I"},
+			StateSet: []ir.StateName{"I"}, Aliases: []ir.StateName{"XYZ"}},
+	} {
+		if err := cache.AddState(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache.Init = "I"
+	cache.AddTransition(ir.Transition{From: "I", Ev: ir.AccessEvent(ir.AccessLoad),
+		Actions: []ir.Action{ir.Send("GetS", ir.DstDir)}, Next: "ISD"})
+	cache.AddTransition(ir.Transition{From: "ISD", Ev: ir.MsgEvent("Data"),
+		Actions: []ir.Action{{Op: ir.ACopyData}, {Op: ir.APerform}}, Next: "S"})
+	cache.AddTransition(ir.Transition{From: "ISD", Ev: ir.MsgEvent("Inv"),
+		Actions: []ir.Action{ir.Send("Inv_Ack", ir.DstMsgReq)}, Next: "ISDI"})
+	cache.AddTransition(ir.Transition{From: "ISD", Ev: ir.AccessEvent(ir.AccessStore), Next: "ISD", Stall: true})
+	dir := ir.NewMachine("directory", ir.KindDirectory)
+	if err := dir.AddState(&ir.State{Name: "I", Kind: ir.Stable}); err != nil {
+		t.Fatal(err)
+	}
+	dir.Init = "I"
+	return &ir.Protocol{Name: "Tiny", Cache: cache, Dir: dir, OptsNote: "test"}
+}
+
+func TestFormatProtocol(t *testing.T) {
+	out := FormatProtocol(buildTinyProtocol(t))
+	for _, want := range []string{
+		"controller cache",
+		"state ISD (transient, origin I, target S, set {I S})",
+		"on Data { copy data; perform access; next S }",
+		"on store { stall }",
+		"merged XYZ",
+		"chain I",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatProtocol missing %q\n%s", want, out)
+		}
+	}
+}

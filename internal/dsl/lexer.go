@@ -1,0 +1,203 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// Lexer turns DSL source into tokens. It supports // line comments and
+// /* block */ comments.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &Error{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	r := l.peek()
+	switch {
+	case isIdentStart(r):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentRune(l.peek()) {
+			l.advance()
+		}
+		tok.Kind = TokIdent
+		tok.Text = string(l.src[start:l.pos])
+		return tok, nil
+	case unicode.IsDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		tok.Kind = TokInt
+		tok.Text = string(l.src[start:l.pos])
+		n, err := strconv.Atoi(tok.Text)
+		if err != nil {
+			return tok, errAt(tok, "bad integer %q", tok.Text)
+		}
+		tok.Int = n
+		return tok, nil
+	}
+	l.advance()
+	two := func(next rune, k2, k1 TokKind) Token {
+		if l.peek() == next {
+			l.advance()
+			tok.Kind = k2
+		} else {
+			tok.Kind = k1
+		}
+		return tok
+	}
+	switch r {
+	case '{':
+		tok.Kind = TokLBrace
+	case '}':
+		tok.Kind = TokRBrace
+	case '(':
+		tok.Kind = TokLParen
+	case ')':
+		tok.Kind = TokRParen
+	case ';':
+		tok.Kind = TokSemi
+	case ',':
+		tok.Kind = TokComma
+	case '.':
+		tok.Kind = TokDot
+	case '+':
+		tok.Kind = TokPlus
+	case '-':
+		tok.Kind = TokMinus
+	case '=':
+		return two('=', TokEq, TokAssign), nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			tok.Kind = TokNe
+			return tok, nil
+		}
+		return tok, errAt(tok, "unexpected '!'")
+	case '<':
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		return two('=', TokGe, TokGt), nil
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			tok.Kind = TokAnd
+			return tok, nil
+		}
+		return tok, errAt(tok, "unexpected '&'")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			tok.Kind = TokOr
+			return tok, nil
+		}
+		return tok, errAt(tok, "unexpected '|'")
+	default:
+		return tok, errAt(tok, "unexpected character %q", string(r))
+	}
+	return tok, nil
+}
+
+// LexAll tokenizes the whole input (including the trailing EOF token).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt imported even if unused in future edits

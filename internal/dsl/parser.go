@@ -1,0 +1,689 @@
+package dsl
+
+import (
+	"fmt"
+
+	"protogen/internal/ir"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// ParseFile parses a full DSL source file into its AST.
+func ParseFile(src string) (*File, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.file()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) atIdent(s string) bool {
+	return p.cur().Kind == TokIdent && p.cur().Text == s
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		return p.cur(), errAt(p.cur(), "expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) expectIdent(s string) (Token, error) {
+	if !p.atIdent(s) {
+		return p.cur(), errAt(p.cur(), "expected %q, found %s", s, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) ident() (string, error) {
+	t, err := p.expect(TokIdent)
+	return t.Text, err
+}
+
+func (p *Parser) file() (*File, error) {
+	f := &File{}
+	if _, err := p.expectIdent("protocol"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	f.Protocol = name
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectIdent("network"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.atIdent("ordered"):
+		p.next()
+		f.Ordered = true
+	case p.atIdent("unordered"):
+		p.next()
+	default:
+		return nil, errAt(p.cur(), "expected 'ordered' or 'unordered'")
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	for !p.at(TokEOF) {
+		switch {
+		case p.atIdent("message"):
+			if err := p.messageDecl(f); err != nil {
+				return nil, err
+			}
+		case p.atIdent("machine"):
+			m, err := p.machineDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Machines = append(f.Machines, m)
+		case p.atIdent("architecture"):
+			a, err := p.archDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Archs = append(f.Archs, a)
+		default:
+			return nil, errAt(p.cur(), "expected 'message', 'machine' or 'architecture', found %s", p.cur())
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) messageDecl(f *File) error {
+	p.next() // message
+	var class ir.MsgClass
+	switch {
+	case p.atIdent("request"):
+		class = ir.ClassRequest
+	case p.atIdent("forward"):
+		class = ir.ClassForward
+	case p.atIdent("response"):
+		class = ir.ClassResponse
+	default:
+		return errAt(p.cur(), "expected message class (request/forward/response)")
+	}
+	p.next()
+	put := false
+	if p.atIdent("put") {
+		if class != ir.ClassRequest {
+			return errAt(p.cur(), "'put' only applies to request messages")
+		}
+		put = true
+		p.next()
+	}
+	for !p.at(TokSemi) {
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		f.Messages = append(f.Messages, MsgDecl{Name: name, Class: class, Put: put})
+	}
+	p.next() // ;
+	return nil
+}
+
+func (p *Parser) role() (ir.MachineKind, Token, error) {
+	t := p.cur()
+	switch {
+	case p.atIdent("cache"):
+		p.next()
+		return ir.KindCache, t, nil
+	case p.atIdent("directory"), p.atIdent("dir"):
+		p.next()
+		return ir.KindDirectory, t, nil
+	}
+	return 0, t, errAt(t, "expected machine role 'cache' or 'directory'")
+}
+
+func (p *Parser) machineDecl() (*MachineDecl, error) {
+	tok := p.next() // machine
+	role, _, err := p.role()
+	if err != nil {
+		return nil, err
+	}
+	m := &MachineDecl{Role: role, Tok: tok}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(TokRBrace) {
+		switch {
+		case p.atIdent("states"):
+			p.next()
+			for !p.at(TokSemi) {
+				s, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				m.States = append(m.States, s)
+			}
+			p.next()
+		case p.atIdent("init"):
+			p.next()
+			s, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			m.Init = s
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		case p.atIdent("int"), p.atIdent("id"), p.atIdent("idset"), p.atIdent("data"):
+			v := ir.VarDecl{}
+			switch p.next().Text {
+			case "int":
+				v.Type = ir.VInt
+			case "id":
+				v.Type = ir.VID
+			case "idset":
+				v.Type = ir.VIDSet
+			case "data":
+				v.Type = ir.VData
+			}
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			v.Name = name
+			if p.at(TokAssign) {
+				p.next()
+				t, err := p.expect(TokInt)
+				if err != nil {
+					return nil, err
+				}
+				v.Init = t.Int
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			m.Vars = append(m.Vars, v)
+		default:
+			return nil, errAt(p.cur(), "unexpected %s in machine block", p.cur())
+		}
+	}
+	p.next() // }
+	return m, nil
+}
+
+func (p *Parser) archDecl() (*ArchDecl, error) {
+	tok := p.next() // architecture
+	role, _, err := p.role()
+	if err != nil {
+		return nil, err
+	}
+	a := &ArchDecl{Role: role, Tok: tok}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(TokRBrace) {
+		proc, err := p.processDecl()
+		if err != nil {
+			return nil, err
+		}
+		a.Procs = append(a.Procs, proc)
+	}
+	p.next()
+	return a, nil
+}
+
+func (p *Parser) processDecl() (*ProcessDecl, error) {
+	tok, err := p.expectIdent("process")
+	if err != nil {
+		return nil, err
+	}
+	pd := &ProcessDecl{Tok: tok}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if pd.State, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	if pd.Trigger, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if p.atIdent("from") {
+		p.next()
+		switch {
+		case p.atIdent("owner"):
+			pd.From = ir.SrcOwner
+		case p.atIdent("sharer"):
+			pd.From = ir.SrcSharer
+		case p.atIdent("nonowner"):
+			pd.From = ir.SrcNonOwner
+		case p.atIdent("nonsharer"):
+			pd.From = ir.SrcNonSharer
+		default:
+			return nil, errAt(p.cur(), "expected owner/sharer/nonowner/nonsharer after 'from'")
+		}
+		p.next()
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	pd.Body = body
+	return pd, nil
+}
+
+func (p *Parser) block() ([]Stmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.at(TokRBrace) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.next()
+	return out, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.atIdent("send"):
+		return p.sendStmt()
+	case p.atIdent("await"):
+		return p.awaitStmt()
+	case p.atIdent("if"):
+		return p.ifStmt()
+	case p.atIdent("state"):
+		p.next()
+		if _, err := p.expect(TokAssign); err != nil {
+			return Stmt{}, err
+		}
+		s, err := p.ident()
+		if err != nil {
+			return Stmt{}, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: StState, State: s, Tok: t}, nil
+	case p.atIdent("hit"):
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: StHit, Tok: t}, nil
+	case p.atIdent("copydata"):
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: StCopyData, Tok: t}, nil
+	case p.atIdent("writeback"):
+		p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: StWriteback, Tok: t}, nil
+	case p.at(TokIdent):
+		return p.assignOrSetOp()
+	}
+	return Stmt{}, errAt(t, "expected a statement, found %s", t)
+}
+
+func (p *Parser) sendStmt() (Stmt, error) {
+	tok := p.next() // send
+	s := Stmt{Kind: StSend, Tok: tok}
+	msg, err := p.ident()
+	if err != nil {
+		return s, err
+	}
+	s.Msg = msg
+	if _, err := p.expectIdent("to"); err != nil {
+		return s, err
+	}
+	if err := p.sendDest(&s); err != nil {
+		return s, err
+	}
+	for !p.at(TokSemi) {
+		switch {
+		case p.atIdent("with"):
+			p.next()
+			if _, err := p.expectIdent("data"); err != nil {
+				return s, err
+			}
+			s.WithData = true
+		case p.atIdent("acks"):
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return s, err
+			}
+			s.Acks = e
+		case p.atIdent("req"):
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return s, err
+			}
+			s.Req = e
+		default:
+			return s, errAt(p.cur(), "unexpected %s in send payload", p.cur())
+		}
+	}
+	p.next() // ;
+	return s, nil
+}
+
+func (p *Parser) sendDest(s *Stmt) error {
+	t := p.cur()
+	switch {
+	case p.atIdent("dir"), p.atIdent("directory"):
+		p.next()
+		s.Dst = ir.DstDir
+	case p.atIdent("owner"):
+		p.next()
+		s.Dst = ir.DstOwner
+	case p.atIdent("sharers"):
+		p.next()
+		s.Dst = ir.DstSharers
+		if p.atIdent("except") {
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return err
+			}
+			if e.Kind != ir.EField || e.Name != "src" {
+				return errAt(t, "only 'sharers except src' is supported")
+			}
+			s.DstExcept = true
+		}
+	case p.atIdent("src"):
+		p.next()
+		s.Dst = ir.DstMsgSrc
+	case p.atIdent("req"):
+		p.next()
+		s.Dst = ir.DstMsgReq
+	case p.at(TokIdent):
+		// Msg.src or Msg.req
+		p.next()
+		if _, err := p.expect(TokDot); err != nil {
+			return errAt(t, "unknown send destination %q", t.Text)
+		}
+		f, err := p.ident()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case "src":
+			s.Dst = ir.DstMsgSrc
+		case "req":
+			s.Dst = ir.DstMsgReq
+		default:
+			return errAt(t, "unknown send destination %s.%s", t.Text, f)
+		}
+	default:
+		return errAt(t, "expected a send destination")
+	}
+	return nil
+}
+
+func (p *Parser) awaitStmt() (Stmt, error) {
+	tok := p.next() // await
+	s := Stmt{Kind: StAwait, Tok: tok}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return s, err
+	}
+	for !p.at(TokRBrace) {
+		wt, err := p.expectIdent("when")
+		if err != nil {
+			return s, err
+		}
+		w := &WhenClause{Tok: wt}
+		if w.Msg, err = p.ident(); err != nil {
+			return s, err
+		}
+		if p.atIdent("if") {
+			p.next()
+			if w.Guard, err = p.expr(); err != nil {
+				return s, err
+			}
+		}
+		if w.Body, err = p.block(); err != nil {
+			return s, err
+		}
+		s.Whens = append(s.Whens, w)
+	}
+	p.next()
+	if len(s.Whens) == 0 {
+		return s, errAt(tok, "await block must have at least one 'when'")
+	}
+	return s, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	tok := p.next() // if
+	s := Stmt{Kind: StIf, Tok: tok}
+	cond, err := p.expr()
+	if err != nil {
+		return s, err
+	}
+	s.Cond = cond
+	if s.Then, err = p.block(); err != nil {
+		return s, err
+	}
+	if p.atIdent("else") {
+		p.next()
+		if s.Else, err = p.block(); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) assignOrSetOp() (Stmt, error) {
+	tok := p.next() // ident
+	name := tok.Text
+	if p.at(TokDot) {
+		p.next()
+		op, err := p.ident()
+		if err != nil {
+			return Stmt{}, err
+		}
+		s := Stmt{Var: name, Tok: tok}
+		switch op {
+		case "add", "del":
+			if op == "add" {
+				s.Kind = StSetAdd
+			} else {
+				s.Kind = StSetDel
+			}
+			if _, err := p.expect(TokLParen); err != nil {
+				return s, err
+			}
+			if s.Expr, err = p.expr(); err != nil {
+				return s, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return s, err
+			}
+		case "clear":
+			s.Kind = StSetClear
+		default:
+			return s, errAt(tok, "unknown set operation %s.%s", name, op)
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return s, err
+		}
+		return s, nil
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return Stmt{}, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return Stmt{}, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return Stmt{}, err
+	}
+	return Stmt{Kind: StAssign, Var: name, Expr: e, Tok: tok}, nil
+}
+
+// Expression grammar: or > and > comparison > additive > primary.
+
+func (p *Parser) expr() (*ir.Expr, error) { return p.orExpr() }
+
+func (p *Parser) orExpr() (*ir.Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOr) {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = ir.Binop(ir.OpOr, l, r)
+	}
+	return l, nil
+}
+
+func (p *Parser) andExpr() (*ir.Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokAnd) {
+		p.next()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = ir.Binop(ir.OpAnd, l, r)
+	}
+	return l, nil
+}
+
+var cmpOps = map[TokKind]ir.BinOp{
+	TokEq: ir.OpEq, TokNe: ir.OpNe, TokLt: ir.OpLt,
+	TokLe: ir.OpLe, TokGt: ir.OpGt, TokGe: ir.OpGe,
+}
+
+func (p *Parser) cmpExpr() (*ir.Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().Kind]; ok {
+		p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return ir.Binop(op, l, r), nil
+	}
+	return l, nil
+}
+
+func (p *Parser) addExpr() (*ir.Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPlus) || p.at(TokMinus) {
+		op := ir.OpAdd
+		if p.at(TokMinus) {
+			op = ir.OpSub
+		}
+		p.next()
+		r, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		l = ir.Binop(op, l, r)
+	}
+	return l, nil
+}
+
+// msgFields are the payload fields of every message.
+var msgFields = map[string]bool{"src": true, "req": true, "acks": true, "data": true}
+
+func (p *Parser) primary() (*ir.Expr, error) {
+	t := p.cur()
+	switch {
+	case p.at(TokInt):
+		p.next()
+		return ir.Const(t.Int), nil
+	case p.at(TokLParen):
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.atIdent("none"):
+		p.next()
+		return ir.None(), nil
+	case p.atIdent("count"):
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		set, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var except *ir.Expr
+		if p.atIdent("except") {
+			p.next()
+			if except, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return ir.Count(set, except), nil
+	case p.at(TokIdent):
+		p.next()
+		name := t.Text
+		if p.at(TokDot) {
+			p.next()
+			f, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if !msgFields[f] {
+				return nil, errAt(t, "unknown message field %s.%s", name, f)
+			}
+			return ir.Field(f), nil
+		}
+		if msgFields[name] {
+			return ir.Field(name), nil
+		}
+		return ir.Var(name), nil
+	}
+	return nil, errAt(t, "expected an expression, found %s", t)
+}
+
+var _ = fmt.Sprintf

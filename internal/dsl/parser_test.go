@@ -1,0 +1,308 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+
+	"protogen/internal/ir"
+	"protogen/internal/protocols"
+)
+
+// msiSource returns the full MSI SSP of paper Tables I/II.
+func msiSource(t *testing.T) string {
+	t.Helper()
+	return protocols.MSI
+}
+
+const miniProtocol = `
+protocol Mini;
+network ordered;
+
+message request GetS;
+message request put PutS;
+message forward Inv Put_Ack;
+message response Data Inv_Ack;
+
+machine cache {
+  states I S;
+  init I;
+  data block;
+  int acksReceived;
+}
+
+machine directory {
+  states I S;
+  init I;
+  data block;
+  idset sharers;
+}
+
+architecture cache {
+  process (I, load) {
+    send GetS to dir;
+    await {
+      when Data {
+        copydata;
+        state = S;
+      }
+    }
+  }
+  process (S, load) { hit; }
+  process (S, Inv) {
+    send Inv_Ack to req;
+    state = I;
+  }
+  process (S, repl) {
+    send PutS to dir;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+}
+
+architecture directory {
+  process (I, GetS) {
+    send Data to src with data;
+    sharers.add(src);
+    state = S;
+  }
+  process (S, GetS) {
+    send Data to src with data;
+    sharers.add(src);
+  }
+  process (S, PutS) {
+    send Put_Ack to src;
+    sharers.del(src);
+  }
+}
+`
+
+func TestLexAllBasics(t *testing.T) {
+	toks, err := LexAll("process (I, load) { x = x + 1; } // comment\n/* block */ y != 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]TokKind, len(toks))
+	for i, tk := range toks {
+		kinds[i] = tk.Kind
+	}
+	want := []TokKind{TokIdent, TokLParen, TokIdent, TokComma, TokIdent, TokRParen,
+		TokLBrace, TokIdent, TokAssign, TokIdent, TokPlus, TokInt, TokSemi, TokRBrace,
+		TokIdent, TokNe, TokInt, TokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := LexAll("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("first token at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("second token at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"a ! b", "a & b", "a | b", "/* unterminated", "€"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("LexAll(%q) must fail", src)
+		}
+	}
+}
+
+func TestParseMini(t *testing.T) {
+	f, err := ParseFile(miniProtocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Protocol != "Mini" || !f.Ordered {
+		t.Errorf("header parsed wrong: %+v", f)
+	}
+	if len(f.Messages) != 6 {
+		t.Errorf("got %d messages, want 6", len(f.Messages))
+	}
+	if !f.Messages[1].Put {
+		t.Errorf("PutS must be flagged put")
+	}
+	if len(f.Machines) != 2 || len(f.Archs) != 2 {
+		t.Fatalf("machines/archs: %d/%d", len(f.Machines), len(f.Archs))
+	}
+	if f.Machines[0].Role != ir.KindCache || f.Machines[1].Role != ir.KindDirectory {
+		t.Errorf("machine roles wrong")
+	}
+}
+
+func TestLowerMini(t *testing.T) {
+	spec, err := Parse(miniProtocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "Mini" {
+		t.Errorf("name = %s", spec.Name)
+	}
+	load := spec.Cache.FindTxn("I", ir.AccessEvent(ir.AccessLoad))
+	if load == nil {
+		t.Fatal("missing (I, load) transaction")
+	}
+	if load.Request != "GetS" {
+		t.Errorf("request = %s, want GetS", load.Request)
+	}
+	if load.Await == nil || len(load.Await.Cases) != 1 {
+		t.Fatalf("await shape wrong: %+v", load.Await)
+	}
+	c := load.Await.Cases[0]
+	if c.Msg != "Data" || c.Kind != ir.CaseBreak || c.Final != "S" {
+		t.Errorf("case = %+v", c)
+	}
+	if !spec.Cache.AccessOK("S", ir.AccessLoad) {
+		t.Errorf("S must hit loads")
+	}
+	if spec.Cache.AccessOK("I", ir.AccessLoad) {
+		t.Errorf("I must not hit loads")
+	}
+	inv := spec.Cache.FindTxn("S", ir.MsgEvent("Inv"))
+	if inv == nil || inv.Final != "I" || inv.Await != nil {
+		t.Fatalf("(S, Inv) handler wrong: %+v", inv)
+	}
+	gets := spec.Dir.FindTxn("S", ir.MsgEvent("GetS"))
+	if gets == nil || gets.Final != "S" {
+		t.Fatalf("(S, GetS) must stay in S: %+v", gets)
+	}
+}
+
+func TestLowerMSIFull(t *testing.T) {
+	spec, err := Parse(msiSource(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := spec.Cache.FindTxn("I", ir.AccessEvent(ir.AccessStore))
+	if store == nil {
+		t.Fatal("missing (I, store)")
+	}
+	if store.Request != "GetM" {
+		t.Errorf("request = %s", store.Request)
+	}
+	// Outer await: Data(acks==0) break, Data(acks>0) split into
+	// break/descend by the substituted guard, and the early Inv_Ack loop.
+	aw := store.Await
+	if aw == nil {
+		t.Fatal("store must await")
+	}
+	var breaks, descends, loops int
+	for _, c := range aw.Cases {
+		switch c.Kind {
+		case ir.CaseBreak:
+			breaks++
+		case ir.CaseAwait:
+			descends++
+		case ir.CaseLoop:
+			loops++
+		}
+	}
+	if breaks != 2 || descends != 1 || loops != 1 {
+		t.Errorf("outer await shape: %d breaks, %d descends, %d loops; want 2/1/1", breaks, descends, loops)
+	}
+	// The descend case's guard must be in terms of arrival-time state:
+	// references msg.acks, not the not-yet-assigned acksExpected.
+	for _, c := range aw.Cases {
+		if c.Kind != ir.CaseAwait {
+			continue
+		}
+		usesField := false
+		c.Guard.Walk(func(e *ir.Expr) {
+			if e.Kind == ir.EField && e.Name == "acks" {
+				usesField = true
+			}
+		})
+		if !usesField {
+			t.Errorf("descend guard %q must be substituted to use msg.acks", c.Guard)
+		}
+	}
+	// Directory M+GetS must await the writeback.
+	dgets := spec.Dir.FindTxn("M", ir.MsgEvent("GetS"))
+	if dgets == nil || dgets.Await == nil {
+		t.Fatal("(M, GetS) must await Data")
+	}
+	dputm := spec.Dir.FindTxn("M", ir.MsgEvent("PutM"))
+	if dputm == nil || dputm.Src != ir.SrcOwner {
+		t.Errorf("(M, PutM) must be constrained to owner")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct {
+		name, src string
+		want      string
+	}{
+		{"no protocol", "network ordered;", "expected \"protocol\""},
+		{"bad network", "protocol X; network sideways;", "ordered"},
+		{"empty await", "protocol X; network ordered; message request G; machine cache { states I; init I; } machine directory { states I; init I; } architecture cache { process (I, load) { await { } } }", "at least one"},
+		{"stmts after state", "protocol X; network ordered; message request G; machine cache { states I S; init I; } machine directory { states I; init I; } architecture cache { process (I, Inv) { state = S; state = I; } }", "last statement"},
+		{"unknown dest", "protocol X; network ordered; message request G; machine cache { states I; init I; } machine directory { states I; init I; } architecture cache { process (I, load) { send G to nowhere; } }", "destination"},
+	}
+	for _, tc := range bad {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("%s: Parse must fail", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestNegate(t *testing.T) {
+	e := ir.Binop(ir.OpEq, ir.Var("a"), ir.Const(1))
+	n, err := negate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != ir.OpNe {
+		t.Errorf("negated == must be !=, got %s", n.Op)
+	}
+	both := ir.Binop(ir.OpAnd, e, ir.Binop(ir.OpGt, ir.Var("b"), ir.Const(0)))
+	n2, err := negate(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Op != ir.OpOr {
+		t.Errorf("De Morgan: negated && must be ||")
+	}
+	if _, err := negate(ir.Var("x")); err == nil {
+		t.Errorf("negating a bare variable must fail")
+	}
+}
+
+func TestRoundTripFormatParse(t *testing.T) {
+	spec, err := Parse(miniProtocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(spec)
+	spec2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parsing formatted output failed: %v\n%s", err, out)
+	}
+	if len(spec2.Cache.Txns) != len(spec.Cache.Txns) ||
+		len(spec2.Dir.Txns) != len(spec.Dir.Txns) ||
+		len(spec2.Msgs) != len(spec.Msgs) {
+		t.Errorf("round trip changed structure")
+	}
+	// Spot-check one transaction survived identically.
+	a := spec.Cache.FindTxn("I", ir.AccessEvent(ir.AccessLoad))
+	b := spec2.Cache.FindTxn("I", ir.AccessEvent(ir.AccessLoad))
+	if b == nil || b.Request != a.Request || len(b.Await.Cases) != len(a.Await.Cases) {
+		t.Errorf("round trip altered (I, load)")
+	}
+}

@@ -1,0 +1,195 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+
+	"protogen/internal/ir"
+)
+
+// Format renders an ir.Spec back into canonical DSL source. Parsing the
+// output yields a structurally identical spec (round-trip property).
+func Format(s *ir.Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol %s;\n", s.Name)
+	if s.Ordered {
+		b.WriteString("network ordered;\n\n")
+	} else {
+		b.WriteString("network unordered;\n\n")
+	}
+	// Group message declarations by (class, put) preserving order.
+	type group struct {
+		class ir.MsgClass
+		put   bool
+	}
+	var groups []group
+	byGroup := map[group][]string{}
+	for _, m := range s.Msgs {
+		g := group{m.Class, m.Put}
+		if _, ok := byGroup[g]; !ok {
+			groups = append(groups, g)
+		}
+		byGroup[g] = append(byGroup[g], string(m.Type))
+	}
+	for _, g := range groups {
+		cls := map[ir.MsgClass]string{
+			ir.ClassRequest: "request", ir.ClassForward: "forward", ir.ClassResponse: "response",
+		}[g.class]
+		if g.put {
+			cls += " put"
+		}
+		fmt.Fprintf(&b, "message %s %s;\n", cls, strings.Join(byGroup[g], " "))
+	}
+	b.WriteString("\n")
+	for _, m := range []*ir.MachineSpec{s.Cache, s.Dir} {
+		formatMachine(&b, m)
+	}
+	for _, m := range []*ir.MachineSpec{s.Cache, s.Dir} {
+		formatArch(&b, m)
+	}
+	return b.String()
+}
+
+func formatMachine(b *strings.Builder, m *ir.MachineSpec) {
+	fmt.Fprintf(b, "machine %s {\n", m.Kind)
+	names := make([]string, len(m.Stable))
+	for i, st := range m.Stable {
+		names[i] = string(st.Name)
+	}
+	fmt.Fprintf(b, "  states %s;\n", strings.Join(names, " "))
+	fmt.Fprintf(b, "  init %s;\n", m.Init)
+	for _, v := range m.Vars {
+		if v.Type == ir.VInt && v.Init != 0 {
+			fmt.Fprintf(b, "  %s %s = %d;\n", v.Type, v.Name, v.Init)
+		} else {
+			fmt.Fprintf(b, "  %s %s;\n", v.Type, v.Name)
+		}
+	}
+	b.WriteString("}\n\n")
+}
+
+func formatArch(b *strings.Builder, m *ir.MachineSpec) {
+	fmt.Fprintf(b, "architecture %s {\n", m.Kind)
+	for _, t := range m.Txns {
+		formatTxn(b, t)
+	}
+	b.WriteString("}\n\n")
+}
+
+func formatTxn(b *strings.Builder, t *ir.Transaction) {
+	from := ""
+	if t.Src != ir.SrcAny {
+		from = " " + t.Src.String()
+	}
+	fmt.Fprintf(b, "  process (%s, %s)%s {\n", t.Start, t.Trigger, from)
+	ind := "    "
+	if t.Hit {
+		b.WriteString(ind + "hit;\n")
+	}
+	for _, a := range t.InitActions {
+		formatAction(b, ind, a)
+	}
+	switch {
+	case t.Await != nil:
+		formatAwait(b, ind, t.Await)
+	case t.Final != t.Start && t.Final != "":
+		fmt.Fprintf(b, "%sstate = %s;\n", ind, t.Final)
+	}
+	b.WriteString("  }\n")
+}
+
+func formatAwait(b *strings.Builder, ind string, a *ir.Await) {
+	b.WriteString(ind + "await {\n")
+	for _, c := range a.Cases {
+		guard := ""
+		if c.Guard != nil {
+			guard = " if " + exprDSL(c.Guard)
+		}
+		fmt.Fprintf(b, "%s  when %s%s {\n", ind, c.Msg, guard)
+		for _, act := range c.Actions {
+			formatAction(b, ind+"    ", act)
+		}
+		switch c.Kind {
+		case ir.CaseBreak:
+			fmt.Fprintf(b, "%s    state = %s;\n", ind, c.Final)
+		case ir.CaseAwait:
+			formatAwait(b, ind+"    ", c.Sub)
+		}
+		b.WriteString(ind + "  }\n")
+	}
+	b.WriteString(ind + "}\n")
+}
+
+func formatAction(b *strings.Builder, ind string, a ir.Action) {
+	switch a.Op {
+	case ir.ASend:
+		fmt.Fprintf(b, "%ssend %s to %s", ind, a.Msg, dstDSL(a))
+		if a.Payload.WithData {
+			b.WriteString(" with data")
+		}
+		if a.Payload.Acks != nil {
+			fmt.Fprintf(b, " acks %s", exprDSL(a.Payload.Acks))
+		}
+		if a.Payload.Req != nil {
+			fmt.Fprintf(b, " req %s", exprDSL(a.Payload.Req))
+		}
+		b.WriteString(";\n")
+	case ir.ASet:
+		fmt.Fprintf(b, "%s%s = %s;\n", ind, a.Var, exprDSL(a.Expr))
+	case ir.ASetAdd:
+		fmt.Fprintf(b, "%s%s.add(%s);\n", ind, a.Var, exprDSL(a.Expr))
+	case ir.ASetDel:
+		fmt.Fprintf(b, "%s%s.del(%s);\n", ind, a.Var, exprDSL(a.Expr))
+	case ir.ASetClear:
+		fmt.Fprintf(b, "%s%s.clear;\n", ind, a.Var)
+	case ir.ACopyData:
+		b.WriteString(ind + "copydata;\n")
+	case ir.AWriteback:
+		b.WriteString(ind + "writeback;\n")
+	default:
+		fmt.Fprintf(b, "%s// %s\n", ind, a)
+	}
+}
+
+func dstDSL(a ir.Action) string {
+	switch a.Dst {
+	case ir.DstDir:
+		return "dir"
+	case ir.DstMsgSrc:
+		return "src"
+	case ir.DstMsgReq:
+		return "req"
+	case ir.DstOwner:
+		return "owner"
+	case ir.DstSharers:
+		if a.ExceptSrc {
+			return "sharers except src"
+		}
+		return "sharers"
+	}
+	return "dir"
+}
+
+func exprDSL(e *ir.Expr) string {
+	if e == nil {
+		return ""
+	}
+	switch e.Kind {
+	case ir.EConst:
+		return fmt.Sprintf("%d", e.Int)
+	case ir.EVar:
+		return e.Name
+	case ir.EField:
+		return e.Name
+	case ir.ECount:
+		if e.L != nil {
+			return fmt.Sprintf("count(%s except %s)", e.Name, exprDSL(e.L))
+		}
+		return fmt.Sprintf("count(%s)", e.Name)
+	case ir.EBinop:
+		return fmt.Sprintf("(%s %s %s)", exprDSL(e.L), e.Op, exprDSL(e.R))
+	case ir.ENone:
+		return "none"
+	}
+	return "?"
+}

@@ -1,0 +1,77 @@
+// Package dsl implements the ProtoGen domain-specific language for stable
+// state protocol (SSP) specifications: lexer, parser, AST, and lowering to
+// the ir.Spec form the generator consumes. The language follows the shape
+// of Listing 1 of the paper: machine definitions with auxiliary state, and
+// per-(state, trigger) processes whose bodies send messages and wait in
+// (possibly nested) await/when blocks.
+package dsl
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokLBrace // {
+	TokRBrace // }
+	TokLParen // (
+	TokRParen // )
+	TokSemi   // ;
+	TokComma  // ,
+	TokDot    // .
+	TokAssign // =
+	TokEq     // ==
+	TokNe     // !=
+	TokLt     // <
+	TokLe     // <=
+	TokGt     // >
+	TokGe     // >=
+	TokPlus   // +
+	TokMinus  // -
+	TokAnd    // &&
+	TokOr     // ||
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "integer",
+	TokLBrace: "{", TokRBrace: "}", TokLParen: "(", TokRParen: ")",
+	TokSemi: ";", TokComma: ",", TokDot: ".", TokAssign: "=",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">",
+	TokGe: ">=", TokPlus: "+", TokMinus: "-", TokAnd: "&&", TokOr: "||",
+}
+
+func (k TokKind) String() string { return tokNames[k] }
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokIdent || t.Kind == TokInt {
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Error is a positioned DSL error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("dsl:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(t Token, format string, args ...any) error {
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}

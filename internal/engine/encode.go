@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"protogen/internal/ir"
+)
+
+// Permutations returns all permutations of {0..n-1}, used for symmetry
+// reduction over cache identities (the Murphi scalarset equivalent).
+func Permutations(n int) [][]int {
+	var out [][]int
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// CanonicalKey returns the lexicographically smallest encoding of the
+// system state over the given cache-identity permutations. Passing nil
+// (or only the identity) gives the plain key. Caches are interchangeable
+// in these protocols — the directory is not permuted.
+func (s *System) CanonicalKey(perms [][]int) string {
+	if len(perms) <= 1 {
+		return s.Key()
+	}
+	best := ""
+	for _, p := range perms {
+		k := s.keyPerm(p)
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// keyPerm encodes the state with cache ids renumbered by perm.
+func (s *System) keyPerm(perm []int) string {
+	mapID := func(id int) int {
+		if id >= 0 && id < len(perm) {
+			return perm[id]
+		}
+		return id // directory and NoID unchanged
+	}
+	var b strings.Builder
+	// Caches in renumbered order: position j holds the cache whose new id
+	// is j.
+	inv := make([]int, len(perm))
+	for old, new := range perm {
+		inv[new] = old
+	}
+	for j := 0; j < len(perm); j++ {
+		s.Caches[inv[j]].encodePerm(&b, j, mapID)
+	}
+	s.Dir.encodePerm(&b, s.DirID(), mapID)
+	fmt.Fprintf(&b, "!w%d", s.LastWrite)
+	s.Net.encodePerm(&b, mapID)
+	return b.String()
+}
+
+// encodePerm mirrors Ctrl.encode with node-id remapping: VID variables and
+// id-set masks hold cache ids and must be renumbered.
+func (c *Ctrl) encodePerm(b *strings.Builder, newID int, mapID func(int) int) {
+	fmt.Fprintf(b, "#%d:%d", newID, c.L.StateIdx[c.State])
+	for i, v := range c.Ints {
+		if c.L.VarType[c.L.IntVars[i]] == ir.VID {
+			v = mapID(v)
+		}
+		fmt.Fprintf(b, ",%d", v)
+	}
+	for _, m := range c.Masks {
+		fmt.Fprintf(b, ",m%d", permMask(m, mapID))
+	}
+	fmt.Fprintf(b, ",p%d", c.Pend)
+	for _, d := range c.DeferQ {
+		b.WriteByte('[')
+		b.WriteString(d.permuted(mapID).encode())
+		b.WriteByte(']')
+	}
+}
+
+func permMask(m uint32, mapID func(int) int) uint32 {
+	var out uint32
+	for i := 0; i < 32; i++ {
+		if m&(1<<uint(i)) != 0 {
+			out |= 1 << uint(mapID(i))
+		}
+	}
+	return out
+}
+
+func (m Msg) permuted(mapID func(int) int) Msg {
+	m.Src = mapID(m.Src)
+	m.Dst = mapID(m.Dst)
+	if m.Req != NoID {
+		m.Req = mapID(m.Req)
+	}
+	return m
+}
+
+// encodePerm encodes the network under an id renumbering; queues are
+// re-addressed by their renumbered (src, dst).
+func (n *Network) encodePerm(b *strings.Builder, mapID func(int) int) {
+	if !n.Ordered {
+		for class, q := range n.queues {
+			if len(q) == 0 {
+				continue
+			}
+			fmt.Fprintf(b, "|q%d:", class)
+			enc := make([]string, len(q))
+			for j, m := range q {
+				enc[j] = m.permuted(mapID).encode()
+			}
+			sort.Strings(enc)
+			for _, e := range enc {
+				b.WriteString(e)
+				b.WriteByte(';')
+			}
+		}
+		return
+	}
+	for class := 0; class < NumClasses; class++ {
+		for src := 0; src < n.Nodes; src++ {
+			for dst := 0; dst < n.Nodes; dst++ {
+				// The queue that renumbers to (src, dst) is the one at the
+				// pre-image coordinates.
+				q := n.queues[n.qidx(class, preImage(src, mapID, n.Nodes), preImage(dst, mapID, n.Nodes))]
+				if len(q) == 0 {
+					continue
+				}
+				fmt.Fprintf(b, "|q%d.%d.%d:", class, src, dst)
+				for _, m := range q {
+					b.WriteString(m.permuted(mapID).encode())
+					b.WriteByte(';')
+				}
+			}
+		}
+	}
+}
+
+// preImage finds x with mapID(x) == id (identity for the directory).
+func preImage(id int, mapID func(int) int, nodes int) int {
+	for x := 0; x < nodes; x++ {
+		if mapID(x) == id {
+			return x
+		}
+	}
+	return id
+}

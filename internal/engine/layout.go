@@ -1,0 +1,96 @@
+// Package engine executes generated protocols: it instantiates cache and
+// directory controllers from the ir.Protocol finite state machines, wires
+// them through a virtual-channel interconnect (point-to-point ordered or
+// unordered), and exposes an enabled-rule interface that the model checker
+// enumerates exhaustively and the simulator drives randomly.
+package engine
+
+import (
+	"fmt"
+
+	"protogen/internal/ir"
+)
+
+// Layout is the immutable execution index of one machine: variable slots
+// and transitions indexed by (state, event).
+type Layout struct {
+	M        *ir.Machine
+	IntVars  []string       // VInt, VID and VData variables, in declaration order
+	IntIdx   map[string]int // name -> slot in Ctrl.Ints
+	IntInit  []int
+	VarType  map[string]ir.VarType
+	SetVars  []string // VIDSet variables
+	SetIdx   map[string]int
+	DataVar  string // first VData variable ("" if none)
+	StateIdx map[ir.StateName]int
+	trans    map[transKey][]*ir.Transition
+}
+
+type transKey struct {
+	state ir.StateName
+	ev    string
+}
+
+// NewLayout indexes a machine.
+func NewLayout(m *ir.Machine) *Layout {
+	l := &Layout{
+		M:        m,
+		IntIdx:   map[string]int{},
+		SetIdx:   map[string]int{},
+		VarType:  map[string]ir.VarType{},
+		StateIdx: map[ir.StateName]int{},
+		trans:    map[transKey][]*ir.Transition{},
+	}
+	for _, v := range m.Vars {
+		l.VarType[v.Name] = v.Type
+		switch v.Type {
+		case ir.VIDSet:
+			l.SetIdx[v.Name] = len(l.SetVars)
+			l.SetVars = append(l.SetVars, v.Name)
+		case ir.VData:
+			if l.DataVar == "" {
+				l.DataVar = v.Name
+			}
+			l.IntIdx[v.Name] = len(l.IntVars)
+			l.IntVars = append(l.IntVars, v.Name)
+			l.IntInit = append(l.IntInit, 0)
+		case ir.VID:
+			l.IntIdx[v.Name] = len(l.IntVars)
+			l.IntVars = append(l.IntVars, v.Name)
+			l.IntInit = append(l.IntInit, NoID)
+		default:
+			l.IntIdx[v.Name] = len(l.IntVars)
+			l.IntVars = append(l.IntVars, v.Name)
+			l.IntInit = append(l.IntInit, v.Init)
+		}
+	}
+	for i, n := range m.Order {
+		l.StateIdx[n] = i
+	}
+	for i := range m.Trans {
+		t := &m.Trans[i]
+		k := transKey{t.From, t.Ev.String()}
+		l.trans[k] = append(l.trans[k], t)
+	}
+	return l
+}
+
+// Transitions returns the transitions for (state, event).
+func (l *Layout) Transitions(s ir.StateName, ev ir.Event) []*ir.Transition {
+	return l.trans[transKey{s, ev.String()}]
+}
+
+// NoID is the null node id (an unset owner).
+const NoID = -1
+
+// ErrUnexpected marks a message arriving with no matching transition.
+type ErrUnexpected struct {
+	Machine string
+	State   ir.StateName
+	Ev      ir.Event
+	Detail  string
+}
+
+func (e *ErrUnexpected) Error() string {
+	return fmt.Sprintf("%s in %s: unexpected %s%s", e.Machine, e.State, e.Ev, e.Detail)
+}

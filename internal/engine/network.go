@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Msg is one in-flight coherence message.
+type Msg struct {
+	Type    string // message type name
+	Src     int
+	Dst     int
+	Req     int // embedded requestor id (NoID when absent)
+	Acks    int
+	Data    int // carried data value
+	HasData bool
+	Class   int // virtual channel class
+}
+
+func (m Msg) String() string {
+	s := fmt.Sprintf("%s %d->%d", m.Type, m.Src, m.Dst)
+	if m.Req != NoID {
+		s += fmt.Sprintf(" req=%d", m.Req)
+	}
+	if m.Acks != 0 {
+		s += fmt.Sprintf(" acks=%d", m.Acks)
+	}
+	if m.HasData {
+		s += fmt.Sprintf(" data=%d", m.Data)
+	}
+	return s
+}
+
+// encode renders a canonical representation for state hashing.
+func (m Msg) encode() string {
+	return fmt.Sprintf("%s,%d,%d,%d,%d,%d,%v", m.Type, m.Src, m.Dst, m.Req, m.Acks, m.Data, m.HasData)
+}
+
+// NumClasses is the number of virtual channels (request, forward, response).
+const NumClasses = 3
+
+// Network is the interconnect: three virtual channels, each either a set
+// of per-(src,dst) FIFOs (point-to-point ordered) or a bag (unordered).
+// Per-queue capacity bounds the model-checking state space; overflow is a
+// protocol error (these protocols bound their in-flight traffic).
+type Network struct {
+	Ordered  bool
+	Nodes    int
+	Capacity int
+	queues   [][]Msg // ordered: index = class*Nodes*Nodes + src*Nodes + dst; unordered: index = class
+}
+
+// NewNetwork builds an empty interconnect.
+func NewNetwork(ordered bool, nodes, capacity int) *Network {
+	n := &Network{Ordered: ordered, Nodes: nodes, Capacity: capacity}
+	if ordered {
+		n.queues = make([][]Msg, NumClasses*nodes*nodes)
+	} else {
+		n.queues = make([][]Msg, NumClasses)
+	}
+	return n
+}
+
+func (n *Network) qidx(class, src, dst int) int {
+	if n.Ordered {
+		return class*n.Nodes*n.Nodes + src*n.Nodes + dst
+	}
+	return class
+}
+
+// Send enqueues a message; it fails when the target queue is full.
+func (n *Network) Send(m Msg) error {
+	i := n.qidx(m.Class, m.Src, m.Dst)
+	limit := n.Capacity
+	if !n.Ordered {
+		limit = n.Capacity * n.Nodes * n.Nodes
+	}
+	if len(n.queues[i]) >= limit {
+		return fmt.Errorf("network: channel overflow (%s)", m)
+	}
+	n.queues[i] = append(n.queues[i], m)
+	return nil
+}
+
+// Deliverable enumerates the messages that may be delivered next: FIFO
+// heads on an ordered network, every message on an unordered one. The
+// returned handles stay valid until the next mutation.
+type Deliverable struct {
+	Queue int // internal queue index
+	Pos   int // position within the queue (0 for ordered heads)
+	Msg   Msg
+}
+
+// Deliverables lists the candidate deliveries in deterministic order.
+func (n *Network) Deliverables() []Deliverable {
+	var out []Deliverable
+	for qi, q := range n.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if n.Ordered {
+			out = append(out, Deliverable{Queue: qi, Pos: 0, Msg: q[0]})
+			continue
+		}
+		for pos, m := range q {
+			out = append(out, Deliverable{Queue: qi, Pos: pos, Msg: m})
+		}
+	}
+	return out
+}
+
+// Remove takes a previously enumerated deliverable out of the network.
+func (n *Network) Remove(d Deliverable) {
+	q := n.queues[d.Queue]
+	n.queues[d.Queue] = append(q[:d.Pos:d.Pos], q[d.Pos+1:]...)
+}
+
+// InFlight counts all queued messages.
+func (n *Network) InFlight() int {
+	total := 0
+	for _, q := range n.queues {
+		total += len(q)
+	}
+	return total
+}
+
+// Clone deep-copies the network.
+func (n *Network) Clone() *Network {
+	c := *n
+	c.queues = make([][]Msg, len(n.queues))
+	for i, q := range n.queues {
+		if len(q) > 0 {
+			c.queues[i] = append([]Msg(nil), q...)
+		}
+	}
+	return &c
+}
+
+// encode renders the canonical network state. Unordered bags are sorted so
+// permutations of the same multiset encode identically.
+func (n *Network) encode(b *strings.Builder) {
+	for i, q := range n.queues {
+		if len(q) == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "|q%d:", i)
+		if n.Ordered {
+			for _, m := range q {
+				b.WriteString(m.encode())
+				b.WriteByte(';')
+			}
+			continue
+		}
+		enc := make([]string, len(q))
+		for j, m := range q {
+			enc[j] = m.encode()
+		}
+		sort.Strings(enc)
+		for _, e := range enc {
+			b.WriteString(e)
+			b.WriteByte(';')
+		}
+	}
+}

@@ -1,0 +1,504 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"protogen/internal/ir"
+)
+
+// Config tunes a System instance.
+type Config struct {
+	Caches   int // number of caches (the directory is one extra node)
+	Capacity int // per-queue channel capacity
+	Values   int // data value domain size (stores rotate 1..Values)
+}
+
+// DefaultConfig mirrors the paper's verification setup: three caches (the
+// most Murphi could handle), small value domain.
+func DefaultConfig() Config {
+	return Config{Caches: 3, Capacity: 6, Values: 2}
+}
+
+// Perform records a completed core access, for invariant checking.
+type Perform struct {
+	Node   int
+	Access ir.AccessType
+	Value  int
+	// Exempt marks the paper's documented exception: the single access
+	// performed when a transaction completes after its coherence epoch
+	// already ended logically (IS^D_I-style states).
+	Exempt bool
+}
+
+// RuleKind distinguishes the two system rule families.
+type RuleKind int
+
+// Rule kinds.
+const (
+	RuleAccess RuleKind = iota
+	RuleDeliver
+)
+
+// Rule is one enabled system step.
+type Rule struct {
+	Kind   RuleKind
+	Cache  int
+	Access ir.AccessType
+	Del    Deliverable
+}
+
+func (r Rule) String() string {
+	if r.Kind == RuleAccess {
+		return fmt.Sprintf("cache%d: %s", r.Cache, r.Access)
+	}
+	return fmt.Sprintf("deliver %s", r.Del.Msg)
+}
+
+// System is a full executable instance of a generated protocol.
+type System struct {
+	P         *ir.Protocol
+	CacheL    *Layout
+	DirL      *Layout
+	Cfg       Config
+	Caches    []*Ctrl
+	Dir       *Ctrl
+	Net       *Network
+	LastWrite int
+	msgClass  map[string]int
+	accesses  []ir.AccessType
+}
+
+// NewSystem builds the initial system state.
+func NewSystem(p *ir.Protocol, cfg Config) *System {
+	s := &System{
+		P:        p,
+		CacheL:   NewLayout(p.Cache),
+		DirL:     NewLayout(p.Dir),
+		Cfg:      cfg,
+		Net:      NewNetwork(p.Ordered, cfg.Caches+1, cfg.Capacity),
+		msgClass: map[string]int{},
+	}
+	for _, d := range p.Msgs {
+		s.msgClass[string(d.Type)] = int(d.Class)
+	}
+	for i := 0; i < cfg.Caches; i++ {
+		s.Caches = append(s.Caches, NewCtrl(i, s.CacheL))
+	}
+	s.Dir = NewCtrl(cfg.Caches, s.DirL)
+	seen := map[ir.AccessType]bool{}
+	for _, t := range p.Cache.Trans {
+		if t.Ev.Kind == ir.EvAccess && !seen[t.Ev.Access] {
+			seen[t.Ev.Access] = true
+			s.accesses = append(s.accesses, t.Ev.Access)
+		}
+	}
+	return s
+}
+
+// DirID returns the directory's node id.
+func (s *System) DirID() int { return s.Cfg.Caches }
+
+// Clone deep-copies the mutable parts (layouts and protocol are shared).
+func (s *System) Clone() *System {
+	n := *s
+	n.Caches = make([]*Ctrl, len(s.Caches))
+	for i, c := range s.Caches {
+		n.Caches[i] = c.Clone()
+	}
+	n.Dir = s.Dir.Clone()
+	n.Net = s.Net.Clone()
+	return &n
+}
+
+// Key returns the canonical encoding of the system state.
+func (s *System) Key() string {
+	var b strings.Builder
+	for _, c := range s.Caches {
+		c.encode(&b)
+	}
+	s.Dir.encode(&b)
+	fmt.Fprintf(&b, "!w%d", s.LastWrite)
+	s.Net.encode(&b)
+	return b.String()
+}
+
+// ctrlAt returns the controller of node id.
+func (s *System) ctrlAt(id int) *Ctrl {
+	if id == s.DirID() {
+		return s.Dir
+	}
+	return s.Caches[id]
+}
+
+// Rules enumerates every enabled rule, deterministically ordered.
+func (s *System) Rules() []Rule {
+	var out []Rule
+	for i, c := range s.Caches {
+		for _, a := range s.accesses {
+			if s.accessEnabled(c, a) {
+				out = append(out, Rule{Kind: RuleAccess, Cache: i, Access: a})
+			}
+		}
+	}
+	for _, d := range s.Net.Deliverables() {
+		if s.deliverEnabled(d) {
+			out = append(out, Rule{Kind: RuleDeliver, Del: d})
+		}
+	}
+	return out
+}
+
+// accessEnabled reports whether issuing access a at cache c makes progress
+// (starts a transaction, silently transitions, or is a store hit that
+// mutates data). Pure load hits are invariant-checked, not enumerated.
+func (s *System) accessEnabled(c *Ctrl, a ir.AccessType) bool {
+	t, ok, err := c.match(ir.AccessEvent(a), nil)
+	if err != nil || !ok || t.Stall {
+		return false
+	}
+	if t.Next != t.From {
+		return true
+	}
+	if a == ir.AccessStore {
+		for _, act := range t.Actions {
+			if act.Op == ir.AHit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// deliverEnabled reports whether delivering d makes progress (the target's
+// matched transition is not a stall).
+func (s *System) deliverEnabled(d Deliverable) bool {
+	c := s.ctrlAt(d.Msg.Dst)
+	m := d.Msg
+	t, ok, err := c.match(ir.MsgEvent(ir.MsgType(m.Type)), &m)
+	if err != nil {
+		return true // surface the error in Apply
+	}
+	if !ok {
+		return true // unexpected message: Apply reports it
+	}
+	return !t.Stall
+}
+
+// Apply executes one rule, returning the performed accesses.
+func (s *System) Apply(r Rule) ([]Perform, error) {
+	switch r.Kind {
+	case RuleAccess:
+		return s.applyAccess(s.Caches[r.Cache], r.Access)
+	case RuleDeliver:
+		m := r.Del.Msg
+		c := s.ctrlAt(m.Dst)
+		t, ok, err := c.match(ir.MsgEvent(ir.MsgType(m.Type)), &m)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, &ErrUnexpected{Machine: fmt.Sprintf("%s %d", c.L.M.Name, c.ID), State: c.State, Ev: ir.MsgEvent(ir.MsgType(m.Type)), Detail: " " + m.String()}
+		}
+		if t.Stall {
+			return nil, nil // blocked; state unchanged
+		}
+		s.Net.Remove(r.Del)
+		performs, err := s.exec(c, t, &m)
+		if err != nil {
+			return nil, err
+		}
+		more, err := s.drainDirDefers()
+		return append(performs, more...), err
+	}
+	return nil, fmt.Errorf("bad rule")
+}
+
+func (s *System) applyAccess(c *Ctrl, a ir.AccessType) ([]Perform, error) {
+	t, ok, err := c.match(ir.AccessEvent(a), nil)
+	if err != nil {
+		return nil, err
+	}
+	if !ok || t.Stall {
+		return nil, fmt.Errorf("access %s not enabled at cache %d", a, c.ID)
+	}
+	if t.Next != t.From {
+		// Starting a transaction (or a silent transition): remember the
+		// pending access so APerform can complete it later.
+		c.Pend = a
+	}
+	return s.exec(c, t, nil)
+}
+
+// drainDirDefers implements the replay rule: whenever the directory is in
+// a stable state with deferred requests, it processes them (FIFO) before
+// touching the network again.
+func (s *System) drainDirDefers() ([]Perform, error) {
+	var out []Perform
+	for len(s.Dir.DeferQ) > 0 {
+		st := s.P.Dir.State(s.Dir.State)
+		if st == nil || st.Kind != ir.Stable {
+			return out, nil
+		}
+		m := s.Dir.DeferQ[0]
+		s.Dir.DeferQ = s.Dir.DeferQ[1:]
+		t, ok, err := s.Dir.match(ir.MsgEvent(ir.MsgType(m.Type)), &m)
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, &ErrUnexpected{Machine: "directory(replay)", State: s.Dir.State, Ev: ir.MsgEvent(ir.MsgType(m.Type))}
+		}
+		if t.Stall {
+			// Put it back; a stalling directory keeps it queued.
+			s.Dir.DeferQ = append([]Msg{m}, s.Dir.DeferQ...)
+			return out, nil
+		}
+		p, err := s.exec(s.Dir, t, &m)
+		out = append(out, p...)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// exec runs a transition's actions and performs the state change.
+func (s *System) exec(c *Ctrl, t *ir.Transition, m *Msg) ([]Perform, error) {
+	var performs []Perform
+	fromState := s.P.Machine(c.L.M.Kind).State(t.From)
+	for _, a := range t.Actions {
+		p, err := s.execAction(c, a, m, t, fromState)
+		if err != nil {
+			return performs, err
+		}
+		performs = append(performs, p...)
+	}
+	c.State = t.Next
+	// Transaction completion: returning to a stable state clears the
+	// pending access.
+	if c.L.M.Kind == ir.KindCache {
+		if st := s.P.Cache.State(t.Next); st != nil && st.Kind == ir.Stable {
+			c.Pend = ir.AccessNone
+		}
+	}
+	return performs, nil
+}
+
+func (s *System) execAction(c *Ctrl, a ir.Action, m *Msg, t *ir.Transition, fromState *ir.State) ([]Perform, error) {
+	switch a.Op {
+	case ir.ASend:
+		return nil, s.execSend(c, a, m)
+	case ir.ASet:
+		v, err := c.eval(a.Expr, m)
+		if err != nil {
+			return nil, err
+		}
+		idx, ok := c.L.IntIdx[a.Var]
+		if !ok {
+			return nil, fmt.Errorf("set of unknown variable %s", a.Var)
+		}
+		c.Ints[idx] = v
+		return nil, nil
+	case ir.ASetAdd, ir.ASetDel:
+		idx, ok := c.L.SetIdx[a.Var]
+		if !ok {
+			return nil, fmt.Errorf("set op on unknown set %s", a.Var)
+		}
+		v, err := c.eval(a.Expr, m)
+		if err != nil {
+			return nil, err
+		}
+		if v >= 0 {
+			if a.Op == ir.ASetAdd {
+				c.Masks[idx] |= 1 << uint(v)
+			} else {
+				c.Masks[idx] &^= 1 << uint(v)
+			}
+		}
+		return nil, nil
+	case ir.ASetClear:
+		idx, ok := c.L.SetIdx[a.Var]
+		if !ok {
+			return nil, fmt.Errorf("clear of unknown set %s", a.Var)
+		}
+		c.Masks[idx] = 0
+		return nil, nil
+	case ir.ACopyData, ir.AWriteback:
+		if m == nil || !m.HasData {
+			return nil, fmt.Errorf("%s %d in %s: %s without data payload", c.L.M.Name, c.ID, c.State, a)
+		}
+		c.SetData(m.Data)
+		return nil, nil
+	case ir.ADefer:
+		if m == nil {
+			return nil, fmt.Errorf("defer outside a message event")
+		}
+		if len(c.DeferQ) > s.Cfg.Caches+2 {
+			return nil, fmt.Errorf("%s %d: defer queue overflow", c.L.M.Name, c.ID)
+		}
+		c.DeferQ = append(c.DeferQ, *m)
+		return nil, nil
+	case ir.AFlush:
+		var performs []Perform
+		q := c.DeferQ
+		c.DeferQ = nil
+		for _, d := range q {
+			acts := c.L.M.DeferredActions[ir.MsgType(d.Type)]
+			if acts == nil {
+				return performs, fmt.Errorf("flush: no deferred actions for %s", d.Type)
+			}
+			for _, da := range acts {
+				dm := d
+				if _, err := s.execAction(c, da, &dm, t, fromState); err != nil {
+					return performs, err
+				}
+			}
+		}
+		return performs, nil
+	case ir.APerform:
+		return s.perform(c, c.Pend, fromState)
+	case ir.AHit:
+		var acc ir.AccessType
+		if t.Ev.Kind == ir.EvAccess {
+			acc = t.Ev.Access
+		}
+		return s.perform(c, acc, fromState)
+	case ir.AStallMarker, ir.AReplay:
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown action %v", a.Op)
+}
+
+// perform completes an access: stores write a fresh value, loads read the
+// block. The exemption flag marks completion-time accesses whose epoch
+// logically ended (chain or stale states).
+func (s *System) perform(c *Ctrl, acc ir.AccessType, fromState *ir.State) ([]Perform, error) {
+	exempt := fromState != nil && (len(fromState.Chain) > 0 || fromState.Stale)
+	switch acc {
+	case ir.AccessStore:
+		v := s.LastWrite%s.Cfg.Values + 1
+		c.SetData(v)
+		s.LastWrite = v
+		return []Perform{{Node: c.ID, Access: acc, Value: v, Exempt: exempt}}, nil
+	case ir.AccessLoad:
+		return []Perform{{Node: c.ID, Access: acc, Value: c.Data(), Exempt: exempt}}, nil
+	default:
+		return nil, nil // replacements, acquires and vanished accesses do nothing
+	}
+}
+
+// execSend constructs and enqueues the message(s) of one send action.
+func (s *System) execSend(c *Ctrl, a ir.Action, m *Msg) error {
+	class, ok := s.msgClass[string(a.Msg)]
+	if !ok {
+		return fmt.Errorf("send of undeclared message %s", a.Msg)
+	}
+	base := Msg{Type: string(a.Msg), Src: c.ID, Req: NoID, Class: class}
+	if a.Payload.WithData {
+		base.HasData = true
+		base.Data = c.Data()
+	}
+	if a.Payload.Acks != nil {
+		v, err := c.eval(a.Payload.Acks, m)
+		if err != nil {
+			return err
+		}
+		base.Acks = v
+	}
+	if a.Payload.Req != nil {
+		v, err := c.eval(a.Payload.Req, m)
+		if err != nil {
+			return err
+		}
+		base.Req = v
+	}
+	dsts, err := s.resolveDst(c, a, m)
+	if err != nil {
+		return err
+	}
+	for _, d := range dsts {
+		mm := base
+		mm.Dst = d
+		if err := s.Net.Send(mm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *System) resolveDst(c *Ctrl, a ir.Action, m *Msg) ([]int, error) {
+	switch a.Dst {
+	case ir.DstDir:
+		return []int{s.DirID()}, nil
+	case ir.DstMsgSrc:
+		if m == nil {
+			return nil, fmt.Errorf("send to msg.src outside a message event")
+		}
+		return []int{m.Src}, nil
+	case ir.DstMsgReq, ir.DstDeferred:
+		if m == nil {
+			return nil, fmt.Errorf("send to requestor outside a message event")
+		}
+		if m.Req != NoID {
+			return []int{m.Req}, nil
+		}
+		return []int{m.Src}, nil
+	case ir.DstOwner:
+		idx, ok := c.L.IntIdx["owner"]
+		if !ok {
+			return nil, fmt.Errorf("send to owner without an owner variable")
+		}
+		o := c.Ints[idx]
+		if o == NoID {
+			return nil, fmt.Errorf("send to owner while owner is unset")
+		}
+		return []int{o}, nil
+	case ir.DstSharers:
+		if len(c.L.SetVars) == 0 {
+			return nil, fmt.Errorf("send to sharers without a sharer set")
+		}
+		var out []int
+		mask := c.Masks[0]
+		for i := 0; i < s.Cfg.Caches+1; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			if a.ExceptSrc && m != nil && i == m.Src {
+				continue
+			}
+			out = append(out, i)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("bad destination %v", a.Dst)
+}
+
+// LoadCheck lists the caches that can currently hit on a load along with
+// the value they would read — the verifier checks these against LastWrite.
+type LoadCheck struct {
+	Cache int
+	Value int
+	State ir.StateName
+}
+
+// HitLoads reports every cache whose current state allows a load hit.
+func (s *System) HitLoads() []LoadCheck {
+	var out []LoadCheck
+	for i, c := range s.Caches {
+		t, ok, err := c.match(ir.AccessEvent(ir.AccessLoad), nil)
+		if err != nil || !ok || t.Stall {
+			continue
+		}
+		hit := false
+		for _, a := range t.Actions {
+			if a.Op == ir.AHit {
+				hit = true
+			}
+		}
+		if hit && t.Next == t.From {
+			out = append(out, LoadCheck{Cache: i, Value: c.Data(), State: c.State})
+		}
+	}
+	return out
+}

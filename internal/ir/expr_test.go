@@ -1,0 +1,111 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExprString(t *testing.T) {
+	tests := []struct {
+		e    *Expr
+		want string
+	}{
+		{Const(3), "3"},
+		{Var("acksReceived"), "acksReceived"},
+		{Field("acks"), "msg.acks"},
+		{Count("sharers", nil), "count(sharers)"},
+		{Count("sharers", Field("src")), "count(sharers except msg.src)"},
+		{Binop(OpEq, Var("a"), Const(0)), "a == 0"},
+		{Binop(OpAdd, Var("a"), Const(1)), "a + 1"},
+		{None(), "none"},
+	}
+	for _, tc := range tests {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestExprEqual(t *testing.T) {
+	a := Binop(OpEq, Var("x"), Const(1))
+	b := Binop(OpEq, Var("x"), Const(1))
+	c := Binop(OpEq, Var("x"), Const(2))
+	if !a.Equal(b) {
+		t.Errorf("identical trees must be Equal")
+	}
+	if a.Equal(c) {
+		t.Errorf("different constants must not be Equal")
+	}
+	if !(*Expr)(nil).Equal(nil) {
+		t.Errorf("nil == nil")
+	}
+	if a.Equal(nil) {
+		t.Errorf("non-nil != nil")
+	}
+}
+
+func TestExprCloneIndependent(t *testing.T) {
+	a := Binop(OpAdd, Var("n"), Const(1))
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatalf("clone must be equal to original")
+	}
+	b.R.Int = 99
+	if a.R.Int != 1 {
+		t.Errorf("mutating the clone must not affect the original")
+	}
+}
+
+func TestExprWalkVisitsAllNodes(t *testing.T) {
+	e := Binop(OpAnd, Binop(OpEq, Var("a"), Const(0)), Binop(OpGt, Field("acks"), Const(0)))
+	n := 0
+	e.Walk(func(*Expr) { n++ })
+	if n != 7 {
+		t.Errorf("Walk visited %d nodes, want 7", n)
+	}
+}
+
+func TestGuardLabelStripsMsgPrefix(t *testing.T) {
+	g := Binop(OpEq, Field("acks"), Const(0))
+	if got := GuardLabel(g); got != "acks == 0" {
+		t.Errorf("GuardLabel = %q", got)
+	}
+	if GuardLabel(nil) != "" {
+		t.Errorf("GuardLabel(nil) must be empty")
+	}
+}
+
+// Property: Clone always produces an Equal tree.
+func TestQuickCloneEqual(t *testing.T) {
+	gen := func(depth, kind, v int) *Expr {
+		var build func(d int) *Expr
+		build = func(d int) *Expr {
+			if d <= 0 {
+				switch kind % 3 {
+				case 0:
+					return Const(v % 7)
+				case 1:
+					return Var("v")
+				default:
+					return Field("acks")
+				}
+			}
+			return Binop(BinOp(kind%10), build(d-1), Const(v%5))
+		}
+		return build(depth % 4)
+	}
+	f := func(depth, kind, v int) bool {
+		e := gen(abs(depth), abs(kind), abs(v))
+		return e.Equal(e.Clone())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

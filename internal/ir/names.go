@@ -1,0 +1,156 @@
+// Package ir defines the intermediate representation shared by every stage
+// of the pipeline: the SSP-level specification produced by the DSL frontend
+// (transactions described as await-trees over stable states) and the
+// generated concurrent protocol (flat finite state machines with transient
+// states) consumed by the verifier, the simulator, the Murphi backend and
+// the table renderer.
+package ir
+
+// StateName names a coherence state (stable or transient) of one machine.
+type StateName string
+
+// MsgType names a coherence message type (GetS, Fwd_GetM, Data, ...).
+type MsgType string
+
+// AccessType enumerates the core-side accesses that can start a cache
+// transaction. AccessNone marks message-triggered (directory) transactions.
+type AccessType int
+
+// Core access kinds.
+const (
+	AccessNone AccessType = iota
+	AccessLoad
+	AccessStore
+	AccessRepl
+	AccessAcq // acquire fence; used by consistency-directed protocols (TSO-CC)
+)
+
+// Accesses lists all real access kinds in canonical table order.
+var Accesses = []AccessType{AccessLoad, AccessStore, AccessRepl, AccessAcq}
+
+func (a AccessType) String() string {
+	switch a {
+	case AccessNone:
+		return "none"
+	case AccessLoad:
+		return "load"
+	case AccessStore:
+		return "store"
+	case AccessRepl:
+		return "repl"
+	case AccessAcq:
+		return "acq"
+	}
+	return "access?"
+}
+
+// Label returns the table-column label used by the paper.
+func (a AccessType) Label() string {
+	switch a {
+	case AccessLoad:
+		return "Load"
+	case AccessStore:
+		return "Store"
+	case AccessRepl:
+		return "Replacement"
+	case AccessAcq:
+		return "Acquire"
+	}
+	return a.String()
+}
+
+// MachineKind distinguishes the two controller roles of a directory protocol.
+type MachineKind int
+
+// Machine roles.
+const (
+	KindCache MachineKind = iota
+	KindDirectory
+)
+
+func (k MachineKind) String() string {
+	if k == KindDirectory {
+		return "directory"
+	}
+	return "cache"
+}
+
+// MsgClass is the virtual channel class a message travels on. Directory
+// protocols conventionally use three classes so that responses are never
+// blocked behind requests (deadlock avoidance).
+type MsgClass int
+
+// Virtual channel classes, in priority order (higher index = higher
+// priority; responses must always be consumable).
+const (
+	ClassRequest  MsgClass = iota // cache -> directory requests
+	ClassForward                  // directory -> cache forwarded requests, invalidations, put-acks
+	ClassResponse                 // data and acknowledgment responses
+)
+
+func (c MsgClass) String() string {
+	switch c {
+	case ClassRequest:
+		return "request"
+	case ClassForward:
+		return "forward"
+	case ClassResponse:
+		return "response"
+	}
+	return "class?"
+}
+
+// StateKind distinguishes SSP stable states from generated transient states.
+type StateKind int
+
+// State kinds.
+const (
+	Stable StateKind = iota
+	Transient
+)
+
+func (k StateKind) String() string {
+	if k == Transient {
+		return "transient"
+	}
+	return "stable"
+}
+
+// EventKind tags an Event as either a core access or a message arrival.
+type EventKind int
+
+// Event kinds.
+const (
+	EvAccess EventKind = iota
+	EvMsg
+)
+
+// Event is something a controller reacts to: a core access or the arrival
+// of a message of a particular type. Guards further split message events
+// (e.g. Data with acks==0 vs acks>0); they live on the transition.
+type Event struct {
+	Kind   EventKind
+	Access AccessType // valid when Kind == EvAccess
+	Msg    MsgType    // valid when Kind == EvMsg
+}
+
+// AccessEvent builds a core-access event.
+func AccessEvent(a AccessType) Event { return Event{Kind: EvAccess, Access: a} }
+
+// MsgEvent builds a message-arrival event.
+func MsgEvent(m MsgType) Event { return Event{Kind: EvMsg, Msg: m} }
+
+func (e Event) String() string {
+	if e.Kind == EvAccess {
+		return e.Access.String()
+	}
+	return string(e.Msg)
+}
+
+// Label returns the table-column label for the event.
+func (e Event) Label() string {
+	if e.Kind == EvAccess {
+		return e.Access.Label()
+	}
+	return string(e.Msg)
+}

@@ -1,0 +1,277 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DeferredObligation describes what a controller owes a forwarded request
+// it absorbed while mid-transaction: which response actions to execute
+// (bound to the recorded requestor) when its own transaction completes.
+type DeferredObligation struct {
+	Fwd     MsgType  // the forwarded request that was absorbed
+	Actions []Action // actions still owed (DstMsgReq/DstMsgSrc resolve to the recorded requestor)
+}
+
+// State is one state of a generated controller FSM, with the metadata the
+// generator, verifier and renderer need.
+type State struct {
+	Name StateName
+	Kind StateKind
+
+	// Transient metadata (zero-valued for stable states).
+	Origin   StateName   // stable state the transaction started from
+	Target   StateName   // stable state the own transaction will reach
+	Chain    []StateName // logical stable states appended by absorbed later transactions
+	StateSet []StateName // directory-visible stable states the directory may currently see
+	RespSeen bool        // a response proving directory ordering has been consumed
+	Access   AccessType  // pending core access that started the transaction
+	PosID    string      // await-position id this state embodies
+	Defers   []MsgType   // forwarded-request types absorbed so far, in order
+	Stale    bool        // stale-completion state (own request lost its race)
+	Aliases  []StateName // names merged into this state
+}
+
+// Final returns the logical stable state the block ends in once the own
+// transaction and all absorbed obligations are discharged.
+func (s *State) Final() StateName {
+	if len(s.Chain) > 0 {
+		return s.Chain[len(s.Chain)-1]
+	}
+	return s.Target
+}
+
+// LogicalPath returns origin, target, then the chain.
+func (s *State) LogicalPath() []StateName {
+	out := []StateName{s.Origin, s.Target}
+	out = append(out, s.Chain...)
+	return out
+}
+
+// InSet reports whether stable state (class representative) n is in the
+// state set.
+func (s *State) InSet(n StateName) bool {
+	for _, x := range s.StateSet {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Transition is one reaction of a generated FSM.
+type Transition struct {
+	From       StateName
+	Ev         Event
+	Guard      *Expr
+	GuardLabel string // full guard qualifier (distinguishes cells)
+	ColLabel   string // when-level qualifier (groups table columns)
+	Actions    []Action
+	Next       StateName
+	Stall      bool // event is left blocking its virtual channel
+	Stale      bool // generator-added stale handling (hidden in paper-style tables)
+	Note       string
+}
+
+// Key identifies the table cell this transition belongs to.
+func (t *Transition) Key() string {
+	k := fmt.Sprintf("%s|%s", t.From, t.Ev)
+	if t.GuardLabel != "" {
+		k += "|" + t.GuardLabel
+	}
+	return k
+}
+
+// CellString renders the transition the way the paper's tables do:
+// "actions/NEXT", "-/NEXT", "hit", or "stall".
+func (t *Transition) CellString() string {
+	if t.Stall {
+		return "stall"
+	}
+	var acts []string
+	for _, a := range t.Actions {
+		switch a.Op {
+		case AHit:
+			if t.Next == t.From {
+				return "hit"
+			}
+			acts = append(acts, "hit")
+		case AStallMarker:
+			return "stall"
+		default:
+			acts = append(acts, a.String())
+		}
+	}
+	body := strings.Join(acts, "; ")
+	if body == "" {
+		body = "-"
+	}
+	if t.Next == t.From {
+		return body
+	}
+	return body + "/" + string(t.Next)
+}
+
+// Machine is one generated controller FSM.
+type Machine struct {
+	Name  string
+	Kind  MachineKind
+	Init  StateName
+	Vars  []VarDecl
+	Order []StateName // deterministic presentation order
+	Sts   map[StateName]*State
+	Trans []Transition
+
+	// DeferredActions maps each forwarded-request type to the response
+	// actions owed when a deferred obligation of that type is flushed.
+	DeferredActions map[MsgType][]Action
+}
+
+// NewMachine returns an empty machine of the given kind.
+func NewMachine(name string, kind MachineKind) *Machine {
+	return &Machine{
+		Name:            name,
+		Kind:            kind,
+		Sts:             map[StateName]*State{},
+		DeferredActions: map[MsgType][]Action{},
+	}
+}
+
+// AddState registers st; it is an error to register the same name twice.
+func (m *Machine) AddState(st *State) error {
+	if _, ok := m.Sts[st.Name]; ok {
+		return fmt.Errorf("machine %s: duplicate state %s", m.Name, st.Name)
+	}
+	m.Sts[st.Name] = st
+	m.Order = append(m.Order, st.Name)
+	return nil
+}
+
+// State returns the named state or nil.
+func (m *Machine) State(n StateName) *State { return m.Sts[n] }
+
+// StableStates lists the stable states in presentation order.
+func (m *Machine) StableStates() []StateName {
+	var out []StateName
+	for _, n := range m.Order {
+		if m.Sts[n].Kind == Stable {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// AddTransition appends t.
+func (m *Machine) AddTransition(t Transition) { m.Trans = append(m.Trans, t) }
+
+// TransFrom returns all transitions out of state n.
+func (m *Machine) TransFrom(n StateName) []Transition {
+	var out []Transition
+	for _, t := range m.Trans {
+		if t.From == n {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Find returns the transitions out of n for event ev (multiple when guarded).
+func (m *Machine) Find(n StateName, ev Event) []Transition {
+	var out []Transition
+	for _, t := range m.Trans {
+		if t.From == n && t.Ev == ev {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Events returns every distinct event appearing in the machine, accesses
+// first, then messages in first-appearance order.
+func (m *Machine) Events() []Event {
+	seen := map[string]bool{}
+	var acc, msg []Event
+	for _, t := range m.Trans {
+		k := t.Ev.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if t.Ev.Kind == EvAccess {
+			acc = append(acc, t.Ev)
+		} else {
+			msg = append(msg, t.Ev)
+		}
+	}
+	sort.Slice(acc, func(i, j int) bool { return acc[i].Access < acc[j].Access })
+	return append(acc, msg...)
+}
+
+// Counts reports (#states, #transitions excluding stalls and stale rules,
+// #stall cells). These are the numbers §VI-B of the paper quotes.
+func (m *Machine) Counts() (states, transitions, stalls int) {
+	states = len(m.Sts)
+	for _, t := range m.Trans {
+		switch {
+		case t.Stall:
+			stalls++
+		case t.Stale:
+			// generator-added stale completion; not counted
+		default:
+			transitions++
+		}
+	}
+	return
+}
+
+// Protocol is a complete generated protocol.
+type Protocol struct {
+	Name    string
+	Ordered bool
+	Msgs    []MsgDecl
+	Cache   *Machine
+	Dir     *Machine
+
+	// Renames records the preprocessing renames: original forwarded
+	// request -> per-class new names (paper §V-A, Tables III/IV).
+	Renames map[MsgType][]MsgType
+
+	// Reinterpret records directory-side request reinterpretation
+	// (Upgrade treated as GetM at states where Upgrade is impossible).
+	Reinterpret map[MsgType]MsgType
+
+	// Classes maps each stable cache state to its directory-visible class
+	// representative (MESI: E and M map to the same class).
+	Classes map[StateName]StateName
+
+	// Opts echoes the generation options for reports.
+	OptsNote string
+}
+
+// MsgDeclOf returns the declaration of m.
+func (p *Protocol) MsgDeclOf(m MsgType) (MsgDecl, bool) {
+	for _, d := range p.Msgs {
+		if d.Type == m {
+			return d, true
+		}
+	}
+	return MsgDecl{}, false
+}
+
+// ClassOf returns the directory-visible class representative of stable
+// cache state s (s itself if unmapped).
+func (p *Protocol) ClassOf(s StateName) StateName {
+	if c, ok := p.Classes[s]; ok {
+		return c
+	}
+	return s
+}
+
+// Machine returns the controller of the given kind.
+func (p *Protocol) Machine(k MachineKind) *Machine {
+	if k == KindDirectory {
+		return p.Dir
+	}
+	return p.Cache
+}

@@ -1,0 +1,174 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func testMachine(t *testing.T) *Machine {
+	t.Helper()
+	m := NewMachine("cache", KindCache)
+	for _, s := range []*State{
+		{Name: "I", Kind: Stable},
+		{Name: "S", Kind: Stable},
+		{Name: "M", Kind: Stable},
+		{Name: "ISD", Kind: Transient, Origin: "I", Target: "S", Access: AccessLoad},
+	} {
+		if err := m.AddState(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Init = "I"
+	m.AddTransition(Transition{From: "I", Ev: AccessEvent(AccessLoad),
+		Actions: []Action{Send("GetS", DstDir)}, Next: "ISD"})
+	m.AddTransition(Transition{From: "ISD", Ev: MsgEvent("Data"),
+		Actions: []Action{{Op: ACopyData}, {Op: APerform}}, Next: "S"})
+	m.AddTransition(Transition{From: "ISD", Ev: AccessEvent(AccessStore), Stall: true, Next: "ISD"})
+	m.AddTransition(Transition{From: "S", Ev: AccessEvent(AccessLoad),
+		Actions: []Action{{Op: AHit}}, Next: "S"})
+	return m
+}
+
+func TestMachineAddStateRejectsDuplicates(t *testing.T) {
+	m := NewMachine("cache", KindCache)
+	if err := m.AddState(&State{Name: "I", Kind: Stable}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddState(&State{Name: "I", Kind: Stable}); err == nil {
+		t.Errorf("duplicate AddState must error")
+	}
+}
+
+func TestMachineCounts(t *testing.T) {
+	m := testMachine(t)
+	states, trans, stalls := m.Counts()
+	if states != 4 || trans != 3 || stalls != 1 {
+		t.Errorf("Counts = (%d,%d,%d), want (4,3,1)", states, trans, stalls)
+	}
+}
+
+func TestMachineStableStates(t *testing.T) {
+	m := testMachine(t)
+	got := m.StableStates()
+	if len(got) != 3 || got[0] != "I" || got[1] != "S" || got[2] != "M" {
+		t.Errorf("StableStates = %v", got)
+	}
+}
+
+func TestMachineFind(t *testing.T) {
+	m := testMachine(t)
+	ts := m.Find("ISD", MsgEvent("Data"))
+	if len(ts) != 1 || ts[0].Next != "S" {
+		t.Errorf("Find(ISD, Data) = %v", ts)
+	}
+	if got := m.Find("ISD", MsgEvent("Inv")); len(got) != 0 {
+		t.Errorf("Find on missing event must be empty, got %v", got)
+	}
+}
+
+func TestMachineEventsOrder(t *testing.T) {
+	m := testMachine(t)
+	evs := m.Events()
+	if len(evs) < 3 {
+		t.Fatalf("Events = %v", evs)
+	}
+	// accesses first
+	if evs[0].Kind != EvAccess {
+		t.Errorf("accesses must come first, got %v", evs)
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != EvMsg || last.Msg != "Data" {
+		t.Errorf("messages must follow accesses, got %v", evs)
+	}
+}
+
+func TestTransitionCellString(t *testing.T) {
+	tests := []struct {
+		tr   Transition
+		want string
+	}{
+		{Transition{From: "ISD", Next: "ISD", Stall: true}, "stall"},
+		{Transition{From: "S", Next: "S", Actions: []Action{{Op: AHit}}}, "hit"},
+		{Transition{From: "IMAD", Next: "IMADS"}, "-/IMADS"},
+		{Transition{From: "M", Next: "S",
+			Actions: []Action{SendData("Data", DstMsgReq)}}, "send Data to msg.req with data/S"},
+	}
+	for _, tc := range tests {
+		if got := tc.tr.CellString(); got != tc.want {
+			t.Errorf("CellString = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestStateFinalAndPath(t *testing.T) {
+	s := &State{Name: "IMADS", Kind: Transient, Origin: "I", Target: "M", Chain: []StateName{"S"}}
+	if s.Final() != "S" {
+		t.Errorf("Final = %s, want S", s.Final())
+	}
+	p := s.LogicalPath()
+	if len(p) != 3 || p[0] != "I" || p[1] != "M" || p[2] != "S" {
+		t.Errorf("LogicalPath = %v", p)
+	}
+	noChain := &State{Name: "IMAD", Origin: "I", Target: "M"}
+	if noChain.Final() != "M" {
+		t.Errorf("Final without chain = %s, want M", noChain.Final())
+	}
+}
+
+func TestValidateProtocolCatchesUnknownStates(t *testing.T) {
+	p := &Protocol{Name: "t", Cache: testMachine(t), Dir: NewMachine("dir", KindDirectory)}
+	p.Dir.Init = "I"
+	if err := ValidateProtocol(p); err == nil || !strings.Contains(err.Error(), "init state") {
+		t.Errorf("missing dir init state must fail, got %v", err)
+	}
+	if err := p.Dir.AddState(&State{Name: "I", Kind: Stable}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateProtocol(p); err != nil {
+		t.Errorf("valid protocol rejected: %v", err)
+	}
+	p.Cache.AddTransition(Transition{From: "I", Ev: MsgEvent("X"), Next: "nowhere"})
+	if err := ValidateProtocol(p); err == nil {
+		t.Errorf("transition to unknown state must fail")
+	}
+}
+
+func TestValidateProtocolCatchesDuplicateCells(t *testing.T) {
+	p := &Protocol{Name: "t", Cache: testMachine(t), Dir: NewMachine("dir", KindDirectory)}
+	p.Dir.Init = "I"
+	if err := p.Dir.AddState(&State{Name: "I", Kind: Stable}); err != nil {
+		t.Fatal(err)
+	}
+	p.Cache.AddTransition(Transition{From: "S", Ev: AccessEvent(AccessLoad),
+		Actions: []Action{{Op: AHit}}, Next: "S"})
+	if err := ValidateProtocol(p); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate cell must fail, got %v", err)
+	}
+}
+
+func TestActionsEqualAndClone(t *testing.T) {
+	a := []Action{
+		SendData("Data", DstMsgReq),
+		SetVar("acksReceived", Binop(OpAdd, Var("acksReceived"), Const(1))),
+	}
+	b := CloneActions(a)
+	if !ActionsEqual(a, b) {
+		t.Fatalf("clone must equal original")
+	}
+	b[1].Expr.R.Int = 5
+	if ActionsEqual(a, b) {
+		t.Errorf("mutated clone must differ")
+	}
+	if ActionsEqual(a, a[:1]) {
+		t.Errorf("different lengths must differ")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	a := Action{Op: ASend, Msg: "Inv", Dst: DstSharers, ExceptSrc: true,
+		Payload: Payload{Req: Field("src")}}
+	want := "send Inv to sharers except msg.src req msg.src"
+	if got := a.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

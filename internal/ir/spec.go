@@ -1,0 +1,288 @@
+package ir
+
+import "fmt"
+
+// VarType enumerates auxiliary-variable types supported by the DSL.
+type VarType int
+
+// Variable types.
+const (
+	VInt VarType = iota
+	VID
+	VIDSet
+	VData
+)
+
+func (t VarType) String() string {
+	switch t {
+	case VInt:
+		return "int"
+	case VID:
+		return "id"
+	case VIDSet:
+		return "idset"
+	case VData:
+		return "data"
+	}
+	return "type?"
+}
+
+// VarDecl declares one auxiliary variable of a machine.
+type VarDecl struct {
+	Name string
+	Type VarType
+	Init int // initial value for VInt
+}
+
+// MsgDecl declares one message type.
+type MsgDecl struct {
+	Type  MsgType
+	Class MsgClass
+	Put   bool // a Put-class request (eligible for the stale-Put rule)
+}
+
+// SrcConstraint restricts which sender a directory process accepts;
+// senders that fail the constraint fall through to the generated stale
+// rules.
+type SrcConstraint int
+
+// Source constraints.
+const (
+	SrcAny SrcConstraint = iota
+	SrcOwner
+	SrcSharer
+	SrcNonOwner
+	SrcNonSharer
+)
+
+func (s SrcConstraint) String() string {
+	switch s {
+	case SrcAny:
+		return ""
+	case SrcOwner:
+		return "from owner"
+	case SrcSharer:
+		return "from sharer"
+	case SrcNonOwner:
+		return "from nonowner"
+	case SrcNonSharer:
+		return "from nonsharer"
+	}
+	return "src?"
+}
+
+// CaseKind says how an await case continues.
+type CaseKind int
+
+// Await-case continuations.
+const (
+	CaseBreak CaseKind = iota // transaction completes; go to Final
+	CaseAwait                 // descend into Sub (next step of the transaction)
+	CaseLoop                  // stay at the same await position (e.g. early Inv-Ack counting)
+)
+
+// Case is one `when` arm of an await.
+type Case struct {
+	Msg        MsgType
+	Guard      *Expr  // nil = unconditional; full (when-level ∧ path) guard
+	GuardLabel string // rendered full-guard qualifier, e.g. "acks==0 && last"
+	WhenLabel  string // when-level qualifier only; used for table columns
+	Actions    []Action
+	Kind       CaseKind
+	Final      StateName // CaseBreak
+	Sub        *Await    // CaseAwait
+}
+
+// Await is one waiting position inside a transaction; each Await of each
+// transaction becomes exactly one Step-2 transient state.
+type Await struct {
+	ID    string // canonical position id: "<txn>/<path>"
+	Cases []*Case
+}
+
+// EachAwait visits a (nil-safe) await tree in preorder.
+func (a *Await) EachAwait(f func(*Await)) {
+	if a == nil {
+		return
+	}
+	f(a)
+	for _, c := range a.Cases {
+		c.Sub.EachAwait(f)
+	}
+}
+
+// Transaction is one SSP process: a trigger at a stable state, optional
+// initial actions and request, and an await tree ending in stable states.
+// A nil Await is an immediate (logically atomic) transition to Final.
+type Transaction struct {
+	ID          string
+	Start       StateName
+	Trigger     Event
+	Src         SrcConstraint // directory processes only
+	Hit         bool          // access performed locally with no transaction
+	Request     MsgType       // request message emitted at the start ("" = silent)
+	InitActions []Action
+	Await       *Await
+	Final       StateName // used when Await == nil
+}
+
+// Finals collects every stable state the transaction can end in.
+func (t *Transaction) Finals() []StateName {
+	if t.Await == nil {
+		return []StateName{t.Final}
+	}
+	seen := map[StateName]bool{}
+	var out []StateName
+	t.Await.EachAwait(func(a *Await) {
+		for _, c := range a.Cases {
+			if c.Kind == CaseBreak && !seen[c.Final] {
+				seen[c.Final] = true
+				out = append(out, c.Final)
+			}
+		}
+	})
+	return out
+}
+
+// StableDecl declares one stable state of a machine spec.
+type StableDecl struct {
+	Name StateName
+}
+
+// MachineSpec is the SSP description of one controller.
+type MachineSpec struct {
+	Name   string
+	Kind   MachineKind
+	Init   StateName
+	Stable []StableDecl
+	Vars   []VarDecl
+	Txns   []*Transaction
+}
+
+// HasStable reports whether s is a declared stable state.
+func (m *MachineSpec) HasStable(s StateName) bool {
+	for _, d := range m.Stable {
+		if d.Name == s {
+			return true
+		}
+	}
+	return false
+}
+
+// FindTxn returns the transaction triggered by ev at stable state s, or nil.
+func (m *MachineSpec) FindTxn(s StateName, ev Event) *Transaction {
+	for _, t := range m.Txns {
+		if t.Start == s && t.Trigger == ev {
+			return t
+		}
+	}
+	return nil
+}
+
+// TxnsAt returns all transactions starting at s.
+func (m *MachineSpec) TxnsAt(s StateName) []*Transaction {
+	var out []*Transaction
+	for _, t := range m.Txns {
+		if t.Start == s {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AccessOK reports whether access a hits (is performed locally with no
+// transaction or via a silent transition) at stable state s.
+func (m *MachineSpec) AccessOK(s StateName, a AccessType) bool {
+	t := m.FindTxn(s, AccessEvent(a))
+	if t == nil {
+		return false
+	}
+	return t.Hit || (t.Request == "" && t.Await == nil)
+}
+
+// Spec is a full SSP: two machine specs plus the message vocabulary.
+type Spec struct {
+	Name    string
+	Ordered bool // interconnect guarantees point-to-point ordering
+	Msgs    []MsgDecl
+	Cache   *MachineSpec
+	Dir     *MachineSpec
+}
+
+// MsgDecl returns the declaration of message type m.
+func (s *Spec) MsgDecl(m MsgType) (MsgDecl, bool) {
+	for _, d := range s.Msgs {
+		if d.Type == m {
+			return d, true
+		}
+	}
+	return MsgDecl{}, false
+}
+
+// MsgClassOf returns the virtual channel class of m (ClassResponse if
+// undeclared, which Validate rejects anyway).
+func (s *Spec) MsgClassOf(m MsgType) MsgClass {
+	if d, ok := s.MsgDecl(m); ok {
+		return d.Class
+	}
+	return ClassResponse
+}
+
+// Machine returns the machine spec of the given kind.
+func (s *Spec) Machine(k MachineKind) *MachineSpec {
+	if k == KindDirectory {
+		return s.Dir
+	}
+	return s.Cache
+}
+
+// Clone deep-copies the spec so the generator can preprocess (rename
+// forwarded requests) without mutating the caller's copy.
+func (s *Spec) Clone() *Spec {
+	c := *s
+	c.Msgs = append([]MsgDecl(nil), s.Msgs...)
+	c.Cache = s.Cache.clone()
+	c.Dir = s.Dir.clone()
+	return &c
+}
+
+func (m *MachineSpec) clone() *MachineSpec {
+	if m == nil {
+		return nil
+	}
+	c := *m
+	c.Stable = append([]StableDecl(nil), m.Stable...)
+	c.Vars = append([]VarDecl(nil), m.Vars...)
+	c.Txns = make([]*Transaction, len(m.Txns))
+	for i, t := range m.Txns {
+		c.Txns[i] = t.clone()
+	}
+	return &c
+}
+
+func (t *Transaction) clone() *Transaction {
+	c := *t
+	c.InitActions = CloneActions(t.InitActions)
+	c.Await = t.Await.clone()
+	return &c
+}
+
+func (a *Await) clone() *Await {
+	if a == nil {
+		return nil
+	}
+	c := &Await{ID: a.ID, Cases: make([]*Case, len(a.Cases))}
+	for i, cs := range a.Cases {
+		cc := *cs
+		cc.Guard = cs.Guard.Clone()
+		cc.Actions = CloneActions(cs.Actions)
+		cc.Sub = cs.Sub.clone()
+		c.Cases[i] = &cc
+	}
+	return c
+}
+
+// TxnID builds the canonical transaction id.
+func TxnID(start StateName, ev Event) string {
+	return fmt.Sprintf("%s:%s", start, ev)
+}

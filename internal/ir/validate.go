@@ -1,0 +1,226 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ValidateSpec checks that an SSP is well-formed before generation:
+// states and messages are declared, triggers are unique, await trees are
+// terminated, and expressions reference declared variables.
+func ValidateSpec(s *Spec) error {
+	if s.Name == "" {
+		return fmt.Errorf("spec: missing protocol name")
+	}
+	if s.Cache == nil || s.Dir == nil {
+		return fmt.Errorf("spec %s: needs both a cache and a directory machine", s.Name)
+	}
+	msgs := map[MsgType]bool{}
+	for _, d := range s.Msgs {
+		if msgs[d.Type] {
+			return fmt.Errorf("spec %s: duplicate message %s", s.Name, d.Type)
+		}
+		msgs[d.Type] = true
+	}
+	for _, m := range []*MachineSpec{s.Cache, s.Dir} {
+		if err := validateMachineSpec(s, m, msgs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateMachineSpec(s *Spec, m *MachineSpec, msgs map[MsgType]bool) error {
+	stable := map[StateName]bool{}
+	for _, d := range m.Stable {
+		if stable[d.Name] {
+			return fmt.Errorf("%s: duplicate stable state %s", m.Name, d.Name)
+		}
+		stable[d.Name] = true
+	}
+	if !stable[m.Init] {
+		return fmt.Errorf("%s: init state %s not declared", m.Name, m.Init)
+	}
+	vars := map[string]VarType{}
+	for _, v := range m.Vars {
+		if _, ok := vars[v.Name]; ok {
+			return fmt.Errorf("%s: duplicate variable %s", m.Name, v.Name)
+		}
+		vars[v.Name] = v.Type
+	}
+	type trig struct {
+		s  StateName
+		ev string
+		sc SrcConstraint
+	}
+	seen := map[trig]bool{}
+	for _, t := range m.Txns {
+		if !stable[t.Start] {
+			return fmt.Errorf("%s: process at undeclared state %s", m.Name, t.Start)
+		}
+		if t.Trigger.Kind == EvMsg && !msgs[t.Trigger.Msg] {
+			return fmt.Errorf("%s: process %s triggered by undeclared message %s", m.Name, t.ID, t.Trigger.Msg)
+		}
+		if m.Kind == KindCache && t.Trigger.Kind == EvMsg {
+			if d, _ := s.MsgDecl(t.Trigger.Msg); d.Class == ClassRequest {
+				return fmt.Errorf("%s: cache process cannot be triggered by request %s", m.Name, t.Trigger.Msg)
+			}
+		}
+		k := trig{t.Start, t.Trigger.String(), t.Src}
+		if seen[k] {
+			return fmt.Errorf("%s: duplicate process (%s, %s)", m.Name, t.Start, t.Trigger)
+		}
+		seen[k] = true
+		if t.Request != "" && !msgs[t.Request] {
+			return fmt.Errorf("%s: process %s sends undeclared request %s", m.Name, t.ID, t.Request)
+		}
+		if err := validateActions(m, vars, t.InitActions, msgs); err != nil {
+			return fmt.Errorf("%s: process %s: %v", m.Name, t.ID, err)
+		}
+		if t.Await == nil {
+			if !t.Hit && !stable[t.Final] {
+				return fmt.Errorf("%s: process %s ends at undeclared state %s", m.Name, t.ID, t.Final)
+			}
+			continue
+		}
+		var err error
+		t.Await.EachAwait(func(a *Await) {
+			if err != nil {
+				return
+			}
+			if len(a.Cases) == 0 {
+				err = fmt.Errorf("%s: process %s has an empty await", m.Name, t.ID)
+				return
+			}
+			for _, c := range a.Cases {
+				if !msgs[c.Msg] {
+					err = fmt.Errorf("%s: process %s awaits undeclared message %s", m.Name, t.ID, c.Msg)
+					return
+				}
+				if c.Kind == CaseBreak && !stable[c.Final] {
+					err = fmt.Errorf("%s: process %s breaks to undeclared state %s", m.Name, t.ID, c.Final)
+					return
+				}
+				if c.Kind == CaseAwait && c.Sub == nil {
+					err = fmt.Errorf("%s: process %s has a descend case with no sub-await", m.Name, t.ID)
+					return
+				}
+				if e := validateActions(m, vars, c.Actions, msgs); e != nil {
+					err = fmt.Errorf("%s: process %s: %v", m.Name, t.ID, e)
+					return
+				}
+				if e := validateExpr(vars, c.Guard); e != nil {
+					err = fmt.Errorf("%s: process %s guard: %v", m.Name, t.ID, e)
+					return
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateActions(m *MachineSpec, vars map[string]VarType, as []Action, msgs map[MsgType]bool) error {
+	for _, a := range as {
+		switch a.Op {
+		case ASend:
+			if !msgs[a.Msg] {
+				return fmt.Errorf("send of undeclared message %s", a.Msg)
+			}
+			if (a.Dst == DstOwner || a.Dst == DstSharers) && m.Kind != KindDirectory {
+				return fmt.Errorf("cache cannot send to %s", a.Dst)
+			}
+			if err := validateExpr(vars, a.Payload.Acks); err != nil {
+				return err
+			}
+			if err := validateExpr(vars, a.Payload.Req); err != nil {
+				return err
+			}
+		case ASet:
+			if _, ok := vars[a.Var]; !ok {
+				return fmt.Errorf("assignment to undeclared variable %s", a.Var)
+			}
+			if err := validateExpr(vars, a.Expr); err != nil {
+				return err
+			}
+		case ASetAdd, ASetDel, ASetClear:
+			if t, ok := vars[a.Var]; !ok || t != VIDSet {
+				return fmt.Errorf("set operation on non-set variable %s", a.Var)
+			}
+			if err := validateExpr(vars, a.Expr); err != nil {
+				return err
+			}
+		case ACopyData, AWriteback, AHit:
+			// always fine in a spec
+		case ADefer, AFlush, APerform, AStallMarker, AReplay:
+			return fmt.Errorf("action %s is generator-internal and not allowed in a spec", a)
+		}
+	}
+	return nil
+}
+
+func validateExpr(vars map[string]VarType, e *Expr) error {
+	var err error
+	e.Walk(func(n *Expr) {
+		if err != nil {
+			return
+		}
+		switch n.Kind {
+		case EVar:
+			if _, ok := vars[n.Name]; !ok {
+				err = fmt.Errorf("undeclared variable %s", n.Name)
+			}
+		case ECount:
+			if t, ok := vars[n.Name]; !ok || t != VIDSet {
+				err = fmt.Errorf("count of non-set %s", n.Name)
+			}
+		case EInSet:
+			if t, ok := vars[n.Name]; !ok || t != VIDSet {
+				err = fmt.Errorf("membership test on non-set %s", n.Name)
+			}
+		}
+	})
+	return err
+}
+
+// ValidateProtocol checks structural sanity of a generated protocol:
+// every transition references known states, and no two non-stall
+// transitions share (state, event, guard-label).
+func ValidateProtocol(p *Protocol) error {
+	for _, m := range []*Machine{p.Cache, p.Dir} {
+		if m == nil {
+			return fmt.Errorf("protocol %s: missing machine", p.Name)
+		}
+		if m.State(m.Init) == nil {
+			return fmt.Errorf("%s: init state %s unknown", m.Name, m.Init)
+		}
+		keys := map[string]bool{}
+		for _, t := range m.Trans {
+			if m.State(t.From) == nil {
+				return fmt.Errorf("%s: transition from unknown state %s", m.Name, t.From)
+			}
+			if !t.Stall && m.State(t.Next) == nil {
+				return fmt.Errorf("%s: transition %s -> unknown state %s", m.Name, t.Key(), t.Next)
+			}
+			k := t.Key()
+			if keys[k] {
+				return fmt.Errorf("%s: duplicate transition cell %s", m.Name, k)
+			}
+			keys[k] = true
+		}
+	}
+	return nil
+}
+
+// SortedStateNames returns the machine's state names sorted
+// lexicographically (handy for deterministic test output).
+func SortedStateNames(m *Machine) []StateName {
+	out := make([]StateName, 0, len(m.Sts))
+	for n := range m.Sts {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

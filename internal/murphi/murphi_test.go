@@ -1,0 +1,98 @@
+package murphi
+
+import (
+	"strings"
+	"testing"
+
+	"protogen/internal/core"
+	"protogen/internal/dsl"
+	"protogen/internal/protocols"
+)
+
+func emitMSI(t *testing.T) string {
+	t.Helper()
+	spec, err := dsl.Parse(protocols.MSI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Generate(spec, core.NonStallingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Emit(p, DefaultOptions())
+}
+
+func TestEmitStructure(t *testing.T) {
+	src := emitMSI(t)
+	for _, want := range []string{
+		"const", "NrCaches: 3", "scalarset", "MessageType: enum",
+		"CacheState: enum", "DirectoryState: enum",
+		"procedure Send", "procedure CacheEvent", "procedure DirEvent",
+		"ruleset p: Proc", "startstate", "invariant \"SWMR\"", "invariant \"DataValue\"",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted Murphi missing %q", want)
+		}
+	}
+}
+
+func TestEmitAllStates(t *testing.T) {
+	src := emitMSI(t)
+	for _, s := range []string{"cache_IMAD", "cache_IMADS", "cache_IMADSI", "cache_ISDI", "directory_SD"} {
+		if !strings.Contains(src, s) {
+			t.Errorf("emitted Murphi missing state %s", s)
+		}
+	}
+}
+
+func TestEmitStallComment(t *testing.T) {
+	spec, err := dsl.Parse(protocols.MSI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Generate(spec, core.StallingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Emit(p, DefaultOptions())
+	if !strings.Contains(src, "stall: leave the message in the channel") {
+		t.Errorf("stalling protocol must emit stall returns")
+	}
+}
+
+func TestEmitBalanced(t *testing.T) {
+	src := emitMSI(t)
+	// Two controllers => two switches; two rulesets; one startstate.
+	if got := strings.Count(src, "endswitch"); got != 2 {
+		t.Errorf("endswitch count = %d, want 2", got)
+	}
+	if got := strings.Count(src, "endruleset"); got != 2 {
+		t.Errorf("endruleset count = %d, want 2", got)
+	}
+	if got := strings.Count(src, "endstartstate"); got != 1 {
+		t.Errorf("endstartstate count = %d, want 1", got)
+	}
+	if strings.Count(src, "case ") == 0 {
+		t.Errorf("no case arms emitted")
+	}
+}
+
+func TestEmitAllProtocols(t *testing.T) {
+	for _, e := range protocols.All {
+		spec, err := dsl.Parse(e.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.Generate(spec, core.NonStallingOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := Emit(p, DefaultOptions())
+		if len(src) < 1000 {
+			t.Errorf("%s: suspiciously short emission (%d bytes)", e.Name, len(src))
+		}
+		if !strings.Contains(src, "invariant") {
+			t.Errorf("%s: missing invariants", e.Name)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package protocols
+
+// MESI adds the Exclusive state: a GetS satisfied by an idle directory
+// grants E (ExcData), and the E -> M transition on a store is silent. The
+// silent transition makes E and M indistinguishable to the directory, so
+// the generator places them in one directory-visible class {E, M}; the
+// directory tracks both as "owner present" (its M state). Forwarded
+// requests therefore arrive at exactly one class without renaming.
+const MESI = `
+protocol MESI;
+network ordered;
+
+message request GetS GetM;
+message request put PutS PutM PutE;
+message forward Fwd_GetS Fwd_GetM Inv Put_Ack;
+message response Data ExcData Inv_Ack;
+
+machine cache {
+  states I S E M;
+  init I;
+  data block;
+  int acksReceived;
+  int acksExpected;
+}
+
+machine directory {
+  states I S M;
+  init I;
+  data block;
+  id owner;
+  idset sharers;
+}
+
+architecture cache {
+  process (I, load) {
+    send GetS to dir;
+    await {
+      when Data {
+        copydata;
+        state = S;
+      }
+      when ExcData {
+        copydata;
+        state = E;
+      }
+    }
+  }
+
+  process (I, store) {
+    send GetM to dir;
+    acksReceived = 0;
+    await {
+      when Data if acks == 0 {
+        copydata;
+        state = M;
+      }
+      when Data if acks > 0 {
+        copydata;
+        acksExpected = Data.acks;
+        if acksReceived == acksExpected {
+          state = M;
+        } else {
+          await {
+            when Inv_Ack {
+              acksReceived = acksReceived + 1;
+              if acksReceived == acksExpected {
+                state = M;
+              }
+            }
+          }
+        }
+      }
+      when Inv_Ack {
+        acksReceived = acksReceived + 1;
+      }
+    }
+  }
+
+  process (S, load) { hit; }
+
+  process (S, store) {
+    send GetM to dir;
+    acksReceived = 0;
+    await {
+      when Data if acks == 0 {
+        copydata;
+        state = M;
+      }
+      when Data if acks > 0 {
+        copydata;
+        acksExpected = Data.acks;
+        if acksReceived == acksExpected {
+          state = M;
+        } else {
+          await {
+            when Inv_Ack {
+              acksReceived = acksReceived + 1;
+              if acksReceived == acksExpected {
+                state = M;
+              }
+            }
+          }
+        }
+      }
+      when Inv_Ack {
+        acksReceived = acksReceived + 1;
+      }
+    }
+  }
+
+  process (S, repl) {
+    send PutS to dir;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+
+  process (S, Inv) {
+    send Inv_Ack to req;
+    state = I;
+  }
+
+  process (E, load) { hit; }
+
+  // The silent upgrade: no message, the directory cannot see it.
+  process (E, store) {
+    hit;
+    state = M;
+  }
+
+  process (E, repl) {
+    send PutE to dir;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+
+  process (E, Fwd_GetS) {
+    send Data to req with data;
+    send Data to dir with data;
+    state = S;
+  }
+
+  process (E, Fwd_GetM) {
+    send Data to req with data;
+    state = I;
+  }
+
+  process (M, load) { hit; }
+  process (M, store) { hit; }
+
+  process (M, repl) {
+    send PutM to dir with data;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+
+  process (M, Fwd_GetS) {
+    send Data to req with data;
+    send Data to dir with data;
+    state = S;
+  }
+
+  process (M, Fwd_GetM) {
+    send Data to req with data;
+    state = I;
+  }
+}
+
+architecture directory {
+  // Idle directory grants exclusive on a GetS (the MESI optimization).
+  process (I, GetS) {
+    send ExcData to src with data;
+    owner = src;
+    state = M;
+  }
+  process (I, GetM) {
+    send Data to src with data acks 0;
+    owner = src;
+    state = M;
+  }
+
+  process (S, GetS) {
+    send Data to src with data;
+    sharers.add(src);
+  }
+  process (S, GetM) {
+    send Data to src with data acks count(sharers except src);
+    send Inv to sharers except src req src;
+    owner = src;
+    sharers.clear;
+    state = M;
+  }
+  process (S, PutS) {
+    send Put_Ack to src;
+    sharers.del(src);
+  }
+
+  // Directory M means "owner present, in E or M".
+  process (M, GetS) {
+    send Fwd_GetS to owner req src;
+    sharers.add(src);
+    sharers.add(owner);
+    owner = none;
+    await {
+      when Data {
+        writeback;
+        state = S;
+      }
+    }
+  }
+  process (M, GetM) {
+    send Fwd_GetM to owner req src;
+    owner = src;
+  }
+  process (M, PutM) from owner {
+    writeback;
+    owner = none;
+    send Put_Ack to src;
+    state = I;
+  }
+  process (M, PutE) from owner {
+    owner = none;
+    send Put_Ack to src;
+    state = I;
+  }
+}
+`

@@ -1,0 +1,277 @@
+package protocols
+
+// MOSI adds the Owned state: an M owner answering a GetS downgrades to O
+// and keeps supplying data (no writeback to the LLC). The SSP is written
+// the natural way the paper's Table III shows — Fwd_GetS (and Fwd_GetM)
+// arrive at both M and O — so ProtoGen's preprocessing must rename the O
+// copies to O_Fwd_GetS / O_Fwd_GetM (Table IV) for caches to be able to
+// infer serialization order.
+const MOSI = `
+protocol MOSI;
+network ordered;
+
+message request GetS GetM;
+message request put PutS PutM PutO;
+message forward Fwd_GetS Fwd_GetM Inv Put_Ack;
+message response Data Ack_Count Inv_Ack;
+
+machine cache {
+  states I S O M;
+  init I;
+  data block;
+  int acksReceived;
+  int acksExpected;
+}
+
+machine directory {
+  states I S O M;
+  init I;
+  data block;
+  id owner;
+  idset sharers;
+}
+
+architecture cache {
+  process (I, load) {
+    send GetS to dir;
+    await {
+      when Data {
+        copydata;
+        state = S;
+      }
+    }
+  }
+
+  process (I, store) {
+    send GetM to dir;
+    acksReceived = 0;
+    await {
+      when Data if acks == 0 {
+        copydata;
+        state = M;
+      }
+      when Data if acks > 0 {
+        copydata;
+        acksExpected = Data.acks;
+        if acksReceived == acksExpected {
+          state = M;
+        } else {
+          await {
+            when Inv_Ack {
+              acksReceived = acksReceived + 1;
+              if acksReceived == acksExpected {
+                state = M;
+              }
+            }
+          }
+        }
+      }
+      when Inv_Ack {
+        acksReceived = acksReceived + 1;
+      }
+    }
+  }
+
+  process (S, load) { hit; }
+
+  process (S, store) {
+    send GetM to dir;
+    acksReceived = 0;
+    await {
+      when Data if acks == 0 {
+        copydata;
+        state = M;
+      }
+      when Data if acks > 0 {
+        copydata;
+        acksExpected = Data.acks;
+        if acksReceived == acksExpected {
+          state = M;
+        } else {
+          await {
+            when Inv_Ack {
+              acksReceived = acksReceived + 1;
+              if acksReceived == acksExpected {
+                state = M;
+              }
+            }
+          }
+        }
+      }
+      when Inv_Ack {
+        acksReceived = acksReceived + 1;
+      }
+    }
+  }
+
+  process (S, repl) {
+    send PutS to dir;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+
+  process (S, Inv) {
+    send Inv_Ack to req;
+    state = I;
+  }
+
+  process (O, load) { hit; }
+
+  // Upgrade from O: the owner already holds the current data (that is
+  // what Owned means), so the directory answers with just the
+  // invalidation count — its own LLC copy is stale and must not be sent.
+  // If the upgrade loses a race the owner is demoted (Case 1) and its
+  // in-flight GetM restarts from I, whose await handles the Data the
+  // new owner will forward.
+  process (O, store) {
+    send GetM to dir;
+    acksReceived = 0;
+    await {
+      when Ack_Count if acks == 0 {
+        state = M;
+      }
+      when Ack_Count if acks > 0 {
+        acksExpected = Ack_Count.acks;
+        if acksReceived == acksExpected {
+          state = M;
+        } else {
+          await {
+            when Inv_Ack {
+              acksReceived = acksReceived + 1;
+              if acksReceived == acksExpected {
+                state = M;
+              }
+            }
+          }
+        }
+      }
+      when Inv_Ack {
+        acksReceived = acksReceived + 1;
+      }
+    }
+  }
+
+  process (O, repl) {
+    send PutO to dir with data;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+
+  // Table III shape: the same forwarded requests as at M; preprocessing
+  // renames these copies to O_Fwd_GetS / O_Fwd_GetM.
+  process (O, Fwd_GetS) {
+    send Data to req with data;
+  }
+
+  process (O, Fwd_GetM) {
+    send Data to req with data acks Fwd_GetM.acks;
+    state = I;
+  }
+
+  process (M, load) { hit; }
+  process (M, store) { hit; }
+
+  process (M, repl) {
+    send PutM to dir with data;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+
+  process (M, Fwd_GetS) {
+    send Data to req with data;
+    state = O;
+  }
+
+  process (M, Fwd_GetM) {
+    send Data to req with data acks Fwd_GetM.acks;
+    state = I;
+  }
+}
+
+architecture directory {
+  process (I, GetS) {
+    send Data to src with data;
+    sharers.add(src);
+    state = S;
+  }
+  process (I, GetM) {
+    send Data to src with data acks 0;
+    owner = src;
+    state = M;
+  }
+
+  process (S, GetS) {
+    send Data to src with data;
+    sharers.add(src);
+  }
+  process (S, GetM) {
+    send Data to src with data acks count(sharers except src);
+    send Inv to sharers except src req src;
+    owner = src;
+    sharers.clear;
+    state = M;
+  }
+  process (S, PutS) {
+    send Put_Ack to src;
+    sharers.del(src);
+  }
+
+  // Owned: the owner supplies data; the directory never needs a writeback.
+  process (O, GetS) {
+    send Fwd_GetS to owner req src;
+    sharers.add(src);
+  }
+  process (O, GetM) from owner {
+    send Ack_Count to src acks count(sharers except src);
+    send Inv to sharers except src req src;
+    sharers.clear;
+    state = M;
+  }
+  process (O, GetM) from nonowner {
+    send Fwd_GetM to owner req src acks count(sharers except src);
+    send Inv to sharers except src req src;
+    owner = src;
+    sharers.clear;
+    state = M;
+  }
+  process (O, PutS) {
+    send Put_Ack to src;
+    sharers.del(src);
+  }
+  process (O, PutO) from owner {
+    writeback;
+    owner = none;
+    send Put_Ack to src;
+    state = S;
+  }
+  // An owner's PutM can race with the GetS that moved this entry M -> O:
+  // the Put was issued from M but arrives at O. It is still the current
+  // owner's writeback (the owner also answers the forwarded GetS on its
+  // way out), so accept it rather than stale-acking it.
+  process (O, PutM) from owner {
+    writeback;
+    owner = none;
+    send Put_Ack to src;
+    state = S;
+  }
+
+  process (M, GetS) {
+    send Fwd_GetS to owner req src;
+    sharers.add(src);
+    state = O;
+  }
+  process (M, GetM) {
+    send Fwd_GetM to owner req src acks 0;
+    owner = src;
+  }
+  process (M, PutM) from owner {
+    writeback;
+    owner = none;
+    send Put_Ack to src;
+    state = I;
+  }
+}
+`

@@ -1,0 +1,210 @@
+// Package protocols contains the stable-state protocol (SSP) sources the
+// paper evaluates, written in the DSL, plus hand-encoded baselines from
+// Sorin, Hill & Wood's primer used for comparison (§VI-A, Table VI).
+package protocols
+
+// MSI is the SSP of paper Tables I and II: the textbook three-state
+// directory protocol with atomic transactions. The S->M / I->M store
+// transactions follow Listing 1 of the paper: the directory responds with
+// Data carrying an ack count; when the count is nonzero the requestor
+// collects Inv_Ack messages (which may arrive before the Data) before
+// entering M.
+const MSI = `
+protocol MSI;
+network ordered;
+
+message request GetS GetM;
+message request put PutS PutM;
+message forward Fwd_GetS Fwd_GetM Inv Put_Ack;
+message response Data Inv_Ack;
+
+machine cache {
+  states I S M;
+  init I;
+  data block;
+  int acksReceived;
+  int acksExpected;
+}
+
+machine directory {
+  states I S M;
+  init I;
+  data block;
+  id owner;
+  idset sharers;
+}
+
+architecture cache {
+  // Table I row I: load misses; GetS to Dir, Data completes the read.
+  process (I, load) {
+    send GetS to dir;
+    await {
+      when Data {
+        copydata;
+        state = S;
+      }
+    }
+  }
+
+  // Table I row I: store misses; GetM to Dir, Data (+ Inv-Acks) completes.
+  process (I, store) {
+    send GetM to dir;
+    acksReceived = 0;
+    await {
+      when Data if acks == 0 {
+        copydata;
+        state = M;
+      }
+      when Data if acks > 0 {
+        copydata;
+        acksExpected = Data.acks;
+        if acksReceived == acksExpected {
+          state = M;
+        } else {
+          await {
+            when Inv_Ack {
+              acksReceived = acksReceived + 1;
+              if acksReceived == acksExpected {
+                state = M;
+              }
+            }
+          }
+        }
+      }
+      when Inv_Ack {
+        acksReceived = acksReceived + 1;
+      }
+    }
+  }
+
+  process (S, load) { hit; }
+
+  // Table I row S: store upgrades via GetM (identical await structure).
+  process (S, store) {
+    send GetM to dir;
+    acksReceived = 0;
+    await {
+      when Data if acks == 0 {
+        copydata;
+        state = M;
+      }
+      when Data if acks > 0 {
+        copydata;
+        acksExpected = Data.acks;
+        if acksReceived == acksExpected {
+          state = M;
+        } else {
+          await {
+            when Inv_Ack {
+              acksReceived = acksReceived + 1;
+              if acksReceived == acksExpected {
+                state = M;
+              }
+            }
+          }
+        }
+      }
+      when Inv_Ack {
+        acksReceived = acksReceived + 1;
+      }
+    }
+  }
+
+  // Table I row S: replacement.
+  process (S, repl) {
+    send PutS to dir;
+    await {
+      when Put_Ack {
+        state = I;
+      }
+    }
+  }
+
+  // Table I row S: invalidation.
+  process (S, Inv) {
+    send Inv_Ack to req;
+    state = I;
+  }
+
+  process (M, load) { hit; }
+  process (M, store) { hit; }
+
+  // Table I row M: replacement writes the dirty block back.
+  process (M, repl) {
+    send PutM to dir with data;
+    await {
+      when Put_Ack {
+        state = I;
+      }
+    }
+  }
+
+  // Table I row M: forwarded GetS; data to requestor and to Dir.
+  process (M, Fwd_GetS) {
+    send Data to req with data;
+    send Data to dir with data;
+    state = S;
+  }
+
+  // Table I row M: forwarded GetM; data to requestor only.
+  process (M, Fwd_GetM) {
+    send Data to req with data;
+    state = I;
+  }
+}
+
+architecture directory {
+  // Table II row I.
+  process (I, GetS) {
+    send Data to src with data;
+    sharers.add(src);
+    state = S;
+  }
+  process (I, GetM) {
+    send Data to src with data acks 0;
+    owner = src;
+    state = M;
+  }
+
+  // Table II row S.
+  process (S, GetS) {
+    send Data to src with data;
+    sharers.add(src);
+  }
+  process (S, GetM) {
+    send Data to src with data acks count(sharers except src);
+    send Inv to sharers except src req src;
+    owner = src;
+    sharers.clear;
+    state = M;
+  }
+  process (S, PutS) {
+    send Put_Ack to src;
+    sharers.del(src);
+  }
+
+  // Table II row M.
+  process (M, GetS) {
+    send Fwd_GetS to owner req src;
+    sharers.add(src);
+    sharers.add(owner);
+    owner = none;
+    await {
+      when Data {
+        writeback;
+        state = S;
+      }
+    }
+  }
+  process (M, GetM) {
+    send Fwd_GetM to owner req src;
+    owner = src;
+  }
+  process (M, PutM) from owner {
+    writeback;
+    owner = none;
+    send Put_Ack to src;
+    state = I;
+  }
+}
+`

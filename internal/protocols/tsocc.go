@@ -1,0 +1,146 @@
+package protocols
+
+// TSOCC is the §VI-D protocol: a consistency-directed protocol in the
+// spirit of TSO-CC (Elver & Nagarajan, HPCA'14), specified as an SSP that
+// leverages point-to-point ordering. Its defining property is the absence
+// of sharer tracking: the directory never invalidates readers, so Shared
+// copies may be stale — which TSO permits until the next acquire, at which
+// point the cache self-invalidates its Shared line (the silent S -> I
+// transition on acq). This deliberately breaks SWMR in physical time while
+// preserving TSO; it is verified with litmus tests rather than the SWMR
+// invariant. We reproduce the protocol's structure without the paper's
+// epoch timestamps, which only tune *when* self-invalidation happens, not
+// the race structure the generator must solve.
+const TSOCC = `
+protocol TSO_CC;
+network ordered;
+
+message request GetS GetM;
+message request put PutM;
+message forward Fwd_GetS Fwd_GetM Put_Ack;
+message response Data;
+
+machine cache {
+  states I S M;
+  init I;
+  data block;
+}
+
+machine directory {
+  states I S M;
+  init I;
+  data block;
+  id owner;
+}
+
+architecture cache {
+  process (I, load) {
+    send GetS to dir;
+    await {
+      when Data {
+        copydata;
+        state = S;
+      }
+    }
+  }
+
+  process (I, store) {
+    send GetM to dir;
+    await {
+      when Data {
+        copydata;
+        state = M;
+      }
+    }
+  }
+
+  // Loads may hit on a stale Shared copy: TSO allows it until an acquire.
+  process (S, load) { hit; }
+
+  process (S, store) {
+    send GetM to dir;
+    await {
+      when Data {
+        copydata;
+        state = M;
+      }
+    }
+  }
+
+  // Acquire: self-invalidate the possibly-stale copy (silent; the
+  // directory tracks no sharers, so there is nothing to tell it).
+  process (S, acq) {
+    state = I;
+  }
+
+  // Untracked eviction: silent for the same reason.
+  process (S, repl) {
+    state = I;
+  }
+
+  process (M, load) { hit; }
+  process (M, store) { hit; }
+  process (M, acq) { hit; }
+
+  process (M, repl) {
+    send PutM to dir with data;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+
+  process (M, Fwd_GetS) {
+    send Data to req with data;
+    send Data to dir with data;
+    state = S;
+  }
+
+  process (M, Fwd_GetM) {
+    send Data to req with data;
+    state = I;
+  }
+}
+
+architecture directory {
+  process (I, GetS) {
+    send Data to src with data;
+    state = S;
+  }
+  process (I, GetM) {
+    send Data to src with data;
+    owner = src;
+    state = M;
+  }
+
+  process (S, GetS) {
+    send Data to src with data;
+  }
+  // No invalidations: Shared copies elsewhere go stale, as TSO allows.
+  process (S, GetM) {
+    send Data to src with data;
+    owner = src;
+    state = M;
+  }
+
+  process (M, GetS) {
+    send Fwd_GetS to owner req src;
+    owner = none;
+    await {
+      when Data {
+        writeback;
+        state = S;
+      }
+    }
+  }
+  process (M, GetM) {
+    send Fwd_GetM to owner req src;
+    owner = src;
+  }
+  process (M, PutM) from owner {
+    writeback;
+    owner = none;
+    send Put_Ack to src;
+    state = I;
+  }
+}
+`

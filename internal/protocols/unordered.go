@@ -1,0 +1,225 @@
+package protocols
+
+// MSIUnordered is the §VI-C protocol: MSI restructured to be correct on an
+// interconnect WITHOUT point-to-point ordering. Extra handshaking makes
+// the directory serialize conflicting transactions: every Get transaction
+// ends with an Unblock message from the requestor, and the directory stays
+// in a busy transient state (deferring later requests) until it arrives —
+// exactly the serialization footnote 3 of the paper prescribes for
+// unordered networks. Replacements keep the plain Put/Put-Ack handshake;
+// the stale-invalidation rule covers their reorderings.
+const MSIUnordered = `
+protocol MSI_Unordered;
+network unordered;
+
+message request GetS GetM;
+message request put PutS PutM;
+message forward Fwd_GetS Fwd_GetM Inv Put_Ack;
+message response Data Inv_Ack Unblock;
+
+machine cache {
+  states I S M;
+  init I;
+  data block;
+  int acksReceived;
+  int acksExpected;
+}
+
+machine directory {
+  states I S M;
+  init I;
+  data block;
+  id owner;
+  idset sharers;
+}
+
+architecture cache {
+  process (I, load) {
+    send GetS to dir;
+    await {
+      when Data {
+        copydata;
+        send Unblock to dir;
+        state = S;
+      }
+    }
+  }
+
+  process (I, store) {
+    send GetM to dir;
+    acksReceived = 0;
+    await {
+      when Data if acks == 0 {
+        copydata;
+        send Unblock to dir;
+        state = M;
+      }
+      when Data if acks > 0 {
+        copydata;
+        acksExpected = Data.acks;
+        if acksReceived == acksExpected {
+          send Unblock to dir;
+          state = M;
+        } else {
+          await {
+            when Inv_Ack {
+              acksReceived = acksReceived + 1;
+              if acksReceived == acksExpected {
+                send Unblock to dir;
+                state = M;
+              }
+            }
+          }
+        }
+      }
+      when Inv_Ack {
+        acksReceived = acksReceived + 1;
+      }
+    }
+  }
+
+  process (S, load) { hit; }
+
+  process (S, store) {
+    send GetM to dir;
+    acksReceived = 0;
+    await {
+      when Data if acks == 0 {
+        copydata;
+        send Unblock to dir;
+        state = M;
+      }
+      when Data if acks > 0 {
+        copydata;
+        acksExpected = Data.acks;
+        if acksReceived == acksExpected {
+          send Unblock to dir;
+          state = M;
+        } else {
+          await {
+            when Inv_Ack {
+              acksReceived = acksReceived + 1;
+              if acksReceived == acksExpected {
+                send Unblock to dir;
+                state = M;
+              }
+            }
+          }
+        }
+      }
+      when Inv_Ack {
+        acksReceived = acksReceived + 1;
+      }
+    }
+  }
+
+  process (S, repl) {
+    send PutS to dir;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+
+  process (S, Inv) {
+    send Inv_Ack to req;
+    state = I;
+  }
+
+  process (M, load) { hit; }
+  process (M, store) { hit; }
+
+  process (M, repl) {
+    send PutM to dir with data;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+
+  process (M, Fwd_GetS) {
+    send Data to req with data;
+    send Data to dir with data;
+    state = S;
+  }
+
+  process (M, Fwd_GetM) {
+    send Data to req with data;
+    state = I;
+  }
+}
+
+architecture directory {
+  process (I, GetS) {
+    send Data to src with data;
+    sharers.add(src);
+    await {
+      when Unblock { state = S; }
+    }
+  }
+  process (I, GetM) {
+    send Data to src with data acks 0;
+    owner = src;
+    await {
+      when Unblock { state = M; }
+    }
+  }
+
+  process (S, GetS) {
+    send Data to src with data;
+    sharers.add(src);
+    await {
+      when Unblock { state = S; }
+    }
+  }
+  process (S, GetM) {
+    send Data to src with data acks count(sharers except src);
+    send Inv to sharers except src req src;
+    owner = src;
+    sharers.clear;
+    await {
+      when Unblock { state = M; }
+    }
+  }
+  process (S, PutS) {
+    send Put_Ack to src;
+    sharers.del(src);
+  }
+
+  // Busy until both the owner's writeback and the requestor's Unblock
+  // arrive — in either order, since the network is unordered.
+  process (M, GetS) {
+    send Fwd_GetS to owner req src;
+    sharers.add(src);
+    sharers.add(owner);
+    owner = none;
+    await {
+      when Data {
+        writeback;
+        await {
+          when Unblock { state = S; }
+        }
+      }
+      when Unblock {
+        await {
+          when Data {
+            writeback;
+            state = S;
+          }
+        }
+      }
+    }
+  }
+  process (M, GetM) {
+    send Fwd_GetM to owner req src;
+    owner = src;
+    await {
+      when Unblock { state = M; }
+    }
+  }
+  process (M, PutM) from owner {
+    writeback;
+    owner = none;
+    send Put_Ack to src;
+    state = I;
+  }
+}
+`

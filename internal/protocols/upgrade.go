@@ -1,0 +1,231 @@
+package protocols
+
+// MSIUpgrade is MSI with an Upgrade request: a store to a Shared block
+// asks only for the invalidation count, not for data. It exercises the
+// reinterpretation rule of §V-D1: when the upgrader loses a race and is
+// invalidated, its in-flight Upgrade reaches a directory state where an
+// Upgrade is impossible, and the directory handles it as the
+// access-equivalent GetM.
+const MSIUpgrade = `
+protocol MSI_Upgrade;
+network ordered;
+
+message request GetS GetM Upgrade;
+message request put PutS PutM;
+message forward Fwd_GetS Fwd_GetM Inv Put_Ack;
+message response Data Ack_Count Inv_Ack;
+
+machine cache {
+  states I S M;
+  init I;
+  data block;
+  int acksReceived;
+  int acksExpected;
+}
+
+machine directory {
+  states I S M;
+  init I;
+  data block;
+  id owner;
+  idset sharers;
+}
+
+architecture cache {
+  process (I, load) {
+    send GetS to dir;
+    await {
+      when Data {
+        copydata;
+        state = S;
+      }
+    }
+  }
+
+  process (I, store) {
+    send GetM to dir;
+    acksReceived = 0;
+    await {
+      when Data if acks == 0 {
+        copydata;
+        state = M;
+      }
+      when Data if acks > 0 {
+        copydata;
+        acksExpected = Data.acks;
+        if acksReceived == acksExpected {
+          state = M;
+        } else {
+          await {
+            when Inv_Ack {
+              acksReceived = acksReceived + 1;
+              if acksReceived == acksExpected {
+                state = M;
+              }
+            }
+          }
+        }
+      }
+      when Inv_Ack {
+        acksReceived = acksReceived + 1;
+      }
+    }
+  }
+
+  process (S, load) { hit; }
+
+  // The Upgrade: no data needed, just the count of sharers to invalidate.
+  // If the Upgrade loses a race the cache is invalidated (Case 1) and the
+  // directory reinterprets the in-flight Upgrade as a GetM, whose response
+  // is a Data message; because the Data may overtake the Invalidation on
+  // the response network, the await accepts both response shapes.
+  process (S, store) {
+    send Upgrade to dir;
+    acksReceived = 0;
+    await {
+      when Ack_Count if acks == 0 {
+        state = M;
+      }
+      when Ack_Count if acks > 0 {
+        acksExpected = Ack_Count.acks;
+        if acksReceived == acksExpected {
+          state = M;
+        } else {
+          await {
+            when Inv_Ack {
+              acksReceived = acksReceived + 1;
+              if acksReceived == acksExpected {
+                state = M;
+              }
+            }
+          }
+        }
+      }
+      when Data if acks == 0 {
+        copydata;
+        state = M;
+      }
+      when Data if acks > 0 {
+        copydata;
+        acksExpected = Data.acks;
+        if acksReceived == acksExpected {
+          state = M;
+        } else {
+          await {
+            when Inv_Ack {
+              acksReceived = acksReceived + 1;
+              if acksReceived == acksExpected {
+                state = M;
+              }
+            }
+          }
+        }
+      }
+      when Inv_Ack {
+        acksReceived = acksReceived + 1;
+      }
+    }
+  }
+
+  process (S, repl) {
+    send PutS to dir;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+
+  process (S, Inv) {
+    send Inv_Ack to req;
+    state = I;
+  }
+
+  process (M, load) { hit; }
+  process (M, store) { hit; }
+
+  process (M, repl) {
+    send PutM to dir with data;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+
+  process (M, Fwd_GetS) {
+    send Data to req with data;
+    send Data to dir with data;
+    state = S;
+  }
+
+  process (M, Fwd_GetM) {
+    send Data to req with data;
+    state = I;
+  }
+}
+
+architecture directory {
+  process (I, GetS) {
+    send Data to src with data;
+    sharers.add(src);
+    state = S;
+  }
+  process (I, GetM) {
+    send Data to src with data acks 0;
+    owner = src;
+    state = M;
+  }
+
+  process (S, GetS) {
+    send Data to src with data;
+    sharers.add(src);
+  }
+  process (S, GetM) {
+    send Data to src with data acks count(sharers except src);
+    send Inv to sharers except src req src;
+    owner = src;
+    sharers.clear;
+    state = M;
+  }
+  // A still-shared upgrader gets the count; an upgrader that lost its
+  // copy to a race gets full GetM treatment (data included).
+  process (S, Upgrade) from sharer {
+    send Ack_Count to src acks count(sharers except src);
+    send Inv to sharers except src req src;
+    owner = src;
+    sharers.clear;
+    state = M;
+  }
+  process (S, Upgrade) from nonsharer {
+    send Data to src with data acks count(sharers except src);
+    send Inv to sharers except src req src;
+    owner = src;
+    sharers.clear;
+    state = M;
+  }
+  process (S, PutS) {
+    send Put_Ack to src;
+    sharers.del(src);
+  }
+
+  process (M, GetS) {
+    send Fwd_GetS to owner req src;
+    sharers.add(src);
+    sharers.add(owner);
+    owner = none;
+    await {
+      when Data {
+        writeback;
+        state = S;
+      }
+    }
+  }
+  process (M, GetM) {
+    send Fwd_GetM to owner req src;
+    owner = src;
+  }
+  process (M, PutM) from owner {
+    writeback;
+    owner = none;
+    send Put_Ack to src;
+    state = I;
+  }
+}
+`

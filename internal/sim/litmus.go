@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"protogen/internal/engine"
+	"protogen/internal/ir"
+)
+
+// OpKind enumerates litmus thread operations.
+type OpKind int
+
+// Litmus operations.
+const (
+	OLoad OpKind = iota
+	OStore
+	OAcquire // acquire fence: self-invalidate stale Shared copies everywhere
+)
+
+// Op is one instruction of a litmus thread.
+type Op struct {
+	Kind OpKind
+	Addr int
+	Reg  string // result register for loads ("" otherwise)
+}
+
+// Litmus is a multi-address litmus test. Thread i runs on cache i; every
+// address is an independent instance of the protocol (coherence is
+// per-block). Warm preloads Shared copies so stale-read behavior is
+// observable.
+type Litmus struct {
+	Name      string
+	Addrs     int
+	Threads   [][]Op
+	Warm      map[int][]int // cache -> addresses to load into S beforehand
+	Forbidden func(Outcome) bool
+	Relaxed   func(Outcome) bool
+}
+
+// Outcome maps registers to observed values.
+type Outcome map[string]int
+
+func (o Outcome) String() string {
+	keys := make([]string, 0, len(o))
+	for k := range o {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, o[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// LitmusResult aggregates outcomes over many randomized schedules.
+type LitmusResult struct {
+	Name      string
+	Runs      int
+	Outcomes  map[string]int
+	Forbidden int
+	Relaxed   int
+}
+
+func (r LitmusResult) String() string {
+	return fmt.Sprintf("%s: %d runs, %d distinct outcomes, forbidden=%d relaxed=%d",
+		r.Name, r.Runs, len(r.Outcomes), r.Forbidden, r.Relaxed)
+}
+
+// RunLitmus executes the test over runs randomized schedules.
+func RunLitmus(p *ir.Protocol, l Litmus, runs int, seed int64) (LitmusResult, error) {
+	res := LitmusResult{Name: l.Name, Runs: runs, Outcomes: map[string]int{}}
+	for i := 0; i < runs; i++ {
+		o, err := runOnce(p, l, rand.New(rand.NewSource(seed+int64(i))))
+		if err != nil {
+			return res, fmt.Errorf("%s run %d: %w", l.Name, i, err)
+		}
+		res.Outcomes[o.String()]++
+		if l.Forbidden != nil && l.Forbidden(o) {
+			res.Forbidden++
+		}
+		if l.Relaxed != nil && l.Relaxed(o) {
+			res.Relaxed++
+		}
+	}
+	return res, nil
+}
+
+type threadState struct {
+	pc       int
+	inflight int // address of the in-flight transaction (-1 idle)
+}
+
+func runOnce(p *ir.Protocol, l Litmus, rng *rand.Rand) (Outcome, error) {
+	nc := len(l.Threads)
+	systems := make([]*engine.System, l.Addrs)
+	for a := range systems {
+		systems[a] = engine.NewSystem(p, engine.Config{Caches: nc, Capacity: 8, Values: 1 << 30})
+	}
+	// Warm-up: drive the requested loads to completion deterministically.
+	for cache, addrs := range l.Warm {
+		for _, a := range addrs {
+			if err := warm(systems[a], cache); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := Outcome{}
+	ts := make([]threadState, nc)
+	for i := range ts {
+		ts[i].inflight = -1
+	}
+
+	regName := func(t int, op Op) string { return fmt.Sprintf("t%d.%s", t, op.Reg) }
+
+	for step := 0; step < 20000; step++ {
+		type choice struct {
+			thread int // -1 for deliveries
+			addr   int
+			del    engine.Deliverable
+		}
+		var choices []choice
+		for t := range ts {
+			if ts[t].inflight < 0 && ts[t].pc < len(l.Threads[t]) {
+				choices = append(choices, choice{thread: t})
+			}
+		}
+		for a, sys := range systems {
+			for _, d := range sys.Net.Deliverables() {
+				if deliverable(sys, d) {
+					choices = append(choices, choice{thread: -1, addr: a, del: d})
+				}
+			}
+		}
+		// Completion scan for in-flight transactions; their threads become
+		// runnable again on the next iteration.
+		for t := range ts {
+			if ts[t].inflight < 0 {
+				continue
+			}
+			sys := systems[ts[t].inflight]
+			st := sys.P.Cache.State(sys.Caches[t].State)
+			if st != nil && st.Kind == ir.Stable {
+				ts[t].inflight = -1
+				ts[t].pc++
+			}
+		}
+		if len(choices) == 0 {
+			if done(ts, l) && quiet(systems) {
+				break
+			}
+			continue
+		}
+		ch := choices[rng.Intn(len(choices))]
+		if ch.thread < 0 {
+			sys := systems[ch.addr]
+			performs, err := sys.Apply(engine.Rule{Kind: engine.RuleDeliver, Del: ch.del})
+			if err != nil {
+				return nil, err
+			}
+			for _, pf := range performs {
+				if pf.Access != ir.AccessLoad {
+					continue
+				}
+				// Attribute the completed load to the thread's current op.
+				t := pf.Node
+				if t < len(ts) && ts[t].inflight == ch.addr && ts[t].pc < len(l.Threads[t]) {
+					op := l.Threads[t][ts[t].pc]
+					if op.Kind == OLoad {
+						out[regName(t, op)] = normalize(pf.Value)
+					}
+				}
+			}
+			continue
+		}
+		t := ch.thread
+		op := l.Threads[t][ts[t].pc]
+		switch op.Kind {
+		case OAcquire:
+			for _, sys := range systems {
+				trs := sys.P.Cache.Find(sys.Caches[t].State, ir.AccessEvent(ir.AccessAcq))
+				if len(trs) == 1 && !trs[0].Stall {
+					if _, err := sys.Apply(engine.Rule{Kind: engine.RuleAccess, Cache: t, Access: ir.AccessAcq}); err != nil {
+						return nil, err
+					}
+				}
+			}
+			ts[t].pc++
+		case OLoad, OStore:
+			acc := ir.AccessLoad
+			if op.Kind == OStore {
+				acc = ir.AccessStore
+			}
+			sys := systems[op.Addr]
+			if hitDone, val := tryHit(sys, t, acc); hitDone {
+				if op.Kind == OLoad {
+					out[regName(t, op)] = normalize(val)
+				}
+				ts[t].pc++
+				break
+			}
+			trs := sys.P.Cache.Find(sys.Caches[t].State, ir.AccessEvent(acc))
+			if len(trs) != 1 || trs[0].Stall {
+				break // not issuable right now; retry later
+			}
+			if _, err := sys.Apply(engine.Rule{Kind: engine.RuleAccess, Cache: t, Access: acc}); err != nil {
+				return nil, err
+			}
+			ts[t].inflight = op.Addr
+		}
+	}
+	if !done(ts, l) {
+		return nil, fmt.Errorf("litmus %s did not terminate", l.Name)
+	}
+	return out, nil
+}
+
+// normalize folds the engine's monotonic store values to 0/1 for litmus
+// conditions (0 = initial, 1 = written).
+func normalize(v int) int {
+	if v > 0 {
+		return 1
+	}
+	return 0
+}
+
+func done(ts []threadState, l Litmus) bool {
+	for t := range ts {
+		if ts[t].inflight >= 0 || ts[t].pc < len(l.Threads[t]) {
+			return false
+		}
+	}
+	return true
+}
+
+func quiet(systems []*engine.System) bool {
+	for _, s := range systems {
+		if s.Net.InFlight() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// warm drives cache's load on sys to completion deterministically.
+func warm(sys *engine.System, cache int) error {
+	if hit, _ := tryHit(sys, cache, ir.AccessLoad); hit {
+		return nil
+	}
+	if _, err := sys.Apply(engine.Rule{Kind: engine.RuleAccess, Cache: cache, Access: ir.AccessLoad}); err != nil {
+		return err
+	}
+	for i := 0; i < 1000; i++ {
+		st := sys.P.Cache.State(sys.Caches[cache].State)
+		if st != nil && st.Kind == ir.Stable && sys.Net.InFlight() == 0 {
+			return nil
+		}
+		ds := sys.Net.Deliverables()
+		if len(ds) == 0 {
+			return fmt.Errorf("warm-up stuck")
+		}
+		if _, err := sys.Apply(engine.Rule{Kind: engine.RuleDeliver, Del: ds[0]}); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("warm-up did not converge")
+}
+
+// MP builds the message-passing litmus test: P0 stores data then flag;
+// P1 reads flag then (optionally after an acquire) data. TSO forbids
+// observing the new flag with the old data; without the acquire our
+// simplified TSO-CC may exhibit exactly that stale read.
+func MP(withAcquire bool) Litmus {
+	p1 := []Op{{Kind: OLoad, Addr: 1, Reg: "rf"}}
+	if withAcquire {
+		p1 = append(p1, Op{Kind: OAcquire})
+	}
+	p1 = append(p1, Op{Kind: OLoad, Addr: 0, Reg: "rd"})
+	name := "MP"
+	if withAcquire {
+		name = "MP+acq"
+	}
+	return Litmus{
+		Name:  name,
+		Addrs: 2,
+		Threads: [][]Op{
+			{{Kind: OStore, Addr: 0}, {Kind: OStore, Addr: 1}},
+			p1,
+		},
+		Warm: map[int][]int{1: {0}}, // P1 holds data stale in S
+		Forbidden: func(o Outcome) bool {
+			return o["t1.rf"] == 1 && o["t1.rd"] == 0
+		},
+		Relaxed: func(o Outcome) bool {
+			return o["t1.rf"] == 1 && o["t1.rd"] == 0
+		},
+	}
+}
+
+// SB builds the store-buffering litmus test with warmed Shared copies:
+// both threads store one address and read the other. TSO allows both
+// reads returning 0; SC (and an SWMR protocol with in-order cores)
+// forbids it.
+func SB() Litmus {
+	return Litmus{
+		Name:  "SB",
+		Addrs: 2,
+		Threads: [][]Op{
+			{{Kind: OStore, Addr: 0}, {Kind: OLoad, Addr: 1, Reg: "ry"}},
+			{{Kind: OStore, Addr: 1}, {Kind: OLoad, Addr: 0, Reg: "rx"}},
+		},
+		Warm: map[int][]int{0: {1}, 1: {0}},
+		Relaxed: func(o Outcome) bool {
+			return o["t0.ry"] == 0 && o["t1.rx"] == 0
+		},
+	}
+}
+
+// CoRR builds the coherence read-read test: two loads of the same address
+// by one thread must not observe values going backward (per-location SC,
+// which even TSO-CC must preserve).
+func CoRR() Litmus {
+	return Litmus{
+		Name:  "CoRR",
+		Addrs: 1,
+		Threads: [][]Op{
+			{{Kind: OStore, Addr: 0}},
+			{{Kind: OLoad, Addr: 0, Reg: "r1"}, {Kind: OLoad, Addr: 0, Reg: "r2"}},
+		},
+		Warm: map[int][]int{1: {0}},
+		Forbidden: func(o Outcome) bool {
+			return o["t1.r1"] == 1 && o["t1.r2"] == 0
+		},
+	}
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"testing"
+
+	"protogen/internal/core"
+	"protogen/internal/dsl"
+	"protogen/internal/ir"
+	"protogen/internal/protocols"
+)
+
+func gen(t *testing.T, src string, opts core.Options) *ir.Protocol {
+	t.Helper()
+	spec, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Generate(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRunMSIWorkloads: every workload runs clean on non-stalling MSI with
+// no SC violations and plenty of completed transactions.
+func TestRunMSIWorkloads(t *testing.T) {
+	p := gen(t, protocols.MSI, core.NonStallingOpts())
+	for _, w := range Workloads() {
+		st, err := Run(p, Config{Caches: 3, Steps: 20000, Seed: 42, Workload: w})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		t.Logf("%s: %s", w.Name(), st)
+		if st.SCViolations != 0 {
+			t.Errorf("%s: %d per-location SC violations", w.Name(), st.SCViolations)
+		}
+		if st.Transactions < 100 {
+			t.Errorf("%s: only %d transactions completed", w.Name(), st.Transactions)
+		}
+	}
+}
+
+// TestStallingVsNonStalling quantifies the paper's "reduce stalling"
+// claim: under contention the non-stalling protocol must block fewer
+// delivery attempts than the stalling one.
+func TestStallingVsNonStalling(t *testing.T) {
+	pn := gen(t, protocols.MSI, core.NonStallingOpts())
+	ps := gen(t, protocols.MSI, core.StallingOpts())
+	cfg := Config{Caches: 3, Steps: 30000, Seed: 7, Workload: Contended{}}
+	sn, err := Run(pn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := Run(ps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("non-stalling: %s", sn)
+	t.Logf("stalling:     %s", ss)
+	if sn.SCViolations != 0 || ss.SCViolations != 0 {
+		t.Fatalf("SC violations: %d / %d", sn.SCViolations, ss.SCViolations)
+	}
+	if sn.StallEvents >= ss.StallEvents {
+		t.Errorf("non-stalling must stall less: %d vs %d", sn.StallEvents, ss.StallEvents)
+	}
+}
+
+// TestDeterministicRuns: identical seeds give identical stats.
+func TestDeterministicRuns(t *testing.T) {
+	p := gen(t, protocols.MSI, core.NonStallingOpts())
+	cfg := Config{Caches: 2, Steps: 5000, Seed: 99, Workload: Contended{}}
+	a, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged:\n%v\n%v", a, b)
+	}
+}
+
+// TestMOSIAndMESIRun: the richer protocols execute cleanly too.
+func TestMOSIAndMESIRun(t *testing.T) {
+	for _, name := range []string{"MESI", "MOSI", "MSI_Upgrade", "MSI_Unordered"} {
+		e, ok := protocols.Lookup(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		p := gen(t, e.Source, core.NonStallingOpts())
+		st, err := Run(p, Config{Caches: 3, Steps: 15000, Seed: 5, Workload: Migratory{}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Logf("%s: %s", name, st)
+		if st.SCViolations != 0 {
+			t.Errorf("%s: SC violations", name)
+		}
+	}
+}
+
+// TestLitmusMSIIsSC: an SWMR protocol with in-order cores shows neither
+// the MP stale read nor the SB relaxed outcome.
+func TestLitmusMSIIsSC(t *testing.T) {
+	p := gen(t, protocols.MSI, core.NonStallingOpts())
+	for _, l := range []Litmus{MP(false), MP(true), SB(), CoRR()} {
+		r, err := RunLitmus(p, l, 300, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		t.Log(r)
+		if r.Forbidden != 0 {
+			t.Errorf("%s: forbidden outcome appeared %d times on MSI", l.Name, r.Forbidden)
+		}
+		if r.Relaxed != 0 {
+			t.Errorf("%s: relaxed outcome appeared on SWMR MSI", l.Name)
+		}
+	}
+}
+
+// TestLitmusTSOCC reproduces the §VI-D verification substitute:
+//   - MP without acquire exhibits the stale read (the protocol really does
+//     relax physical SWMR, as TSO-CC is designed to);
+//   - MP with acquire never shows the forbidden outcome (self-invalidation
+//     restores ordering at synchronization, the TSO-CC contract);
+//   - SB shows the TSO-allowed (0,0) outcome;
+//   - CoRR never goes backward (per-location SC, mandatory under TSO).
+func TestLitmusTSOCC(t *testing.T) {
+	p := gen(t, protocols.TSOCC, core.NonStallingOpts())
+
+	mp, err := RunLitmus(p, MP(false), 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(mp)
+	if mp.Relaxed == 0 {
+		t.Errorf("TSO-CC must exhibit the MP stale read without acquires")
+	}
+
+	mpa, err := RunLitmus(p, MP(true), 400, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(mpa)
+	if mpa.Forbidden != 0 {
+		t.Errorf("MP+acq forbidden outcome appeared %d times: acquire ordering broken", mpa.Forbidden)
+	}
+
+	sb, err := RunLitmus(p, SB(), 400, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(sb)
+	if sb.Relaxed == 0 {
+		t.Errorf("TSO-CC must exhibit the TSO-allowed SB outcome")
+	}
+
+	corr, err := RunLitmus(p, CoRR(), 400, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(corr)
+	if corr.Forbidden != 0 {
+		t.Errorf("CoRR violated: per-location SC broken")
+	}
+}
+
+// TestPendingLimitSweep: deeper absorption budgets shed more stalls under
+// contention (or at least never stall more).
+func TestPendingLimitSweep(t *testing.T) {
+	prev := -1
+	for _, l := range []int{0, 1, 3} {
+		opts := core.NonStallingOpts()
+		opts.PendingLimit = l
+		p := gen(t, protocols.MSI, opts)
+		st, err := Run(p, Config{Caches: 3, Steps: 20000, Seed: 21, Workload: Contended{}})
+		if err != nil {
+			t.Fatalf("L=%d: %v", l, err)
+		}
+		t.Logf("L=%d: %s", l, st)
+		if st.SCViolations != 0 {
+			t.Errorf("L=%d: SC violations", l)
+		}
+		if prev >= 0 && st.StallEvents > prev*2 {
+			t.Errorf("L=%d: stalls grew sharply vs smaller L (%d vs %d)", l, st.StallEvents, prev)
+		}
+		prev = st.StallEvents
+	}
+}

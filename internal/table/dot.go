@@ -1,0 +1,78 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"protogen/internal/ir"
+)
+
+// Dot renders a controller (or a subset of its states) as a Graphviz
+// digraph, the form of the paper's Figures 1 and 2. Stable states are
+// double circles; transient states are ellipses shaded by state-set
+// membership; stall self-loops and stale handlers are omitted.
+func Dot(m *ir.Machine, only []ir.StateName) string {
+	keep := map[ir.StateName]bool{}
+	for _, n := range only {
+		keep[n] = true
+	}
+	include := func(n ir.StateName) bool { return len(only) == 0 || keep[n] }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n", m.Name)
+	var names []ir.StateName
+	for _, n := range m.Order {
+		if include(n) {
+			names = append(names, n)
+		}
+	}
+	for _, n := range names {
+		st := m.State(n)
+		shape := "ellipse"
+		if st.Kind == ir.Stable {
+			shape = "doublecircle"
+		}
+		label := string(n)
+		if len(st.StateSet) > 0 {
+			parts := make([]string, len(st.StateSet))
+			for i, s := range st.StateSet {
+				parts[i] = string(s)
+			}
+			label += "\\n{" + strings.Join(parts, ",") + "}"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, label=%q];\n", n, shape, label)
+	}
+	type edge struct {
+		from, to ir.StateName
+		label    string
+	}
+	var edges []edge
+	for _, t := range m.Trans {
+		if t.Stall || t.Stale || !include(t.From) || !include(t.Next) {
+			continue
+		}
+		if t.Next == t.From && t.Ev.Kind == ir.EvAccess {
+			continue // access hits clutter the figure
+		}
+		l := t.Ev.Label()
+		if t.GuardLabel != "" {
+			l += " (" + shorten(t.GuardLabel) + ")"
+		}
+		edges = append(edges, edge{t.From, t.Next, l})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		if edges[i].to != edges[j].to {
+			return edges[i].to < edges[j].to
+		}
+		return edges[i].label < edges[j].label
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.from, e.to, e.label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

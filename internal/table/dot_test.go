@@ -1,0 +1,56 @@
+package table
+
+import (
+	"strings"
+	"testing"
+
+	"protogen/internal/core"
+	"protogen/internal/dsl"
+	"protogen/internal/ir"
+	"protogen/internal/protocols"
+)
+
+func TestDotFigure2(t *testing.T) {
+	spec, err := dsl.Parse(protocols.MSI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Generate(spec, core.NonStallingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := Dot(p.Cache, []ir.StateName{"I", "ISD", "ISDI", "S"})
+	for _, want := range []string{
+		"digraph cache", "doublecircle",
+		`"ISD" -> "ISDI"`, `"ISD" -> "S"`, `"ISDI" -> "I"`, `"I" -> "ISD"`,
+		"{I,S}", // the dual state set of IS_D, Figure 2's shading
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q\n%s", want, dot)
+		}
+	}
+	if strings.Contains(dot, "IMAD") {
+		t.Errorf("filtered dot must not contain other states")
+	}
+}
+
+func TestDotFullMachine(t *testing.T) {
+	spec, err := dsl.Parse(protocols.MSI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Generate(spec, core.NonStallingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := Dot(p.Cache, nil)
+	// Every non-stale state appears.
+	for _, n := range p.Cache.Order {
+		if !strings.Contains(dot, `"`+string(n)+`"`) {
+			t.Errorf("dot missing state %s", n)
+		}
+	}
+	if strings.Contains(dot, "stall") {
+		t.Errorf("stall edges must be omitted")
+	}
+}

@@ -1,0 +1,55 @@
+package verify
+
+import (
+	"testing"
+
+	"protogen/internal/core"
+	"protogen/internal/protocols"
+)
+
+// TestNoPruneAblation documents a finding of this reproduction: the paper
+// treats sharer pruning on stale Puts as an unneeded optimization, but the
+// stalling and deferred-response designs deadlock without it — a dangling
+// sharer (left behind when the directory adds a mid-replacement owner to
+// the sharer list and later stale-acks its Put without pruning) receives
+// an invalidation whose acknowledgment those designs withhold, closing a
+// wait cycle. The immediate-response design acknowledges at arrival and
+// tolerates dangling sharers.
+func TestNoPruneAblation(t *testing.T) {
+	cases := []struct {
+		name   string
+		opts   func() core.Options
+		wantOK bool
+	}{
+		{"immediate-no-prune", core.NonStallingOpts, true},
+		{"stalling-no-prune", core.StallingOpts, false},
+		{"deferred-no-prune", core.DeferredOpts, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tc.opts()
+			opts.PruneSharerOnStalePut = false
+			p := gen(t, protocols.MSI, opts)
+			cfg := QuickConfig()
+			cfg.CheckLiveness = false
+			r := Check(p, cfg)
+			t.Log(r)
+			if r.OK() != tc.wantOK {
+				t.Errorf("%s: OK=%v, want %v", tc.name, r.OK(), tc.wantOK)
+			}
+		})
+	}
+}
+
+// TestPruneFixesAll: with pruning (the default), all three response
+// policies verify clean.
+func TestPruneFixesAll(t *testing.T) {
+	for _, opts := range []core.Options{core.NonStallingOpts(), core.StallingOpts(), core.DeferredOpts()} {
+		p := gen(t, protocols.MSI, opts)
+		r := Check(p, QuickConfig())
+		t.Log(opts.Note(), r)
+		if !r.OK() {
+			t.Errorf("%s: %v\ntrace: %v", opts.Note(), r.Violations[0], r.Violations[0].Trace)
+		}
+	}
+}

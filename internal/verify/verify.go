@@ -1,0 +1,335 @@
+// Package verify is an explicit-state model checker for generated
+// protocols — the role Murphi plays in the paper (§VI). It enumerates the
+// reachable state space of N caches + directory + bounded virtual-channel
+// network with a small rotating data-value domain, and checks:
+//
+//   - SWMR: at most one writer, and no readers alongside a writer, over
+//     stable-state permissions (the paper verifies physical-time SWMR
+//     "except in one well-known situation" — the single access a
+//     transaction performs after its epoch logically ended; those
+//     completion accesses are flagged exempt by the engine).
+//   - Data-value: every readable stable copy equals the last written
+//     value, every transient load hit reads the last written value, and
+//     every non-exempt completed load returns it.
+//   - Deadlock: no reachable state without enabled rules, and (optional)
+//     no reachable state from which quiescence is unreachable — the
+//     terminal-SCC formulation that also catches stuck transactions.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"protogen/internal/engine"
+	"protogen/internal/ir"
+)
+
+// Config tunes the exploration.
+type Config struct {
+	Caches        int
+	Capacity      int
+	Values        int
+	MaxStates     int  // exploration cap; Complete=false when hit
+	CheckSWMR     bool // single-writer/multiple-reader over stable states
+	CheckValues   bool // data-value invariant (disable for TSO-CC)
+	CheckLiveness bool // quiescence reachability (needs the edge graph)
+	Symmetry      bool // canonicalize cache identities (Murphi scalarset)
+	MaxViolations int
+}
+
+// DefaultConfig mirrors the paper's setup: 3 caches, with symmetry
+// reduction standing in for Murphi's scalarset.
+func DefaultConfig() Config {
+	return Config{
+		Caches: 3, Capacity: 4, Values: 2,
+		MaxStates: 4_000_000, CheckSWMR: true, CheckValues: true,
+		CheckLiveness: true, Symmetry: true, MaxViolations: 1,
+	}
+}
+
+// QuickConfig is a 2-cache variant for fast unit tests.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.Caches = 2
+	return c
+}
+
+// Violation is one invariant failure with a witness trace.
+type Violation struct {
+	Kind   string
+	Detail string
+	Trace  []string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s (trace length %d)", v.Kind, v.Detail, len(v.Trace))
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	Protocol   string
+	States     int
+	Edges      int
+	Depth      int
+	Complete   bool
+	Quiescent  int
+	Violations []Violation
+}
+
+// OK reports whether the exploration finished with no violations.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d states, %d edges, depth %d", r.Protocol, r.States, r.Edges, r.Depth)
+	if !r.Complete {
+		b.WriteString(" (capped)")
+	}
+	if r.OK() {
+		b.WriteString(" — PASS")
+	} else {
+		fmt.Fprintf(&b, " — FAIL: %s", r.Violations[0])
+	}
+	return b.String()
+}
+
+type stateRec struct {
+	parent int
+	rule   string
+	depth  int
+}
+
+// checker carries exploration state.
+type checker struct {
+	cfg     Config
+	p       *ir.Protocol
+	res     *Result
+	visited map[string]int
+	recs    []stateRec
+	edges   [][]int32 // successor lists (only when CheckLiveness)
+	quiet   []bool
+	writer  map[ir.StateName]bool
+	reader  map[ir.StateName]bool
+}
+
+// Check explores the protocol's state space and returns the result.
+func Check(p *ir.Protocol, cfg Config) *Result {
+	c := &checker{
+		cfg:     cfg,
+		p:       p,
+		res:     &Result{Protocol: p.Name, Complete: true},
+		visited: map[string]int{},
+		writer:  map[ir.StateName]bool{},
+		reader:  map[ir.StateName]bool{},
+	}
+	c.classifyPermissions()
+
+	init := engine.NewSystem(p, engine.Config{
+		Caches: cfg.Caches, Capacity: cfg.Capacity, Values: cfg.Values,
+	})
+	var perms [][]int
+	if cfg.Symmetry {
+		perms = engine.Permutations(cfg.Caches)
+	}
+	type item struct {
+		sys *engine.System
+		idx int
+	}
+	c.visited[init.CanonicalKey(perms)] = 0
+	c.recs = append(c.recs, stateRec{parent: -1})
+	if cfg.CheckLiveness {
+		c.edges = append(c.edges, nil)
+		c.quiet = append(c.quiet, quiescent(init))
+	}
+	c.checkState(init, 0)
+
+	queue := []item{{init, 0}}
+	for len(queue) > 0 && len(c.res.Violations) < max(1, c.cfg.MaxViolations) {
+		it := queue[0]
+		queue = queue[1:]
+		rules := it.sys.Rules()
+		if len(rules) == 0 && !quiescent(it.sys) {
+			c.violate("deadlock", fmt.Sprintf("no enabled rules with %d messages in flight", it.sys.Net.InFlight()), it.idx)
+			continue
+		}
+		for _, r := range rules {
+			succ := it.sys.Clone()
+			performs, err := succ.Apply(r)
+			if err != nil {
+				c.violateFrom("error", err.Error(), it.idx, r.String())
+				continue
+			}
+			c.res.Edges++
+			for _, pf := range performs {
+				if pf.Access == ir.AccessLoad && !pf.Exempt && c.cfg.CheckValues && pf.Value != succ.LastWrite {
+					c.violateFrom("data-value",
+						fmt.Sprintf("cache %d load returned %d, last write is %d", pf.Node, pf.Value, succ.LastWrite),
+						it.idx, r.String())
+				}
+			}
+			key := succ.CanonicalKey(perms)
+			if idx, ok := c.visited[key]; ok {
+				if c.cfg.CheckLiveness {
+					c.edges[it.idx] = append(c.edges[it.idx], int32(idx))
+				}
+				continue
+			}
+			idx := len(c.recs)
+			c.visited[key] = idx
+			c.recs = append(c.recs, stateRec{parent: it.idx, rule: r.String(), depth: c.recs[it.idx].depth + 1})
+			if c.cfg.CheckLiveness {
+				c.edges = append(c.edges, nil)
+				c.edges[it.idx] = append(c.edges[it.idx], int32(idx))
+				c.quiet = append(c.quiet, quiescent(succ))
+			}
+			if c.recs[idx].depth > c.res.Depth {
+				c.res.Depth = c.recs[idx].depth
+			}
+			c.checkState(succ, idx)
+			if len(c.recs) >= c.cfg.MaxStates {
+				c.res.Complete = false
+				queue = nil
+				break
+			}
+			queue = append(queue, item{succ, idx})
+		}
+	}
+	c.res.States = len(c.recs)
+	if c.cfg.CheckLiveness && c.res.Complete && len(c.res.Violations) == 0 {
+		c.livenessCheck()
+	}
+	return c.res
+}
+
+// classifyPermissions derives reader/writer stable states from the FSM.
+func (c *checker) classifyPermissions() {
+	for _, n := range c.p.Cache.StableStates() {
+		for _, t := range c.p.Cache.Find(n, ir.AccessEvent(ir.AccessLoad)) {
+			for _, a := range t.Actions {
+				if a.Op == ir.AHit {
+					c.reader[n] = true
+				}
+			}
+		}
+		for _, t := range c.p.Cache.Find(n, ir.AccessEvent(ir.AccessStore)) {
+			for _, a := range t.Actions {
+				if a.Op == ir.AHit {
+					c.writer[n] = true
+				}
+			}
+		}
+	}
+}
+
+// checkState evaluates the per-state invariants.
+func (c *checker) checkState(s *engine.System, idx int) {
+	if c.cfg.CheckSWMR {
+		writers, readers := 0, 0
+		for _, cc := range s.Caches {
+			if c.writer[cc.State] {
+				writers++
+			} else if c.reader[cc.State] {
+				readers++
+			}
+		}
+		if writers > 1 || (writers == 1 && readers > 0) {
+			c.violate("SWMR", fmt.Sprintf("%d writers, %d readers", writers, readers), idx)
+		}
+	}
+	if c.cfg.CheckValues {
+		for i, cc := range s.Caches {
+			if (c.writer[cc.State] || c.reader[cc.State]) && cc.Data() != s.LastWrite {
+				c.violate("data-value",
+					fmt.Sprintf("cache %d in %s holds %d, last write is %d", i, cc.State, cc.Data(), s.LastWrite), idx)
+			}
+		}
+		for _, h := range s.HitLoads() {
+			if h.Value != s.LastWrite {
+				c.violate("data-value",
+					fmt.Sprintf("cache %d transient load hit in %s reads %d, last write is %d", h.Cache, h.State, h.Value, s.LastWrite), idx)
+			}
+		}
+	}
+}
+
+// livenessCheck verifies that quiescence is reachable from every state
+// (AG EF quiescent): reverse reachability from the quiescent set; any
+// unreached state is a stuck transaction (livelock or partial deadlock).
+func (c *checker) livenessCheck() {
+	n := len(c.recs)
+	pred := make([][]int32, n)
+	for from, succs := range c.edges {
+		for _, to := range succs {
+			pred[to] = append(pred[to], int32(from))
+		}
+	}
+	reach := make([]bool, n)
+	var stack []int32
+	for i := 0; i < n; i++ {
+		if c.quiet[i] {
+			reach[i] = true
+			stack = append(stack, int32(i))
+		}
+	}
+	c.res.Quiescent = len(stack)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range pred[v] {
+			if !reach[p] {
+				reach[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			c.violate("stuck", "quiescence unreachable (stuck transaction)", i)
+			return
+		}
+	}
+}
+
+// quiescent: nothing in flight, everything stable, no deferred work.
+func quiescent(s *engine.System) bool {
+	if s.Net.InFlight() > 0 {
+		return false
+	}
+	for _, cc := range s.Caches {
+		st := s.P.Cache.State(cc.State)
+		if st == nil || st.Kind != ir.Stable || len(cc.DeferQ) > 0 {
+			return false
+		}
+	}
+	st := s.P.Dir.State(s.Dir.State)
+	return st != nil && st.Kind == ir.Stable && len(s.Dir.DeferQ) == 0
+}
+
+func (c *checker) violate(kind, detail string, idx int) {
+	c.res.Violations = append(c.res.Violations, Violation{Kind: kind, Detail: detail, Trace: c.trace(idx)})
+}
+
+func (c *checker) violateFrom(kind, detail string, parentIdx int, rule string) {
+	tr := append(c.trace(parentIdx), rule)
+	c.res.Violations = append(c.res.Violations, Violation{Kind: kind, Detail: detail, Trace: tr})
+}
+
+// trace reconstructs the rule sequence from the initial state.
+func (c *checker) trace(idx int) []string {
+	var rev []string
+	for i := idx; i > 0; i = c.recs[i].parent {
+		rev = append(rev, c.recs[i].rule)
+	}
+	out := make([]string, len(rev))
+	for i, s := range rev {
+		out[len(rev)-1-i] = s
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,219 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"protogen/internal/core"
+	"protogen/internal/dsl"
+	"protogen/internal/ir"
+	"protogen/internal/protocols"
+)
+
+func gen(t *testing.T, src string, opts core.Options) *ir.Protocol {
+	t.Helper()
+	spec, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Generate(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestMSINonStalling2Caches: the flagship check — the generated
+// non-stalling MSI (Table VI) is safe and deadlock-free with 2 caches.
+func TestMSINonStalling2Caches(t *testing.T) {
+	p := gen(t, protocols.MSI, core.NonStallingOpts())
+	r := Check(p, QuickConfig())
+	t.Log(r)
+	if !r.OK() {
+		t.Fatalf("verification failed: %v\ntrace: %v", r.Violations[0], r.Violations[0].Trace)
+	}
+	if !r.Complete {
+		t.Fatalf("state space not fully explored (%d states)", r.States)
+	}
+	if r.States < 100 {
+		t.Fatalf("suspiciously small state space: %d", r.States)
+	}
+}
+
+// TestMSIStalling2Caches: the stalling variant too.
+func TestMSIStalling2Caches(t *testing.T) {
+	p := gen(t, protocols.MSI, core.StallingOpts())
+	r := Check(p, QuickConfig())
+	t.Log(r)
+	if !r.OK() {
+		t.Fatalf("verification failed: %v\ntrace: %v", r.Violations[0], r.Violations[0].Trace)
+	}
+}
+
+// TestMSIDeferred2Caches: deferred-response mode preserves the invariants.
+func TestMSIDeferred2Caches(t *testing.T) {
+	p := gen(t, protocols.MSI, core.DeferredOpts())
+	r := Check(p, QuickConfig())
+	t.Log(r)
+	if !r.OK() {
+		t.Fatalf("verification failed: %v\ntrace: %v", r.Violations[0], r.Violations[0].Trace)
+	}
+}
+
+// TestBrokenProtocolCaught: sabotage MSI (directory forgets to invalidate
+// sharers on a GetM) and the checker must find an SWMR or data violation.
+func TestBrokenProtocolCaught(t *testing.T) {
+	broken := strings.Replace(protocols.MSI,
+		"send Inv to sharers except src req src;\n    owner = src;",
+		"owner = src;", 1)
+	if broken == protocols.MSI {
+		t.Fatal("sabotage substitution failed")
+	}
+	spec, err := dsl.Parse(broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Generate(spec, core.StallingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QuickConfig()
+	cfg.CheckLiveness = false
+	r := Check(p, cfg)
+	t.Log(r)
+	if r.OK() {
+		t.Fatalf("the sabotaged protocol must fail verification")
+	}
+}
+
+// TestBrokenAckCountCaught: sabotage the ack count (off by the requestor)
+// and the checker must find the stuck transaction or a value violation.
+func TestBrokenAckCountCaught(t *testing.T) {
+	broken := strings.Replace(protocols.MSI,
+		"send Data to src with data acks count(sharers except src);",
+		"send Data to src with data acks count(sharers);", 1)
+	if broken == protocols.MSI {
+		t.Fatal("sabotage substitution failed")
+	}
+	spec, err := dsl.Parse(broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Generate(spec, core.StallingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Check(p, QuickConfig())
+	t.Log(r)
+	if r.OK() {
+		t.Fatalf("the sabotaged ack count must fail verification")
+	}
+}
+
+// TestViolationTraces: violations carry a replayable trace.
+func TestViolationTraces(t *testing.T) {
+	broken := strings.Replace(protocols.MSI,
+		"send Inv to sharers except src req src;\n    owner = src;",
+		"owner = src;", 1)
+	spec, _ := dsl.Parse(broken)
+	p, err := core.Generate(spec, core.StallingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QuickConfig()
+	cfg.CheckLiveness = false
+	r := Check(p, cfg)
+	if r.OK() {
+		t.Fatal("expected violation")
+	}
+	v := r.Violations[0]
+	if len(v.Trace) == 0 {
+		t.Fatalf("violation must carry a trace")
+	}
+}
+
+// TestUpgradeProtocol: the Upgrade protocol with reinterpretation verifies.
+func TestUpgradeProtocol(t *testing.T) {
+	p := gen(t, protocols.MSIUpgrade, core.NonStallingOpts())
+	r := Check(p, QuickConfig())
+	t.Log(r)
+	if !r.OK() {
+		t.Fatalf("verification failed: %v\ntrace: %v", r.Violations[0], r.Violations[0].Trace)
+	}
+}
+
+// TestUnorderedMSI: the handshake protocol verifies on an unordered
+// network (where the plain MSI would be unsound).
+func TestUnorderedMSI(t *testing.T) {
+	p := gen(t, protocols.MSIUnordered, core.NonStallingOpts())
+	r := Check(p, QuickConfig())
+	t.Log(r)
+	if !r.OK() {
+		t.Fatalf("verification failed: %v\ntrace: %v", r.Violations[0], r.Violations[0].Trace)
+	}
+}
+
+// TestTSOCCDeadlockFree: TSO-CC breaks SWMR by design (stale Shared
+// copies), so only deadlock freedom is checked here; TSO itself is
+// checked by the litmus tests in internal/sim.
+func TestTSOCCDeadlockFree(t *testing.T) {
+	p := gen(t, protocols.TSOCC, core.NonStallingOpts())
+	cfg := QuickConfig()
+	cfg.CheckSWMR = false
+	cfg.CheckValues = false
+	r := Check(p, cfg)
+	t.Log(r)
+	if !r.OK() {
+		t.Fatalf("verification failed: %v\ntrace: %v", r.Violations[0], r.Violations[0].Trace)
+	}
+}
+
+// TestTSOCCBreaksSWMRVisibly: with the SWMR check ON, TSO-CC must fail —
+// evidence the checker actually distinguishes consistency classes.
+func TestTSOCCBreaksSWMRVisibly(t *testing.T) {
+	p := gen(t, protocols.TSOCC, core.NonStallingOpts())
+	cfg := QuickConfig()
+	cfg.CheckLiveness = false
+	r := Check(p, cfg)
+	t.Log(r)
+	if r.OK() {
+		t.Fatalf("TSO-CC must violate physical SWMR/data-value by design")
+	}
+}
+
+// TestValueDomainThree: a larger rotating value domain must not change
+// the verdict (value aliasing robustness).
+func TestValueDomainThree(t *testing.T) {
+	p := gen(t, protocols.MSI, core.NonStallingOpts())
+	cfg := QuickConfig()
+	cfg.Values = 3
+	cfg.CheckLiveness = false
+	r := Check(p, cfg)
+	t.Log(r)
+	if !r.OK() {
+		t.Fatalf("values=3: %v", r.Violations[0])
+	}
+}
+
+// TestSymmetryAgreement: symmetry reduction must not change the verdict,
+// only the state count (which shrinks by up to the number of cache
+// permutations).
+func TestSymmetryAgreement(t *testing.T) {
+	p := gen(t, protocols.MSI, core.NonStallingOpts())
+	on := QuickConfig()
+	on.CheckLiveness = false
+	off := on
+	off.Symmetry = false
+	ron := Check(p, on)
+	roff := Check(p, off)
+	t.Logf("symmetry on: %d states; off: %d states", ron.States, roff.States)
+	if !ron.OK() || !roff.OK() {
+		t.Fatalf("verdicts differ or fail: %v / %v", ron, roff)
+	}
+	if ron.States >= roff.States {
+		t.Errorf("symmetry reduction must shrink the space: %d vs %d", ron.States, roff.States)
+	}
+	if roff.States > ron.States*2 {
+		t.Errorf("2-cache reduction factor cannot exceed 2: %d vs %d", roff.States, ron.States)
+	}
+}

@@ -1,0 +1,213 @@
+// Package protogen is a from-scratch Go reproduction of ProtoGen (Oswald,
+// Nagarajan, Sorin — ISCA 2018): a generator that takes the atomic
+// stable-state specification (SSP) of a directory cache coherence protocol
+// and produces the complete concurrent protocol — every transient state of
+// the cache and directory controllers, deferred-response bookkeeping, and
+// per-state access permissions — together with the machinery the paper's
+// evaluation needs: an explicit-state model checker (the Murphi role), a
+// Murphi source backend, a randomized-schedule simulator with litmus
+// tests, paper-style table rendering, and a primer-baseline diff engine.
+//
+// Quick start:
+//
+//	spec, _ := protogen.Parse(protogen.BuiltinMSI)
+//	p, _ := protogen.Generate(spec, protogen.NonStalling())
+//	fmt.Println(protogen.RenderTable(p.Cache, protogen.TableOptions{ShowGuards: true}))
+//	res := protogen.Verify(p, protogen.QuickVerifyConfig())
+//	fmt.Println(res)
+package protogen
+
+import (
+	"protogen/internal/compare"
+	"protogen/internal/core"
+	"protogen/internal/dsl"
+	"protogen/internal/ir"
+	"protogen/internal/murphi"
+	"protogen/internal/protocols"
+	"protogen/internal/sim"
+	"protogen/internal/table"
+	"protogen/internal/verify"
+)
+
+// Core IR types.
+type (
+	// Spec is a parsed stable-state protocol specification.
+	Spec = ir.Spec
+	// Protocol is a generated concurrent protocol (cache + directory FSMs).
+	Protocol = ir.Protocol
+	// Machine is one generated controller FSM.
+	Machine = ir.Machine
+	// State is one controller state with its generation metadata.
+	State = ir.State
+	// Transition is one controller reaction.
+	Transition = ir.Transition
+	// StateName names a coherence state.
+	StateName = ir.StateName
+	// MsgType names a message type.
+	MsgType = ir.MsgType
+	// AccessType enumerates core accesses.
+	AccessType = ir.AccessType
+	// Event is an access or message arrival.
+	Event = ir.Event
+)
+
+// Generation.
+type (
+	// Options control generation (stalling/non-stalling, response policy,
+	// transient loads, pending limit L, stale-Put pruning).
+	Options = core.Options
+)
+
+// Verification.
+type (
+	// VerifyConfig tunes the explicit-state model checker.
+	VerifyConfig = verify.Config
+	// VerifyResult is an exploration summary with violations and traces.
+	VerifyResult = verify.Result
+	// Violation is one invariant failure.
+	Violation = verify.Violation
+)
+
+// Simulation.
+type (
+	// SimConfig tunes a randomized-schedule simulation run.
+	SimConfig = sim.Config
+	// SimStats aggregates a run (stalls, messages, latencies, SC checks).
+	SimStats = sim.Stats
+	// Workload generates per-cache access streams.
+	Workload = sim.Workload
+	// Litmus is a multi-address litmus test.
+	Litmus = sim.Litmus
+	// LitmusResult aggregates litmus outcomes.
+	LitmusResult = sim.LitmusResult
+)
+
+// Comparison and rendering.
+type (
+	// Baseline is a hand-encoded controller table for diffing.
+	Baseline = compare.Baseline
+	// DiffReport compares a generated controller against a baseline.
+	DiffReport = compare.Report
+	// TableOptions tune paper-style table rendering.
+	TableOptions = table.Options
+	// MurphiOptions tune the Murphi backend.
+	MurphiOptions = murphi.Options
+)
+
+// Built-in SSP sources (the paper's protocol suite).
+var (
+	// BuiltinMSI is the atomic MSI SSP of paper Tables I/II.
+	BuiltinMSI = protocols.MSI
+	// BuiltinMESI adds the Exclusive state with its silent E->M upgrade.
+	BuiltinMESI = protocols.MESI
+	// BuiltinMOSI is written with the Table III shape that forces the
+	// Fwd_GetS -> O_Fwd_GetS preprocessing rename of Table IV.
+	BuiltinMOSI = protocols.MOSI
+	// BuiltinMSIUpgrade exercises the Upgrade-as-GetM reinterpretation.
+	BuiltinMSIUpgrade = protocols.MSIUpgrade
+	// BuiltinMSIUnordered is the §VI-C handshake protocol for unordered
+	// networks.
+	BuiltinMSIUnordered = protocols.MSIUnordered
+	// BuiltinTSOCC is the §VI-D consistency-directed protocol.
+	BuiltinTSOCC = protocols.TSOCC
+)
+
+// BuiltinEntry describes one built-in SSP.
+type BuiltinEntry = protocols.Entry
+
+// Builtins lists every built-in SSP in paper order.
+func Builtins() []BuiltinEntry { return protocols.All }
+
+// LookupBuiltin finds a built-in SSP by name.
+func LookupBuiltin(name string) (BuiltinEntry, bool) { return protocols.Lookup(name) }
+
+// Parse parses DSL source into a validated SSP.
+func Parse(src string) (*Spec, error) { return dsl.Parse(src) }
+
+// FormatSSP renders an SSP back to canonical DSL source.
+func FormatSSP(s *Spec) string { return dsl.Format(s) }
+
+// FormatProtocol renders a generated protocol in the DSL's controller
+// form — the paper's §IV-B output format.
+func FormatProtocol(p *Protocol) string { return dsl.FormatProtocol(p) }
+
+// Generate runs the ProtoGen pipeline (paper §V) on an SSP.
+func Generate(s *Spec, o Options) (*Protocol, error) { return core.Generate(s, o) }
+
+// GenerateSource parses and generates in one step.
+func GenerateSource(src string, o Options) (*Protocol, error) {
+	s, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(s, o)
+}
+
+// NonStalling returns the Table VI configuration: non-stalling,
+// immediate responses, transient loads allowed.
+func NonStalling() Options { return core.NonStallingOpts() }
+
+// Stalling returns the primer-style stalling configuration (§VI-A).
+func Stalling() Options { return core.StallingOpts() }
+
+// Deferred returns the physical-SWMR deferred-response configuration.
+func Deferred() Options { return core.DeferredOpts() }
+
+// Verify model-checks a generated protocol (the paper's Murphi role).
+func Verify(p *Protocol, cfg VerifyConfig) *VerifyResult { return verify.Check(p, cfg) }
+
+// DefaultVerifyConfig is the paper's 3-cache setup with symmetry reduction.
+func DefaultVerifyConfig() VerifyConfig { return verify.DefaultConfig() }
+
+// QuickVerifyConfig is a fast 2-cache configuration.
+func QuickVerifyConfig() VerifyConfig { return verify.QuickConfig() }
+
+// Simulate runs a workload under randomized scheduling.
+func Simulate(p *Protocol, cfg SimConfig) (SimStats, error) { return sim.Run(p, cfg) }
+
+// StandardWorkloads returns the contended / producer-consumer /
+// read-mostly / migratory suite.
+func StandardWorkloads() []Workload { return sim.Workloads() }
+
+// RunLitmus executes a litmus test over many randomized schedules.
+func RunLitmus(p *Protocol, l Litmus, runs int, seed int64) (LitmusResult, error) {
+	return sim.RunLitmus(p, l, runs, seed)
+}
+
+// LitmusMP builds the message-passing test (§VI-D substitute), optionally
+// with an acquire between the two loads.
+func LitmusMP(withAcquire bool) Litmus { return sim.MP(withAcquire) }
+
+// LitmusSB builds the store-buffering test with warmed Shared copies.
+func LitmusSB() Litmus { return sim.SB() }
+
+// LitmusCoRR builds the per-location coherence read-read test.
+func LitmusCoRR() Litmus { return sim.CoRR() }
+
+// EmitMurphi renders the protocol as Murphi source (§IV-B backend).
+func EmitMurphi(p *Protocol, o MurphiOptions) string { return murphi.Emit(p, o) }
+
+// DefaultMurphiOptions mirrors the paper's three-cache model.
+func DefaultMurphiOptions() MurphiOptions { return murphi.DefaultOptions() }
+
+// RenderTable renders a controller as a paper-style table.
+func RenderTable(m *Machine, o TableOptions) string { return table.Render(m, o) }
+
+// RenderDot renders a controller (or a subset of its states) as a
+// Graphviz digraph, the form of the paper's Figures 1 and 2.
+func RenderDot(m *Machine, only []StateName) string { return table.Dot(m, only) }
+
+// RenderSpecTables renders the atomic SSP as Tables I/II-style tables.
+func RenderSpecTables(s *Spec) (cache, dir string) { return table.RenderSpecTables(s) }
+
+// PrimerNonStallingMSI is the primer's non-stalling MSI cache baseline
+// (paper Table VI's plain entries).
+func PrimerNonStallingMSI() *Baseline { return compare.PrimerMSINonStalling() }
+
+// PrimerStallingMSI is the primer's stalling MSI cache baseline.
+func PrimerStallingMSI() *Baseline { return compare.PrimerMSIStalling() }
+
+// CompareWithBaseline diffs a generated controller against a baseline.
+func CompareWithBaseline(m *Machine, b *Baseline) *DiffReport {
+	return compare.Against(m, b, compare.Events)
+}
