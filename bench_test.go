@@ -162,6 +162,29 @@ func BenchmarkExpB_VerifyNonStallingMSI(b *testing.B) {
 	}
 }
 
+// BenchmarkVerifyParallelism: the checker's worker-pool sweep — the same
+// non-stalling MSI exploration at 1, 2, 4 and all-cores workers. Every
+// variant must report the identical state space; only wall time moves.
+func BenchmarkVerifyParallelism(b *testing.B) {
+	p := mustGen(b, protogen.BuiltinMSI, protogen.NonStalling())
+	for _, par := range []struct {
+		name string
+		n    int
+	}{{"P1", 1}, {"P2", 2}, {"P4", 4}, {"Pauto", 0}} {
+		b.Run(par.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := protogen.QuickVerifyConfig()
+				cfg.Parallelism = par.n
+				res := protogen.Verify(p, cfg)
+				if !res.OK() {
+					b.Fatal(res)
+				}
+				b.ReportMetric(float64(res.States), "states")
+			}
+		})
+	}
+}
+
 // BenchmarkExpC_UnorderedMSI: §VI-C — generate and model-check the
 // handshake protocol on an unordered network.
 func BenchmarkExpC_UnorderedMSI(b *testing.B) {

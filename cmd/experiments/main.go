@@ -20,8 +20,9 @@ import (
 )
 
 var (
-	runFlag = flag.String("run", "all", "experiment id: table1 table2 table3-4 table5 figure1 figure2 table6 e-a e-b e-c e-d e-e x-1 x-2 x-3, or 'all'")
-	caches  = flag.Int("caches", 2, "caches for model checking (paper uses 3; slower)")
+	runFlag  = flag.String("run", "all", "experiment id: table1 table2 table3-4 table5 figure1 figure2 table6 e-a e-b e-c e-d e-e x-1 x-2 x-3, or 'all'")
+	caches   = flag.Int("caches", 2, "caches for model checking (paper uses 3; slower)")
+	parallel = flag.Int("parallel", 0, "model-checker workers (0 = all cores, 1 = sequential)")
 )
 
 type experiment struct {
@@ -201,6 +202,7 @@ func table6() error {
 func verifyCfg() protogen.VerifyConfig {
 	cfg := protogen.DefaultVerifyConfig()
 	cfg.Caches = *caches
+	cfg.Parallelism = *parallel
 	return cfg
 }
 
@@ -365,6 +367,7 @@ func expX3() error {
 			}
 			cfg := protogen.QuickVerifyConfig()
 			cfg.CheckLiveness = false
+			cfg.Parallelism = *parallel
 			res := protogen.Verify(p, cfg)
 			fmt.Printf("%-12s prune=%-5v: %s\n", mode, prune, res)
 		}

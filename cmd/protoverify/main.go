@@ -30,6 +30,7 @@ func main() {
 		noLive   = flag.Bool("no-liveness", false, "skip quiescence reachability")
 		noSym    = flag.Bool("no-symmetry", false, "disable symmetry reduction")
 		noPrune  = flag.Bool("no-prune", false, "disable sharer pruning on stale Puts (ablation)")
+		parallel = flag.Int("parallel", 0, "exploration workers (0 = all cores, 1 = sequential)")
 		trace    = flag.Bool("trace", false, "print the counterexample trace")
 	)
 	flag.Parse()
@@ -71,6 +72,7 @@ func main() {
 	cfg.CheckValues = !*noVals
 	cfg.CheckLiveness = !*noLive
 	cfg.Symmetry = !*noSym
+	cfg.Parallelism = *parallel
 
 	start := time.Now()
 	res := protogen.Verify(p, cfg)

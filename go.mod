@@ -1,0 +1,3 @@
+module protogen
+
+go 1.22

@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"math/bits"
-	"strings"
 
 	"protogen/internal/ir"
 )
@@ -48,22 +47,6 @@ func (c *Ctrl) Data() int {
 func (c *Ctrl) SetData(v int) {
 	if c.L.DataVar != "" {
 		c.Ints[c.L.IntIdx[c.L.DataVar]] = v
-	}
-}
-
-func (c *Ctrl) encode(b *strings.Builder) {
-	fmt.Fprintf(b, "#%d:%d", c.ID, c.L.StateIdx[c.State])
-	for _, v := range c.Ints {
-		fmt.Fprintf(b, ",%d", v)
-	}
-	for _, m := range c.Masks {
-		fmt.Fprintf(b, ",m%d", m)
-	}
-	fmt.Fprintf(b, ",p%d", c.Pend)
-	for _, d := range c.DeferQ {
-		b.WriteByte('[')
-		b.WriteString(d.encode())
-		b.WriteByte(']')
 	}
 }
 

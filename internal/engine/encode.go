@@ -1,15 +1,16 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
-	"sort"
-	"strings"
+	"slices"
 
 	"protogen/internal/ir"
 )
 
 // Permutations returns all permutations of {0..n-1}, used for symmetry
-// reduction over cache identities (the Murphi scalarset equivalent).
+// reduction over cache identities (the Murphi scalarset equivalent). The
+// identity permutation is always first.
 func Permutations(n int) [][]int {
 	var out [][]int
 	perm := make([]int, n)
@@ -32,134 +33,303 @@ func Permutations(n int) [][]int {
 	return out
 }
 
-// CanonicalKey returns the lexicographically smallest encoding of the
-// system state over the given cache-identity permutations. Passing nil
-// (or only the identity) gives the plain key. Caches are interchangeable
-// in these protocols — the directory is not permuted.
-func (s *System) CanonicalKey(perms [][]int) string {
+// Encoder renders System states as compact binary keys for the model
+// checker's visited set. The encoding is injective for a fixed protocol
+// and system configuration: every variable-length section (defer queues,
+// network queues) is length-prefixed, every scalar is written through the
+// self-delimiting putInt form, and messages pack into single uint64 words
+// written big-endian so byte order equals numeric order.
+//
+// An Encoder owns reusable scratch buffers and is NOT safe for concurrent
+// use; give each checker worker its own.
+type Encoder struct {
+	typeIdx map[string]int
+	buf     []byte   // encoding under construction
+	best    []byte   // minimal encoding seen so far (Canonical)
+	bag     []uint64 // unordered-network sort scratch
+	inv     []int    // inverse permutation scratch
+}
+
+// NewEncoder builds an encoder for systems instantiated from p.
+func NewEncoder(p *ir.Protocol) *Encoder {
+	e := &Encoder{typeIdx: make(map[string]int, len(p.Msgs))}
+	for i, d := range p.Msgs {
+		e.typeIdx[string(d.Type)] = i
+	}
+	return e
+}
+
+// Key encodes the state with cache identities unchanged. The returned
+// slice aliases the encoder's scratch buffer and is valid until the next
+// Key/Canonical call.
+func (e *Encoder) Key(s *System) []byte {
+	e.encodeSys(s, nil)
+	return e.buf
+}
+
+// Canonical returns the lexicographically smallest encoding of the system
+// state over the given cache-identity permutations — the symmetry-reduced
+// key (caches are interchangeable; the directory is not permuted). Passing
+// nil or only the identity gives the plain key. The returned slice aliases
+// encoder scratch and is valid until the next Key/Canonical call.
+func (e *Encoder) Canonical(s *System, perms [][]int) []byte {
 	if len(perms) <= 1 {
-		return s.Key()
+		return e.Key(s)
 	}
-	best := ""
+	e.best = e.best[:0]
 	for _, p := range perms {
-		k := s.keyPerm(p)
-		if best == "" || k < best {
-			best = k
+		e.encodeSys(s, p)
+		if len(e.best) == 0 || bytes.Compare(e.buf, e.best) < 0 {
+			e.buf, e.best = e.best, e.buf
 		}
 	}
-	return best
+	return e.best
 }
 
-// keyPerm encodes the state with cache ids renumbered by perm.
-func (s *System) keyPerm(perm []int) string {
-	mapID := func(id int) int {
-		if id >= 0 && id < len(perm) {
-			return perm[id]
+// encodeSys writes the full system encoding into e.buf. A nil perm means
+// identity. With a permutation, caches are emitted in renumbered order and
+// every embedded node id (VID variables, id-set masks, message fields) is
+// remapped, so symmetric states encode identically.
+func (e *Encoder) encodeSys(s *System, perm []int) {
+	b := e.buf[:0]
+	if perm == nil {
+		for _, c := range s.Caches {
+			b = e.encodeCtrl(b, c, nil)
 		}
-		return id // directory and NoID unchanged
+	} else {
+		// Position j holds the cache whose renumbered id is j.
+		e.inv = e.inv[:0]
+		for range perm {
+			e.inv = append(e.inv, 0)
+		}
+		for old, new := range perm {
+			e.inv[new] = old
+		}
+		for j := 0; j < len(perm); j++ {
+			b = e.encodeCtrl(b, s.Caches[e.inv[j]], perm)
+		}
 	}
-	var b strings.Builder
-	// Caches in renumbered order: position j holds the cache whose new id
-	// is j.
-	inv := make([]int, len(perm))
-	for old, new := range perm {
-		inv[new] = old
-	}
-	for j := 0; j < len(perm); j++ {
-		s.Caches[inv[j]].encodePerm(&b, j, mapID)
-	}
-	s.Dir.encodePerm(&b, s.DirID(), mapID)
-	fmt.Fprintf(&b, "!w%d", s.LastWrite)
-	s.Net.encodePerm(&b, mapID)
-	return b.String()
+	b = e.encodeCtrl(b, s.Dir, perm)
+	b = putInt(b, s.LastWrite)
+	b = e.encodeNet(b, s.Net, perm)
+	e.buf = b
 }
 
-// encodePerm mirrors Ctrl.encode with node-id remapping: VID variables and
-// id-set masks hold cache ids and must be renumbered.
-func (c *Ctrl) encodePerm(b *strings.Builder, newID int, mapID func(int) int) {
-	fmt.Fprintf(b, "#%d:%d", newID, c.L.StateIdx[c.State])
+// encodeCtrl appends one controller: state index, int slots (VID slots
+// remapped), set masks, pending access, then the length-prefixed defer
+// queue.
+func (e *Encoder) encodeCtrl(b []byte, c *Ctrl, perm []int) []byte {
+	b = putInt(b, c.L.StateIdx[c.State])
 	for i, v := range c.Ints {
-		if c.L.VarType[c.L.IntVars[i]] == ir.VID {
-			v = mapID(v)
+		if perm != nil && c.L.VarType[c.L.IntVars[i]] == ir.VID {
+			v = permID(perm, v)
 		}
-		fmt.Fprintf(b, ",%d", v)
+		b = putInt(b, v)
 	}
 	for _, m := range c.Masks {
-		fmt.Fprintf(b, ",m%d", permMask(m, mapID))
+		if perm != nil {
+			m = permMask(m, perm)
+		}
+		b = putInt(b, int(m))
 	}
-	fmt.Fprintf(b, ",p%d", c.Pend)
+	b = putInt(b, int(c.Pend))
+	b = putInt(b, len(c.DeferQ))
 	for _, d := range c.DeferQ {
-		b.WriteByte('[')
-		b.WriteString(d.permuted(mapID).encode())
-		b.WriteByte(']')
+		b = e.appendMsg(b, d, perm)
 	}
+	return b
 }
 
-func permMask(m uint32, mapID func(int) int) uint32 {
+// encodeNet appends the interconnect. Ordered networks emit every
+// (class, src, dst) FIFO in renumbered coordinate order (length-prefixed,
+// empties included, so the layout is fixed); unordered networks emit each
+// class bag sorted, so permutations of the same multiset encode
+// identically.
+func (e *Encoder) encodeNet(b []byte, n *Network, perm []int) []byte {
+	if !n.Ordered {
+		for class := 0; class < NumClasses; class++ {
+			b = e.appendBag(b, n.queues[class], perm)
+		}
+		return b
+	}
+	for class := 0; class < NumClasses; class++ {
+		for src := 0; src < n.Nodes; src++ {
+			for dst := 0; dst < n.Nodes; dst++ {
+				// The queue that renumbers to (src, dst) sits at the
+				// pre-image coordinates.
+				q := n.queues[n.qidx(class, e.preImage(src, perm), e.preImage(dst, perm))]
+				b = putInt(b, len(q))
+				for _, m := range q {
+					b = e.appendMsg(b, m, perm)
+				}
+			}
+		}
+	}
+	return b
+}
+
+// appendBag appends an unordered message bag in canonical (sorted) order,
+// so permutations of the same multiset encode identically. When every
+// message packs into a word — always, in practice — the sort runs over
+// the reused uint64 scratch without allocating; otherwise the messages'
+// self-delimiting encodings are sorted bytewise.
+func (e *Encoder) appendBag(b []byte, q []Msg, perm []int) []byte {
+	e.bag = e.bag[:0]
+	fast := true
+	for _, m := range q {
+		w, ok := e.tryMsgWord(m, perm)
+		if !ok {
+			fast = false
+			break
+		}
+		e.bag = append(e.bag, w)
+	}
+	b = putInt(b, len(q))
+	if fast {
+		slices.Sort(e.bag)
+		for _, w := range e.bag {
+			b = append(b, msgPacked)
+			b = putU64(b, w)
+		}
+		return b
+	}
+	encs := make([][]byte, len(q))
+	for i, m := range q {
+		encs[i] = e.appendMsg(nil, m, perm)
+	}
+	slices.SortFunc(encs, bytes.Compare)
+	for _, enc := range encs {
+		b = append(b, enc...)
+	}
+	return b
+}
+
+// Message encoding markers: every message starts with one, so the packed
+// and escaped forms stay uniquely decodable side by side.
+const (
+	msgPacked  = 0 // 8-byte big-endian word follows
+	msgEscaped = 1 // seven putInt fields follow
+)
+
+// appendMsg appends one message: the packed single-word form when every
+// field fits a byte (the overwhelmingly common case), or the escaped
+// variable-width form for out-of-range fields (huge ack counts, value
+// domains past 254), so exotic configurations degrade instead of failing.
+func (e *Encoder) appendMsg(b []byte, m Msg, perm []int) []byte {
+	if w, ok := e.tryMsgWord(m, perm); ok {
+		b = append(b, msgPacked)
+		return putU64(b, w)
+	}
+	b = append(b, msgEscaped)
+	b = putInt(b, e.typeIndex(m.Type))
+	b = putInt(b, permID(perm, m.Src))
+	b = putInt(b, permID(perm, m.Dst))
+	req := m.Req
+	if req != NoID {
+		req = permID(perm, req)
+	}
+	b = putInt(b, req)
+	b = putInt(b, m.Acks)
+	b = putInt(b, m.Data)
+	if m.HasData {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// tryMsgWord packs a message into one 56-bit word: type index, src, dst,
+// req, acks, data (each biased by one so NoID encodes as zero), and the
+// data flag. Reports false when any field falls outside a byte.
+func (e *Encoder) tryMsgWord(m Msg, perm []int) (uint64, bool) {
+	req := m.Req
+	if req != NoID {
+		req = permID(perm, req)
+	}
+	fields := [6]int{e.typeIndex(m.Type), permID(perm, m.Src), permID(perm, m.Dst), req, m.Acks, m.Data}
+	var w uint64
+	for _, v := range fields {
+		if v < -1 || v > 254 {
+			return 0, false
+		}
+		w = w<<8 | uint64(v+1)
+	}
+	w = w << 8
+	if m.HasData {
+		w |= 1
+	}
+	return w, true
+}
+
+func (e *Encoder) typeIndex(t string) int {
+	ti, ok := e.typeIdx[t]
+	if !ok {
+		panic(fmt.Sprintf("engine: encoding undeclared message type %q", t))
+	}
+	return ti
+}
+
+// permID remaps a node id through perm; the directory (and NoID) pass
+// through unchanged, as do all ids under a nil (identity) permutation.
+func permID(perm []int, id int) int {
+	if perm != nil && id >= 0 && id < len(perm) {
+		return perm[id]
+	}
+	return id
+}
+
+// permMask renumbers the bits of an id-set mask.
+func permMask(m uint32, perm []int) uint32 {
 	var out uint32
 	for i := 0; i < 32; i++ {
 		if m&(1<<uint(i)) != 0 {
-			out |= 1 << uint(mapID(i))
+			out |= 1 << uint(permID(perm, i))
 		}
 	}
 	return out
 }
 
-func (m Msg) permuted(mapID func(int) int) Msg {
-	m.Src = mapID(m.Src)
-	m.Dst = mapID(m.Dst)
-	if m.Req != NoID {
-		m.Req = mapID(m.Req)
-	}
-	return m
-}
-
-// encodePerm encodes the network under an id renumbering; queues are
-// re-addressed by their renumbered (src, dst).
-func (n *Network) encodePerm(b *strings.Builder, mapID func(int) int) {
-	if !n.Ordered {
-		for class, q := range n.queues {
-			if len(q) == 0 {
-				continue
-			}
-			fmt.Fprintf(b, "|q%d:", class)
-			enc := make([]string, len(q))
-			for j, m := range q {
-				enc[j] = m.permuted(mapID).encode()
-			}
-			sort.Strings(enc)
-			for _, e := range enc {
-				b.WriteString(e)
-				b.WriteByte(';')
-			}
-		}
-		return
-	}
-	for class := 0; class < NumClasses; class++ {
-		for src := 0; src < n.Nodes; src++ {
-			for dst := 0; dst < n.Nodes; dst++ {
-				// The queue that renumbers to (src, dst) is the one at the
-				// pre-image coordinates.
-				q := n.queues[n.qidx(class, preImage(src, mapID, n.Nodes), preImage(dst, mapID, n.Nodes))]
-				if len(q) == 0 {
-					continue
-				}
-				fmt.Fprintf(b, "|q%d.%d.%d:", class, src, dst)
-				for _, m := range q {
-					b.WriteString(m.permuted(mapID).encode())
-					b.WriteByte(';')
-				}
-			}
-		}
-	}
-}
-
-// preImage finds x with mapID(x) == id (identity for the directory).
-func preImage(id int, mapID func(int) int, nodes int) int {
-	for x := 0; x < nodes; x++ {
-		if mapID(x) == id {
-			return x
-		}
+// preImage finds x with perm[x] == id (identity for the directory),
+// using the inverse permutation prepared by encodeSys.
+func (e *Encoder) preImage(id int, perm []int) int {
+	if perm != nil && id >= 0 && id < len(e.inv) {
+		return e.inv[id]
 	}
 	return id
+}
+
+// putInt appends a self-delimiting integer: values in [-1, 253] take one
+// byte (biased by one); anything else escapes to a marker plus eight
+// little-endian bytes. State indices, variable slots, masks and queue
+// lengths all take the short form in practice.
+func putInt(b []byte, v int) []byte {
+	if v >= -1 && v <= 253 {
+		return append(b, byte(v+1))
+	}
+	u := uint64(int64(v))
+	return append(b, 0xFF,
+		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+// putU64 appends a fixed-width big-endian word, so lexicographic byte
+// order matches numeric order (the unordered-bag sort relies on this).
+func putU64(b []byte, w uint64) []byte {
+	return append(b,
+		byte(w>>56), byte(w>>48), byte(w>>40), byte(w>>32),
+		byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+}
+
+// FNV-1a over a binary key; the checker uses it to pick visited-set
+// shards.
+func Fnv1a(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
 }

@@ -155,18 +155,8 @@ func TestQuickMaskPermutationRoundTrip(t *testing.T) {
 			inv[v] = i
 		}
 		m := uint32(mask % 16)
-		fwd := permMask(m, func(i int) int {
-			if i < len(perm) {
-				return perm[i]
-			}
-			return i
-		})
-		back := permMask(fwd, func(i int) int {
-			if i < len(inv) {
-				return inv[i]
-			}
-			return i
-		})
+		fwd := permMask(m, perm)
+		back := permMask(fwd, inv)
 		return back == m
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -214,3 +204,38 @@ func TestQuickFIFOPreserved(t *testing.T) {
 }
 
 var _ = ir.StateName("") // keep the import for helper reuse
+
+// TestWideMessageFields: fields outside the packed byte range (huge ack
+// counts, large data values) must fall back to the escaped encoding
+// instead of panicking, and distinct values must yield distinct keys.
+func TestWideMessageFields(t *testing.T) {
+	spec, err := dsl.Parse(protocols.MSI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Generate(spec, core.NonStallingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := string(p.Msgs[0].Type)
+	keys := map[string]int{}
+	perms := Permutations(2)
+	for _, acks := range []int{0, 300, 70000, -1 << 40} {
+		s := NewSystem(p, Config{Caches: 2, Capacity: 6, Values: 2})
+		if err := s.Net.Send(Msg{Type: mt, Src: 0, Dst: 1, Req: NoID, Acks: acks, Class: 0}); err != nil {
+			t.Fatal(err)
+		}
+		k := s.CanonicalKey(perms)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("acks=%d collides with acks=%d", acks, prev)
+		}
+		keys[k] = acks
+	}
+	// A packed and an escaped message in the same queue must coexist.
+	s := NewSystem(p, Config{Caches: 2, Capacity: 6, Values: 2})
+	_ = s.Net.Send(Msg{Type: mt, Src: 0, Dst: 1, Req: NoID, Acks: 1, Class: 0})
+	_ = s.Net.Send(Msg{Type: mt, Src: 0, Dst: 1, Req: NoID, Acks: 99999, Class: 0})
+	if s.Key() == "" {
+		t.Fatal("empty key")
+	}
+}

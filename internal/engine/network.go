@@ -2,8 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 )
 
 // Msg is one in-flight coherence message.
@@ -30,11 +28,6 @@ func (m Msg) String() string {
 		s += fmt.Sprintf(" data=%d", m.Data)
 	}
 	return s
-}
-
-// encode renders a canonical representation for state hashing.
-func (m Msg) encode() string {
-	return fmt.Sprintf("%s,%d,%d,%d,%d,%d,%v", m.Type, m.Src, m.Dst, m.Req, m.Acks, m.Data, m.HasData)
 }
 
 // NumClasses is the number of virtual channels (request, forward, response).
@@ -135,31 +128,4 @@ func (n *Network) Clone() *Network {
 		}
 	}
 	return &c
-}
-
-// encode renders the canonical network state. Unordered bags are sorted so
-// permutations of the same multiset encode identically.
-func (n *Network) encode(b *strings.Builder) {
-	for i, q := range n.queues {
-		if len(q) == 0 {
-			continue
-		}
-		fmt.Fprintf(b, "|q%d:", i)
-		if n.Ordered {
-			for _, m := range q {
-				b.WriteString(m.encode())
-				b.WriteByte(';')
-			}
-			continue
-		}
-		enc := make([]string, len(q))
-		for j, m := range q {
-			enc[j] = m.encode()
-		}
-		sort.Strings(enc)
-		for _, e := range enc {
-			b.WriteString(e)
-			b.WriteByte(';')
-		}
-	}
 }

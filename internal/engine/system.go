@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"strings"
 
 	"protogen/internal/ir"
 )
@@ -111,16 +110,18 @@ func (s *System) Clone() *System {
 	return &n
 }
 
-// Key returns the canonical encoding of the system state.
+// Key returns the canonical encoding of the system state. It allocates a
+// fresh Encoder per call; hot paths (the model checker) hold a reusable
+// Encoder instead.
 func (s *System) Key() string {
-	var b strings.Builder
-	for _, c := range s.Caches {
-		c.encode(&b)
-	}
-	s.Dir.encode(&b)
-	fmt.Fprintf(&b, "!w%d", s.LastWrite)
-	s.Net.encode(&b)
-	return b.String()
+	return string(NewEncoder(s.P).Key(s))
+}
+
+// CanonicalKey returns the lexicographically smallest encoding of the
+// system state over the given cache-identity permutations; see
+// Encoder.Canonical for the allocation-free form.
+func (s *System) CanonicalKey(perms [][]int) string {
+	return string(NewEncoder(s.P).Canonical(s, perms))
 }
 
 // ctrlAt returns the controller of node id.

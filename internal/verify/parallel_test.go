@@ -1,0 +1,185 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"protogen/internal/core"
+	"protogen/internal/dsl"
+	"protogen/internal/protocols"
+)
+
+// TestParallelMatchesSequential is the acceptance gate for the parallel
+// checker: on MSI/MESI/MOSI, stalling and non-stalling, every Parallelism
+// setting must report identical States, Edges, Depth and Quiescent counts
+// (and verdicts) to the sequential run.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, name := range []string{"MSI", "MESI", "MOSI"} {
+		for _, mode := range []struct {
+			name string
+			opts core.Options
+		}{{"stalling", core.StallingOpts()}, {"nonstalling", core.NonStallingOpts()}} {
+			e, ok := protocols.Lookup(name)
+			if !ok {
+				t.Fatalf("unknown builtin %s", name)
+			}
+			p := gen(t, e.Source, mode.opts)
+			seq := QuickConfig()
+			seq.Parallelism = 1
+			want := Check(p, seq)
+			for _, par := range []int{2, 4, 8} {
+				cfg := QuickConfig()
+				cfg.Parallelism = par
+				got := Check(p, cfg)
+				if got.States != want.States || got.Edges != want.Edges ||
+					got.Depth != want.Depth || got.Quiescent != want.Quiescent ||
+					got.OK() != want.OK() || got.Complete != want.Complete {
+					t.Errorf("%s %s P=%d: got %v, want %v", name, mode.name, par, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSeedBaselinePinned pins the exact exploration numbers of the
+// original sequential string-keyed checker (recorded before the binary
+// encoding and parallel rewrite), so any future change to rule ordering,
+// canonicalization or BFS semantics shows up as a diff here.
+func TestSeedBaselinePinned(t *testing.T) {
+	golden := []struct {
+		protocol, mode       string
+		states, edges, depth int
+		quiescent            int
+	}{
+		{"MSI", "stalling", 8180, 19064, 43, 218},
+		{"MSI", "nonstalling", 11963, 28281, 46, 218},
+		{"MESI", "stalling", 8452, 19637, 48, 229},
+		{"MESI", "nonstalling", 11762, 27701, 48, 229},
+		{"MOSI", "stalling", 12362, 28602, 45, 358},
+		{"MOSI", "nonstalling", 15575, 36549, 46, 358},
+		{"MSI_Upgrade", "stalling", 8540, 19904, 43, 218},
+		{"MSI_Upgrade", "nonstalling", 12371, 29187, 46, 218},
+		{"MSI_Unordered", "stalling", 9436, 22304, 51, 218},
+		{"MSI_Unordered", "nonstalling", 16466, 40340, 51, 218},
+	}
+	for _, g := range golden {
+		e, ok := protocols.Lookup(g.protocol)
+		if !ok {
+			t.Fatalf("unknown builtin %s", g.protocol)
+		}
+		opts := core.NonStallingOpts()
+		if g.mode == "stalling" {
+			opts = core.StallingOpts()
+		}
+		p := gen(t, e.Source, opts)
+		cfg := QuickConfig()
+		cfg.Parallelism = 1
+		r := Check(p, cfg)
+		if !r.OK() || !r.Complete {
+			t.Errorf("%s %s: %v", g.protocol, g.mode, r)
+			continue
+		}
+		if r.States != g.states || r.Edges != g.edges || r.Depth != g.depth || r.Quiescent != g.quiescent {
+			t.Errorf("%s %s: states/edges/depth/quiescent = %d/%d/%d/%d, want %d/%d/%d/%d",
+				g.protocol, g.mode, r.States, r.Edges, r.Depth, r.Quiescent,
+				g.states, g.edges, g.depth, g.quiescent)
+		}
+	}
+}
+
+// TestParallelViolationDeterminism: a sabotaged protocol must fail at any
+// parallelism, with the same violation kind and the same witness trace as
+// the sequential run.
+func TestParallelViolationDeterminism(t *testing.T) {
+	broken := strings.Replace(protocols.MSI,
+		"send Inv to sharers except src req src;\n    owner = src;",
+		"owner = src;", 1)
+	spec, err := dsl.Parse(broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Generate(spec, core.StallingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := QuickConfig()
+	seq.CheckLiveness = false
+	seq.Parallelism = 1
+	want := Check(p, seq)
+	if want.OK() {
+		t.Fatal("sabotaged protocol must fail")
+	}
+	for _, par := range []int{2, 4} {
+		cfg := seq
+		cfg.Parallelism = par
+		got := Check(p, cfg)
+		if got.OK() {
+			t.Fatalf("P=%d: sabotaged protocol must fail", par)
+		}
+		gv, wv := got.Violations[0], want.Violations[0]
+		if gv.Kind != wv.Kind || gv.Detail != wv.Detail {
+			t.Errorf("P=%d: violation %s/%s, want %s/%s", par, gv.Kind, gv.Detail, wv.Kind, wv.Detail)
+		}
+		if strings.Join(gv.Trace, ";") != strings.Join(wv.Trace, ";") {
+			t.Errorf("P=%d: witness trace differs from sequential", par)
+		}
+	}
+}
+
+// TestMaxStatesCapParallel: hitting the exploration cap must truncate at
+// the same state count at every parallelism.
+func TestMaxStatesCapParallel(t *testing.T) {
+	p := gen(t, protocols.MSI, core.NonStallingOpts())
+	seq := QuickConfig()
+	seq.CheckLiveness = false
+	seq.MaxStates = 500
+	seq.Parallelism = 1
+	want := Check(p, seq)
+	if want.Complete {
+		t.Fatalf("cap of 500 must truncate (states=%d)", want.States)
+	}
+	for _, par := range []int{2, 4} {
+		cfg := seq
+		cfg.Parallelism = par
+		got := Check(p, cfg)
+		if got.Complete || got.States != want.States || got.Edges != want.Edges {
+			t.Errorf("P=%d: states/edges/complete = %d/%d/%v, want %d/%d/false",
+				par, got.States, got.Edges, got.Complete, want.States, want.Edges)
+		}
+	}
+}
+
+// TestParallelismAuto: Parallelism 0 (use every core) explores the same
+// space as the sequential run.
+func TestParallelismAuto(t *testing.T) {
+	p := gen(t, protocols.MSI, core.NonStallingOpts())
+	auto := QuickConfig() // Parallelism 0
+	seq := QuickConfig()
+	seq.Parallelism = 1
+	ga, gs := Check(p, auto), Check(p, seq)
+	if ga.States != gs.States || ga.Edges != gs.Edges || ga.Depth != gs.Depth || !ga.OK() {
+		t.Errorf("auto parallelism diverged: %v vs %v", ga, gs)
+	}
+}
+
+// TestWideValueDomain: a value domain past the packed-byte range (a crash
+// regression guard for the binary encoder's escaped fallback) must
+// explore without panicking, identically at every parallelism.
+func TestWideValueDomain(t *testing.T) {
+	p := gen(t, protocols.MSI, core.NonStallingOpts())
+	seq := QuickConfig()
+	seq.Values = 300
+	seq.MaxStates = 3000
+	seq.CheckLiveness = false
+	seq.Parallelism = 1
+	want := Check(p, seq)
+	if want.OK() != true || want.States == 0 {
+		t.Fatalf("values=300: %v", want)
+	}
+	cfg := seq
+	cfg.Parallelism = 4
+	got := Check(p, cfg)
+	if got.States != want.States || got.Edges != want.Edges || got.Depth != want.Depth {
+		t.Errorf("P=4 diverged: %v vs %v", got, want)
+	}
+}

@@ -14,11 +14,22 @@
 //   - Deadlock: no reachable state without enabled rules, and (optional)
 //     no reachable state from which quiescence is unreachable — the
 //     terminal-SCC formulation that also catches stuck transactions.
+//
+// Exploration is a level-synchronized parallel BFS: each depth level's
+// frontier is expanded by a worker pool (successor generation, binary
+// canonical keys, visited-set probes all run concurrently), then a
+// sequential merge assigns state indices, records edges and violations,
+// and builds the next frontier in the exact order the classic FIFO BFS
+// would — so States, Edges, Depth, violations and witness traces are
+// identical for every Parallelism setting, including 1.
 package verify
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"protogen/internal/engine"
 	"protogen/internal/ir"
@@ -35,10 +46,15 @@ type Config struct {
 	CheckLiveness bool // quiescence reachability (needs the edge graph)
 	Symmetry      bool // canonicalize cache identities (Murphi scalarset)
 	MaxViolations int
+	// Parallelism is the worker count for frontier expansion: 0 means
+	// GOMAXPROCS, 1 runs everything inline (sequential). Results are
+	// identical at every setting.
+	Parallelism int
 }
 
 // DefaultConfig mirrors the paper's setup: 3 caches, with symmetry
-// reduction standing in for Murphi's scalarset.
+// reduction standing in for Murphi's scalarset. Parallelism 0 uses every
+// core.
 func DefaultConfig() Config {
 	return Config{
 		Caches: 3, Capacity: 4, Values: 2,
@@ -93,10 +109,90 @@ func (r *Result) String() string {
 	return b.String()
 }
 
+// visitedShardBits fixes the shard count (64): enough to keep per-shard
+// lock contention negligible at any realistic GOMAXPROCS without bloating
+// small explorations.
+const visitedShardBits = 6
+
+// visitedSet is the concurrent visited table: binary canonical keys
+// sharded by FNV-1a hash, one RWMutex per shard. During a level's
+// expansion the workers only read (earlier levels are fully inserted
+// before the level starts); the merge phase is the only writer.
+type visitedSet struct {
+	shards [1 << visitedShardBits]visitedShard
+}
+
+type visitedShard struct {
+	mu sync.RWMutex
+	m  map[string]int32
+}
+
+func newVisitedSet() *visitedSet {
+	v := &visitedSet{}
+	for i := range v.shards {
+		v.shards[i].m = make(map[string]int32)
+	}
+	return v
+}
+
+func (v *visitedSet) shard(hash uint64) *visitedShard {
+	return &v.shards[hash&(1<<visitedShardBits-1)]
+}
+
+// lookup probes a raw key without copying it.
+func (v *visitedSet) lookup(key []byte, hash uint64) (int32, bool) {
+	s := v.shard(hash)
+	s.mu.RLock()
+	idx, ok := s.m[string(key)]
+	s.mu.RUnlock()
+	return idx, ok
+}
+
+func (v *visitedSet) lookupStr(key string, hash uint64) (int32, bool) {
+	s := v.shard(hash)
+	s.mu.RLock()
+	idx, ok := s.m[key]
+	s.mu.RUnlock()
+	return idx, ok
+}
+
+func (v *visitedSet) insert(key string, hash uint64, idx int32) {
+	s := v.shard(hash)
+	s.mu.Lock()
+	s.m[key] = idx
+	s.mu.Unlock()
+}
+
 type stateRec struct {
-	parent int
+	parent int32
+	depth  int32
 	rule   string
-	depth  int
+}
+
+// frontierItem is one state awaiting expansion.
+type frontierItem struct {
+	sys *engine.System
+	idx int32
+}
+
+// succOut is one successor computed during parallel expansion.
+type succOut struct {
+	rule     string
+	applyErr string
+	hasErr   bool
+	dataViol []string // data-value violations observed on performed loads
+	knownIdx int32    // visited index at expansion time; -1 if unseen then
+	key      string   // canonical key (set only when knownIdx < 0)
+	hash     uint64
+	sys      *engine.System // retained only when knownIdx < 0
+	quiet    bool
+}
+
+// expansion is everything the merge needs about one frontier item.
+type expansion struct {
+	deadlock bool
+	inFlight int
+	succs    []succOut
 }
 
 // checker carries exploration state.
@@ -104,38 +200,41 @@ type checker struct {
 	cfg     Config
 	p       *ir.Protocol
 	res     *Result
-	visited map[string]int
+	visited *visitedSet
 	recs    []stateRec
 	edges   [][]int32 // successor lists (only when CheckLiveness)
 	quiet   []bool
 	writer  map[ir.StateName]bool
 	reader  map[ir.StateName]bool
+	perms   [][]int
+	workers int
 }
 
 // Check explores the protocol's state space and returns the result.
 func Check(p *ir.Protocol, cfg Config) *Result {
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	c := &checker{
 		cfg:     cfg,
 		p:       p,
 		res:     &Result{Protocol: p.Name, Complete: true},
-		visited: map[string]int{},
+		visited: newVisitedSet(),
 		writer:  map[ir.StateName]bool{},
 		reader:  map[ir.StateName]bool{},
+		workers: workers,
 	}
 	c.classifyPermissions()
+	if cfg.Symmetry {
+		c.perms = engine.Permutations(cfg.Caches)
+	}
 
 	init := engine.NewSystem(p, engine.Config{
 		Caches: cfg.Caches, Capacity: cfg.Capacity, Values: cfg.Values,
 	})
-	var perms [][]int
-	if cfg.Symmetry {
-		perms = engine.Permutations(cfg.Caches)
-	}
-	type item struct {
-		sys *engine.System
-		idx int
-	}
-	c.visited[init.CanonicalKey(perms)] = 0
+	key := engine.NewEncoder(p).Canonical(init, c.perms)
+	c.visited.insert(string(key), engine.Fnv1a(key), 0)
 	c.recs = append(c.recs, stateRec{parent: -1})
 	if cfg.CheckLiveness {
 		c.edges = append(c.edges, nil)
@@ -143,62 +242,164 @@ func Check(p *ir.Protocol, cfg Config) *Result {
 	}
 	c.checkState(init, 0)
 
-	queue := []item{{init, 0}}
-	for len(queue) > 0 && len(c.res.Violations) < max(1, c.cfg.MaxViolations) {
-		it := queue[0]
-		queue = queue[1:]
-		rules := it.sys.Rules()
-		if len(rules) == 0 && !quiescent(it.sys) {
-			c.violate("deadlock", fmt.Sprintf("no enabled rules with %d messages in flight", it.sys.Net.InFlight()), it.idx)
-			continue
-		}
-		for _, r := range rules {
-			succ := it.sys.Clone()
-			performs, err := succ.Apply(r)
-			if err != nil {
-				c.violateFrom("error", err.Error(), it.idx, r.String())
-				continue
-			}
-			c.res.Edges++
-			for _, pf := range performs {
-				if pf.Access == ir.AccessLoad && !pf.Exempt && c.cfg.CheckValues && pf.Value != succ.LastWrite {
-					c.violateFrom("data-value",
-						fmt.Sprintf("cache %d load returned %d, last write is %d", pf.Node, pf.Value, succ.LastWrite),
-						it.idx, r.String())
-				}
-			}
-			key := succ.CanonicalKey(perms)
-			if idx, ok := c.visited[key]; ok {
-				if c.cfg.CheckLiveness {
-					c.edges[it.idx] = append(c.edges[it.idx], int32(idx))
-				}
-				continue
-			}
-			idx := len(c.recs)
-			c.visited[key] = idx
-			c.recs = append(c.recs, stateRec{parent: it.idx, rule: r.String(), depth: c.recs[it.idx].depth + 1})
-			if c.cfg.CheckLiveness {
-				c.edges = append(c.edges, nil)
-				c.edges[it.idx] = append(c.edges[it.idx], int32(idx))
-				c.quiet = append(c.quiet, quiescent(succ))
-			}
-			if c.recs[idx].depth > c.res.Depth {
-				c.res.Depth = c.recs[idx].depth
-			}
-			c.checkState(succ, idx)
-			if len(c.recs) >= c.cfg.MaxStates {
-				c.res.Complete = false
-				queue = nil
-				break
-			}
-			queue = append(queue, item{succ, idx})
-		}
+	frontier := []frontierItem{{sys: init, idx: 0}}
+	for len(frontier) > 0 && len(c.res.Violations) < max(1, c.cfg.MaxViolations) && c.res.Complete {
+		frontier = c.merge(frontier, c.expand(frontier))
 	}
 	c.res.States = len(c.recs)
-	if c.cfg.CheckLiveness && c.res.Complete && len(c.res.Violations) == 0 {
+	if cfg.CheckLiveness && c.res.Complete && len(c.res.Violations) == 0 {
 		c.livenessCheck()
 	}
 	return c.res
+}
+
+// expand computes every frontier item's successors. Items are claimed in
+// batches from a shared cursor, so fast workers steal the remainder of
+// slow workers' share; each worker owns a reusable binary encoder.
+func (c *checker) expand(frontier []frontierItem) []expansion {
+	out := make([]expansion, len(frontier))
+	workers := min(c.workers, len(frontier))
+	if workers <= 1 {
+		w := &worker{c: c, enc: engine.NewEncoder(c.p)}
+		for i := range frontier {
+			out[i] = w.expandItem(frontier[i])
+		}
+		return out
+	}
+	batch := len(frontier)/(workers*4) + 1
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &worker{c: c, enc: engine.NewEncoder(c.p)}
+			for {
+				end := int(cursor.Add(int64(batch)))
+				start := end - batch
+				if start >= len(frontier) {
+					return
+				}
+				for i := start; i < min(end, len(frontier)); i++ {
+					out[i] = w.expandItem(frontier[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// worker is one expansion goroutine's private state.
+type worker struct {
+	c   *checker
+	enc *engine.Encoder
+}
+
+// expandItem enumerates one state's enabled rules, applies each to a
+// clone, and canonicalizes the successors. Only reads shared checker
+// state; previously visited states resolve here, unseen keys are copied
+// out for the merge to adjudicate.
+func (w *worker) expandItem(it frontierItem) expansion {
+	rules := it.sys.Rules()
+	if len(rules) == 0 && !quiescent(it.sys) {
+		return expansion{deadlock: true, inFlight: it.sys.Net.InFlight()}
+	}
+	exp := expansion{succs: make([]succOut, 0, len(rules))}
+	for _, r := range rules {
+		succ := it.sys.Clone()
+		performs, err := succ.Apply(r)
+		so := succOut{rule: r.String(), knownIdx: -1}
+		if err != nil {
+			so.hasErr = true
+			so.applyErr = err.Error()
+			exp.succs = append(exp.succs, so)
+			continue
+		}
+		for _, pf := range performs {
+			if pf.Access == ir.AccessLoad && !pf.Exempt && w.c.cfg.CheckValues && pf.Value != succ.LastWrite {
+				so.dataViol = append(so.dataViol,
+					fmt.Sprintf("cache %d load returned %d, last write is %d", pf.Node, pf.Value, succ.LastWrite))
+			}
+		}
+		key := w.enc.Canonical(succ, w.c.perms)
+		so.hash = engine.Fnv1a(key)
+		if idx, ok := w.c.visited.lookup(key, so.hash); ok {
+			so.knownIdx = idx
+		} else {
+			so.key = string(key)
+			so.sys = succ
+			if w.c.cfg.CheckLiveness {
+				so.quiet = quiescent(succ)
+			}
+		}
+		exp.succs = append(exp.succs, so)
+	}
+	return exp
+}
+
+// merge folds a level's expansions into the exploration in frontier
+// order — the single writer of the visited set, state records, edge lists
+// and violations. Because items and successors are consumed in the same
+// order the sequential FIFO BFS would produce, indices, counts and traces
+// come out identical regardless of how many workers expanded the level.
+func (c *checker) merge(frontier []frontierItem, exps []expansion) []frontierItem {
+	limit := max(1, c.cfg.MaxViolations)
+	var next []frontierItem
+	for i := range exps {
+		if len(c.res.Violations) >= limit {
+			return nil
+		}
+		exp := &exps[i]
+		parent := frontier[i].idx
+		if exp.deadlock {
+			c.violate("deadlock",
+				fmt.Sprintf("no enabled rules with %d messages in flight", exp.inFlight), int(parent))
+			continue
+		}
+		for _, so := range exp.succs {
+			if so.hasErr {
+				c.violateFrom("error", so.applyErr, int(parent), so.rule)
+				continue
+			}
+			c.res.Edges++
+			for _, d := range so.dataViol {
+				c.violateFrom("data-value", d, int(parent), so.rule)
+			}
+			idx := so.knownIdx
+			if idx < 0 {
+				// Unseen at expansion time, but an earlier successor of
+				// this same level may have claimed the key since.
+				if j, ok := c.visited.lookupStr(so.key, so.hash); ok {
+					idx = j
+				}
+			}
+			if idx >= 0 {
+				if c.cfg.CheckLiveness {
+					c.edges[parent] = append(c.edges[parent], idx)
+				}
+				continue
+			}
+			ni := int32(len(c.recs))
+			c.visited.insert(so.key, so.hash, ni)
+			c.recs = append(c.recs, stateRec{parent: parent, rule: so.rule, depth: c.recs[parent].depth + 1})
+			if c.cfg.CheckLiveness {
+				c.edges = append(c.edges, nil)
+				c.edges[parent] = append(c.edges[parent], ni)
+				c.quiet = append(c.quiet, so.quiet)
+			}
+			if d := int(c.recs[ni].depth); d > c.res.Depth {
+				c.res.Depth = d
+			}
+			c.checkState(so.sys, int(ni))
+			if len(c.recs) >= c.cfg.MaxStates {
+				c.res.Complete = false
+				return nil
+			}
+			next = append(next, frontierItem{sys: so.sys, idx: ni})
+		}
+	}
+	return next
 }
 
 // classifyPermissions derives reader/writer stable states from the FSM.
@@ -317,7 +518,7 @@ func (c *checker) violateFrom(kind, detail string, parentIdx int, rule string) {
 // trace reconstructs the rule sequence from the initial state.
 func (c *checker) trace(idx int) []string {
 	var rev []string
-	for i := idx; i > 0; i = c.recs[i].parent {
+	for i := idx; i > 0; i = int(c.recs[i].parent) {
 		rev = append(rev, c.recs[i].rule)
 	}
 	out := make([]string, len(rev))
@@ -325,11 +526,4 @@ func (c *checker) trace(idx int) []string {
 		out[len(rev)-1-i] = s
 	}
 	return out
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

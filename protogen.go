@@ -154,6 +154,8 @@ func Stalling() Options { return core.StallingOpts() }
 func Deferred() Options { return core.DeferredOpts() }
 
 // Verify model-checks a generated protocol (the paper's Murphi role).
+// Exploration runs on VerifyConfig.Parallelism workers (0 = all cores);
+// States, Edges, Depth and witness traces are identical at every setting.
 func Verify(p *Protocol, cfg VerifyConfig) *VerifyResult { return verify.Check(p, cfg) }
 
 // DefaultVerifyConfig is the paper's 3-cache setup with symmetry reduction.
