@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -19,19 +21,38 @@ import (
 	"protogen"
 )
 
+// caches and parallel are shared by every experiment; run() sets them
+// from flags before dispatching.
 var (
-	runFlag  = flag.String("run", "all", "experiment id: table1 table2 table3-4 table5 figure1 figure2 table6 e-a e-b e-c e-d e-e x-1 x-2 x-3, or 'all'")
-	caches   = flag.Int("caches", 2, "caches for model checking (paper uses 3; slower)")
-	parallel = flag.Int("parallel", 0, "model-checker workers (0 = all cores, 1 = sequential)")
+	caches   = 2
+	parallel = 0
 )
 
 type experiment struct {
 	id, what string
-	run      func() error
+	run      func(w io.Writer) error
 }
 
 func main() {
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		runFlag    = fs.String("run", "all", "experiment id: table1 table2 table3-4 table5 figure1 figure2 table6 e-a e-b e-c e-d e-e x-1 x-2 x-3 fuzz, or 'all'")
+		cachesFlag = fs.Int("caches", 2, "caches for model checking (paper uses 3; slower)")
+		parFlag    = fs.Int("parallel", 0, "model-checker workers (0 = all cores, 1 = sequential)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	caches = *cachesFlag
+	parallel = *parFlag
 	exps := []experiment{
 		{"table1", "Table I: atomic MSI cache SSP", table1},
 		{"table2", "Table II: atomic MSI directory SSP", table2},
@@ -48,6 +69,7 @@ func main() {
 		{"x-1", "extension: stalling vs non-stalling performance", expX1},
 		{"x-2", "extension: pending-limit L sweep", expX2},
 		{"x-3", "extension: response-policy + stale-Put-pruning ablation", expX3},
+		{"fuzz", "extension: randomized-SSP differential verification campaign", expFuzz},
 	}
 	want := strings.ToLower(*runFlag)
 	ran := false
@@ -56,16 +78,54 @@ func main() {
 			continue
 		}
 		ran = true
-		fmt.Printf("\n================ %s — %s ================\n\n", strings.ToUpper(e.id), e.what)
-		if err := e.run(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
-			os.Exit(1)
+		fmt.Fprintf(w, "\n================ %s — %s ================\n\n", strings.ToUpper(e.id), e.what)
+		if err := e.run(w); err != nil {
+			return fmt.Errorf("%s: %v", e.id, err)
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *runFlag)
-		os.Exit(1)
+		return fmt.Errorf("unknown experiment %q", *runFlag)
 	}
+	return nil
+}
+
+// expFuzz runs a compact differential campaign: random well-formed SSPs
+// from the shipped families, every generation mode model-checked and
+// cross-checked, plus the demonstration that a planted bug is caught and
+// shrunk to a handful of processes.
+func expFuzz(w io.Writer) error {
+	cfg := protogen.DefaultFuzzConfig()
+	cfg.Caches = caches
+	cfg.Parallelism = parallel
+	cfg.SimSteps = 1500
+	cfg.Shrink = false
+	start := time.Now()
+	rep, err := protogen.RunFuzzCampaign(0, 16, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "shipped families: %s (%.1fs)\n", rep.Summary(), time.Since(start).Seconds())
+	for _, r := range rep.Specs {
+		if !r.OK() {
+			return fmt.Errorf("seed %d (%s): %s", r.Seed, r.Family, r.Failure)
+		}
+	}
+	broken, _ := protogen.FuzzShapeByName("FZ_MI_double_grant")
+	r := protogen.FuzzCheckSource(broken.Source(), 1, 7, cfg)
+	if r.OK() {
+		return fmt.Errorf("planted double-grant bug was not caught")
+	}
+	min, err := protogen.FuzzShrink(broken.Source(), r.Failure, r.SimSeed, cfg)
+	if err != nil {
+		return err
+	}
+	n, _ := protogen.FuzzTxnCount(min)
+	fmt.Fprintf(w, "planted %s bug: caught as %s, reproducer shrunk to %d processes\n",
+		broken.Name(), r.Failure, n)
+	fmt.Fprintln(w, "\nEvery random well-formed SSP yields a correct concurrent protocol in all")
+	fmt.Fprintln(w, "three modes — the paper's generality claim under randomized stress; planted")
+	fmt.Fprintln(w, "bugs are flagged by the same campaign and minimized for the corpus.")
+	return nil
 }
 
 func mustGen(name, mode string) *protogen.Protocol {
@@ -73,14 +133,9 @@ func mustGen(name, mode string) *protogen.Protocol {
 	if !ok {
 		panic("unknown protocol " + name)
 	}
-	var o protogen.Options
-	switch mode {
-	case "stalling":
-		o = protogen.Stalling()
-	case "deferred":
-		o = protogen.Deferred()
-	default:
-		o = protogen.NonStalling()
+	o, err := protogen.OptionsForMode(mode)
+	if err != nil {
+		panic(err)
 	}
 	p, err := protogen.GenerateSource(e.Source, o)
 	if err != nil {
@@ -89,50 +144,50 @@ func mustGen(name, mode string) *protogen.Protocol {
 	return p
 }
 
-func table1() error {
+func table1(w io.Writer) error {
 	spec, err := protogen.Parse(protogen.BuiltinMSI)
 	if err != nil {
 		return err
 	}
 	cache, _ := protogen.RenderSpecTables(spec)
-	fmt.Println(cache)
-	fmt.Println("paper: Table I — same stable states, accesses and handlers.")
+	fmt.Fprintln(w, cache)
+	fmt.Fprintln(w, "paper: Table I — same stable states, accesses and handlers.")
 	return nil
 }
 
-func table2() error {
+func table2(w io.Writer) error {
 	spec, err := protogen.Parse(protogen.BuiltinMSI)
 	if err != nil {
 		return err
 	}
 	_, dir := protogen.RenderSpecTables(spec)
-	fmt.Println(dir)
-	fmt.Println("paper: Table II — same directory behavior incl. the owner constraint on PutM.")
+	fmt.Fprintln(w, dir)
+	fmt.Fprintln(w, "paper: Table II — same directory behavior incl. the owner constraint on PutM.")
 	return nil
 }
 
-func table34() error {
+func table34(w io.Writer) error {
 	p := mustGen("MOSI", "nonstalling")
-	fmt.Println("Before preprocessing (Table III): the MOSI SSP defines Fwd_GetS at both M and O.")
-	fmt.Println("After preprocessing (Table IV), renames performed:")
+	fmt.Fprintln(w, "Before preprocessing (Table III): the MOSI SSP defines Fwd_GetS at both M and O.")
+	fmt.Fprintln(w, "After preprocessing (Table IV), renames performed:")
 	for from, tos := range p.Renames {
-		fmt.Printf("  %s -> %v\n", from, tos)
+		fmt.Fprintf(w, "  %s -> %v\n", from, tos)
 	}
-	fmt.Println("\nGenerated handlers:")
+	fmt.Fprintln(w, "\nGenerated handlers:")
 	for _, s := range []protogen.StateName{"M", "O"} {
 		for _, t := range p.Cache.TransFrom(s) {
 			if t.Ev.Kind == 1 && strings.Contains(string(t.Ev.Msg), "Fwd_GetS") {
-				fmt.Printf("  %s + %-12s -> %s\n", s, t.Ev.Msg, t.CellString())
+				fmt.Fprintf(w, "  %s + %-12s -> %s\n", s, t.Ev.Msg, t.CellString())
 			}
 		}
 	}
-	fmt.Println("\npaper: Fwd_GetS stays at M; O's copy becomes O_Fwd_GetS. Reproduced.")
+	fmt.Fprintln(w, "\npaper: Fwd_GetS stays at M; O's copy becomes O_Fwd_GetS. Reproduced.")
 	return nil
 }
 
-func table5() error {
+func table5(w io.Writer) error {
 	p := mustGen("MSI", "stalling")
-	fmt.Println("Step-2 transient chain of the I->M transaction (no concurrency):")
+	fmt.Fprintln(w, "Step-2 transient chain of the I->M transaction (no concurrency):")
 	for _, n := range []protogen.StateName{"I", "IMAD", "IMA"} {
 		for _, t := range p.Cache.TransFrom(n) {
 			if t.Stall || t.Stale {
@@ -142,91 +197,91 @@ func table5() error {
 			if t.GuardLabel != "" {
 				g = " [" + t.GuardLabel + "]"
 			}
-			fmt.Printf("  %-5s %-8s%s -> %s\n", n, t.Ev, g, t.CellString())
+			fmt.Fprintf(w, "  %-5s %-8s%s -> %s\n", n, t.Ev, g, t.CellString())
 		}
 	}
-	fmt.Println("\npaper Table V: I --store--> IMAD; IMAD --DataNoAcks--> M;")
-	fmt.Println("IMAD --Data+#Acks--> IMA; IMA --LastAck--> M. Reproduced.")
+	fmt.Fprintln(w, "\npaper Table V: I --store--> IMAD; IMAD --DataNoAcks--> M;")
+	fmt.Fprintln(w, "IMAD --Data+#Acks--> IMA; IMA --LastAck--> M. Reproduced.")
 	return nil
 }
 
-func figure1() error {
+func figure1(w io.Writer) error {
 	p := mustGen("MSI", "nonstalling")
-	fmt.Println("SM_AD races (cache S->M transaction, GetM issued, no response yet):")
+	fmt.Fprintln(w, "SM_AD races (cache S->M transaction, GetM issued, no response yet):")
 	for _, t := range p.Cache.TransFrom("SMAD") {
 		if t.Ev.Kind != 1 || t.Stale {
 			continue
 		}
-		fmt.Printf("  SMAD + %-9s -> %s\n", t.Ev.Msg, t.CellString())
+		fmt.Fprintf(w, "  SMAD + %-9s -> %s\n", t.Ev.Msg, t.CellString())
 	}
-	fmt.Println("\nGraphviz form (paper Figure 1):")
-	fmt.Println(protogen.RenderDot(p.Cache, []protogen.StateName{"S", "SMAD", "IMAD", "SMA", "M"}))
-	fmt.Println("paper Figure 1: an Invalidation in SM_AD means Tother -> Town;")
-	fmt.Println("respond immediately and restart from I: SM_AD --Inv--> IM_AD. Reproduced.")
+	fmt.Fprintln(w, "\nGraphviz form (paper Figure 1):")
+	fmt.Fprintln(w, protogen.RenderDot(p.Cache, []protogen.StateName{"S", "SMAD", "IMAD", "SMA", "M"}))
+	fmt.Fprintln(w, "paper Figure 1: an Invalidation in SM_AD means Tother -> Town;")
+	fmt.Fprintln(w, "respond immediately and restart from I: SM_AD --Inv--> IM_AD. Reproduced.")
 	return nil
 }
 
-func figure2() error {
+func figure2(w io.Writer) error {
 	p := mustGen("MSI", "nonstalling")
-	fmt.Println("IS_D and IS_D_I (cache I->S transaction):")
+	fmt.Fprintln(w, "IS_D and IS_D_I (cache I->S transaction):")
 	for _, n := range []protogen.StateName{"ISD", "ISDI"} {
 		st := p.Cache.State(n)
-		fmt.Printf("  %s: state set %v, logical chain %v\n", n, st.StateSet, st.Chain)
+		fmt.Fprintf(w, "  %s: state set %v, logical chain %v\n", n, st.StateSet, st.Chain)
 		for _, t := range p.Cache.TransFrom(n) {
 			if t.Ev.Kind != 1 || t.Stale {
 				continue
 			}
-			fmt.Printf("    + %-8s -> %s\n", t.Ev.Msg, t.CellString())
+			fmt.Fprintf(w, "    + %-8s -> %s\n", t.Ev.Msg, t.CellString())
 		}
 	}
-	fmt.Println("\nGraphviz form (paper Figure 2):")
-	fmt.Println(protogen.RenderDot(p.Cache, []protogen.StateName{"I", "ISD", "ISDI", "S"}))
-	fmt.Println("paper Figure 2: IS_D is in both I and S state sets; an Invalidation moves it")
-	fmt.Println("to IS_D_I (I only), ack sent immediately, one load performed on Data. Reproduced.")
+	fmt.Fprintln(w, "\nGraphviz form (paper Figure 2):")
+	fmt.Fprintln(w, protogen.RenderDot(p.Cache, []protogen.StateName{"I", "ISD", "ISDI", "S"}))
+	fmt.Fprintln(w, "paper Figure 2: IS_D is in both I and S state sets; an Invalidation moves it")
+	fmt.Fprintln(w, "to IS_D_I (I only), ack sent immediately, one load performed on Data. Reproduced.")
 	return nil
 }
 
-func table6() error {
+func table6(w io.Writer) error {
 	p := mustGen("MSI", "nonstalling")
-	fmt.Println(protogen.RenderTable(p.Cache, protogen.TableOptions{ShowGuards: true}))
+	fmt.Fprintln(w, protogen.RenderTable(p.Cache, protogen.TableOptions{ShowGuards: true}))
 	s, tr, st := p.Cache.Counts()
-	fmt.Printf("cache: %d states, %d transitions (+%d stall cells)\n\n", s, tr, st)
+	fmt.Fprintf(w, "cache: %d states, %d transitions (+%d stall cells)\n\n", s, tr, st)
 	r := protogen.CompareWithBaseline(p.Cache, protogen.PrimerNonStallingMSI())
-	fmt.Println("Diff vs the primer's non-stalling MSI:")
-	fmt.Println(r)
-	fmt.Println("paper Table VI: 4 de-stalled cells (IM_AD/SM_AD x Fwd-GetS/Fwd-GetM),")
-	fmt.Println("4 extra states (IMADS IMADI IMADSI SMADS), merges IMAS=SMAS, IMASI=SMASI, IMAI=SMAI.")
+	fmt.Fprintln(w, "Diff vs the primer's non-stalling MSI:")
+	fmt.Fprintln(w, r)
+	fmt.Fprintln(w, "paper Table VI: 4 de-stalled cells (IM_AD/SM_AD x Fwd-GetS/Fwd-GetM),")
+	fmt.Fprintln(w, "4 extra states (IMADS IMADI IMADSI SMADS), merges IMAS=SMAS, IMASI=SMASI, IMAI=SMAI.")
 	return nil
 }
 
 func verifyCfg() protogen.VerifyConfig {
 	cfg := protogen.DefaultVerifyConfig()
-	cfg.Caches = *caches
-	cfg.Parallelism = *parallel
+	cfg.Caches = caches
+	cfg.Parallelism = parallel
 	return cfg
 }
 
-func expA() error {
+func expA(w io.Writer) error {
 	for _, name := range []string{"MSI", "MESI", "MOSI"} {
 		p := mustGen(name, "stalling")
 		s, tr, _ := p.Cache.Counts()
-		fmt.Printf("%-5s stalling: %2d cache states, %3d transitions", name, s, tr)
+		fmt.Fprintf(w, "%-5s stalling: %2d cache states, %3d transitions", name, s, tr)
 		if name == "MSI" {
 			r := protogen.CompareWithBaseline(p.Cache, protogen.PrimerStallingMSI())
-			fmt.Printf("; primer diff: %d identical cells, %d diffs", r.SameCells, len(r.Diffs))
+			fmt.Fprintf(w, "; primer diff: %d identical cells, %d diffs", r.SameCells, len(r.Diffs))
 		}
 		start := time.Now()
 		res := protogen.Verify(p, verifyCfg())
-		fmt.Printf("\n      verify: %s (%.1fs)\n", res, time.Since(start).Seconds())
+		fmt.Fprintf(w, "\n      verify: %s (%.1fs)\n", res, time.Since(start).Seconds())
 		if !res.OK() {
 			return fmt.Errorf("%s failed verification", name)
 		}
 	}
-	fmt.Println("\npaper §VI-A: generated == primer; all verified (SWMR + deadlock freedom). Reproduced.")
+	fmt.Fprintln(w, "\npaper §VI-A: generated == primer; all verified (SWMR + deadlock freedom). Reproduced.")
 	return nil
 }
 
-func expB() error {
+func expB(w io.Writer) error {
 	for _, name := range []string{"MSI", "MESI", "MOSI"} {
 		for _, L := range []int{3, 1} {
 			o := protogen.NonStalling()
@@ -237,51 +292,51 @@ func expB() error {
 				return err
 			}
 			s, tr, _ := p.Cache.Counts()
-			fmt.Printf("%-5s non-stalling L=%d: %2d states, %3d transitions\n", name, L, s, tr)
+			fmt.Fprintf(w, "%-5s non-stalling L=%d: %2d states, %3d transitions\n", name, L, s, tr)
 		}
 		p := mustGen(name, "nonstalling")
 		start := time.Now()
 		res := protogen.Verify(p, verifyCfg())
-		fmt.Printf("      verify: %s (%.1fs)\n", res, time.Since(start).Seconds())
+		fmt.Fprintf(w, "      verify: %s (%.1fs)\n", res, time.Since(start).Seconds())
 		if !res.OK() {
 			return fmt.Errorf("%s failed verification", name)
 		}
 	}
-	fmt.Println("\npaper §VI-B: \"18-20 states and 46-60 transitions\"; MSI reproduces Table VI's")
-	fmt.Println("19 exactly; MESI/MOSI sit in the band at L=1 and grow richer at L=3.")
+	fmt.Fprintln(w, "\npaper §VI-B: \"18-20 states and 46-60 transitions\"; MSI reproduces Table VI's")
+	fmt.Fprintln(w, "19 exactly; MESI/MOSI sit in the band at L=1 and grow richer at L=3.")
 	return nil
 }
 
-func expC() error {
+func expC(w io.Writer) error {
 	p := mustGen("MSI_Unordered", "nonstalling")
 	s, tr, _ := p.Cache.Counts()
 	ds, dt, _ := p.Dir.Counts()
-	fmt.Printf("MSI_Unordered: cache %d states/%d transitions; directory %d states/%d transitions\n", s, tr, ds, dt)
-	fmt.Println("directory busy states (Unblock handshakes):")
+	fmt.Fprintf(w, "MSI_Unordered: cache %d states/%d transitions; directory %d states/%d transitions\n", s, tr, ds, dt)
+	fmt.Fprintln(w, "directory busy states (Unblock handshakes):")
 	for _, n := range p.Dir.Order {
 		if p.Dir.State(n).Kind == 1 {
-			fmt.Printf("  %s\n", n)
+			fmt.Fprintf(w, "  %s\n", n)
 		}
 	}
 	start := time.Now()
 	res := protogen.Verify(p, verifyCfg())
-	fmt.Printf("verify on unordered network: %s (%.1fs)\n", res, time.Since(start).Seconds())
+	fmt.Fprintf(w, "verify on unordered network: %s (%.1fs)\n", res, time.Since(start).Seconds())
 	if !res.OK() {
 		return fmt.Errorf("unordered MSI failed verification")
 	}
-	fmt.Println("\npaper §VI-C: handshaking SSP; ProtoGen handles the concurrency. Reproduced.")
+	fmt.Fprintln(w, "\npaper §VI-C: handshaking SSP; ProtoGen handles the concurrency. Reproduced.")
 	return nil
 }
 
-func expD() error {
+func expD(w io.Writer) error {
 	p := mustGen("TSO_CC", "nonstalling")
 	s, tr, _ := p.Cache.Counts()
-	fmt.Printf("TSO_CC: %d cache states, %d transitions\n", s, tr)
+	fmt.Fprintf(w, "TSO_CC: %d cache states, %d transitions\n", s, tr)
 	cfg := verifyCfg()
 	cfg.CheckSWMR = false
 	cfg.CheckValues = false
 	res := protogen.Verify(p, cfg)
-	fmt.Printf("deadlock freedom: %s\n\n", res)
+	fmt.Fprintf(w, "deadlock freedom: %s\n\n", res)
 	if !res.OK() {
 		return fmt.Errorf("TSO-CC deadlocks")
 	}
@@ -290,14 +345,14 @@ func expD() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %s\n", r)
+		fmt.Fprintf(w, "  %s\n", r)
 	}
-	fmt.Println("\npaper §VI-D: TSO-CC generated from its SSP; TSO verified (here: litmus")
-	fmt.Println("falsification — forbidden outcomes absent, TSO-allowed relaxations present).")
+	fmt.Fprintln(w, "\npaper §VI-D: TSO-CC generated from its SSP; TSO verified (here: litmus")
+	fmt.Fprintln(w, "falsification — forbidden outcomes absent, TSO-allowed relaxations present).")
 	return nil
 }
 
-func expE() error {
+func expE(w io.Writer) error {
 	for _, e := range protogen.Builtins() {
 		start := time.Now()
 		const n = 20
@@ -306,30 +361,30 @@ func expE() error {
 				return err
 			}
 		}
-		fmt.Printf("%-14s generation: %v per run\n", e.Name, time.Since(start)/n)
+		fmt.Fprintf(w, "%-14s generation: %v per run\n", e.Name, time.Since(start)/n)
 	}
-	fmt.Println("\npaper §VI-E: \"runtimes are always well less than one second\". Reproduced")
-	fmt.Println("with orders of magnitude to spare.")
+	fmt.Fprintln(w, "\npaper §VI-E: \"runtimes are always well less than one second\". Reproduced")
+	fmt.Fprintln(w, "with orders of magnitude to spare.")
 	return nil
 }
 
-func expX1() error {
-	for _, w := range protogen.StandardWorkloads() {
+func expX1(w io.Writer) error {
+	for _, wl := range protogen.StandardWorkloads() {
 		for _, mode := range []string{"stalling", "nonstalling"} {
 			p := mustGen("MSI", mode)
-			st, err := protogen.Simulate(p, protogen.SimConfig{Caches: 3, Steps: 50000, Seed: 7, Workload: w})
+			st, err := protogen.Simulate(p, protogen.SimConfig{Caches: 3, Steps: 50000, Seed: 7, Workload: wl})
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-18s %-12s %s\n", w.Name(), mode, st)
+			fmt.Fprintf(w, "%-18s %-12s %s\n", wl.Name(), mode, st)
 		}
 	}
-	fmt.Println("\nThe non-stalling protocol eliminates essentially all blocked deliveries")
-	fmt.Println("under contention — the concurrency the paper's generator unlocks.")
+	fmt.Fprintln(w, "\nThe non-stalling protocol eliminates essentially all blocked deliveries")
+	fmt.Fprintln(w, "under contention — the concurrency the paper's generator unlocks.")
 	return nil
 }
 
-func expX2() error {
+func expX2(w io.Writer) error {
 	for _, L := range []int{0, 1, 2, 3} {
 		o := protogen.NonStalling()
 		o.PendingLimit = L
@@ -342,13 +397,13 @@ func expX2() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("L=%d: %2d states; %s\n", L, s, st)
+		fmt.Fprintf(w, "L=%d: %2d states; %s\n", L, s, st)
 	}
-	fmt.Println("\nDeeper absorption budgets trade transient states for stall-freedom.")
+	fmt.Fprintln(w, "\nDeeper absorption budgets trade transient states for stall-freedom.")
 	return nil
 }
 
-func expX3() error {
+func expX3(w io.Writer) error {
 	for _, mode := range []string{"nonstalling", "stalling", "deferred"} {
 		for _, prune := range []bool{true, false} {
 			var o protogen.Options
@@ -367,13 +422,13 @@ func expX3() error {
 			}
 			cfg := protogen.QuickVerifyConfig()
 			cfg.CheckLiveness = false
-			cfg.Parallelism = *parallel
+			cfg.Parallelism = parallel
 			res := protogen.Verify(p, cfg)
-			fmt.Printf("%-12s prune=%-5v: %s\n", mode, prune, res)
+			fmt.Fprintf(w, "%-12s prune=%-5v: %s\n", mode, prune, res)
 		}
 	}
-	fmt.Println("\nFinding: the paper calls sharer pruning on stale Puts an optional")
-	fmt.Println("optimization; the stalling and deferred-response designs deadlock without")
-	fmt.Println("it (dangling sharers), while the immediate-response design tolerates it.")
+	fmt.Fprintln(w, "\nFinding: the paper calls sharer pruning on stale Puts an optional")
+	fmt.Fprintln(w, "optimization; the stalling and deferred-response designs deadlock without")
+	fmt.Fprintln(w, "it (dangling sharers), while the immediate-response design tolerates it.")
 	return nil
 }

@@ -1,0 +1,237 @@
+// Command protofuzz runs the randomized-spec differential verification
+// campaign: seeded well-formed SSPs drawn from parameterized protocol
+// families are generated in all three modes (stalling / non-stalling /
+// deferred), model-checked in each, the verdicts cross-checked against
+// each other and against the simulator's SC checker, and failures shrunk
+// to minimal reproducers for the regression corpus.
+//
+// Usage:
+//
+//	protofuzz -seeds 0:200                    # the standard campaign
+//	protofuzz -seeds 0:50 -family FZ_MOSI     # one family only
+//	protofuzz -family FZ_MI_double_grant -shrink -corpus internal/fuzz/corpus
+//	protofuzz -list                           # families, boundaries, corpus
+//	protofuzz -replay                         # replay the committed corpus
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"protogen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "protofuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("protofuzz", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		seeds    = fs.String("seeds", "0:100", "seed range first:last (half-open)")
+		family   = fs.String("family", "", "comma-separated family names (default: every shipped family; broken/boundary families must be named explicitly)")
+		caches   = fs.Int("caches", 2, "caches for the differential model checks")
+		maxSts   = fs.Int("max", 500_000, "per-mode state cap")
+		simSteps = fs.Int("sim-steps", 3000, "simulator SC-check steps (0 disables)")
+		parallel = fs.Int("parallel", 0, "campaign workers (0 = all cores)")
+		shrink   = fs.Bool("shrink", true, "shrink failing specs to minimal reproducers")
+		corpus   = fs.String("corpus", "", "write minimized reproducers into this directory")
+		jsonOut  = fs.String("json", "", "write one JSON report line per spec to this file (- = stdout)")
+		list     = fs.Bool("list", false, "list families, boundary shapes and corpus entries")
+		replay   = fs.Bool("replay", false, "replay the committed regression corpus")
+		verbose  = fs.Bool("v", false, "print every spec's outcome, not just failures")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		return listEntries(stdout)
+	}
+
+	cfg := protogen.DefaultFuzzConfig()
+	cfg.Caches = *caches
+	cfg.MaxStates = *maxSts
+	cfg.SimSteps = *simSteps
+	cfg.Parallelism = *parallel
+	cfg.Shrink = *shrink
+	if *family != "" {
+		cfg.Families = strings.Split(*family, ",")
+	}
+
+	if *replay {
+		return replayCorpus(stdout, cfg)
+	}
+
+	first, last, err := parseSeeds(*seeds)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	rep, err := protogen.RunFuzzCampaign(first, last, cfg)
+	if err != nil {
+		return err
+	}
+	if err := report(stdout, rep, *jsonOut, *corpus, *verbose); err != nil {
+		return err
+	}
+	if *jsonOut != "-" { // keep stdout pure JSONL when streaming there
+		fmt.Fprintf(stdout, "%s in %.1fs\n", rep.Summary(), time.Since(start).Seconds())
+	}
+	if rep.Fail > 0 {
+		return fmt.Errorf("%d of %d specs failed the differential campaign", rep.Fail, len(rep.Specs))
+	}
+	return nil
+}
+
+// parseSeeds parses a "first:last" half-open range.
+func parseSeeds(s string) (uint64, uint64, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("-seeds %q: want first:last", s)
+	}
+	first, err := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-seeds %q: %v", s, err)
+	}
+	last, err := strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-seeds %q: %v", s, err)
+	}
+	if last <= first {
+		return 0, 0, fmt.Errorf("-seeds %q: empty range", s)
+	}
+	return first, last, nil
+}
+
+// report renders per-spec outcomes, the JSONL stream, and writes
+// minimized reproducers to the corpus directory. With -json - the
+// human-readable lines are suppressed so stdout stays pure JSONL.
+func report(stdout io.Writer, rep *protogen.FuzzReport, jsonOut, corpusDir string, verbose bool) error {
+	human := stdout
+	var jw io.Writer
+	if jsonOut == "-" {
+		jw = stdout
+		human = io.Discard
+	} else if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jw = f
+	}
+	var enc *json.Encoder
+	if jw != nil {
+		enc = json.NewEncoder(jw)
+	}
+	for i := range rep.Specs {
+		r := &rep.Specs[i]
+		if enc != nil {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+		if r.OK() {
+			if verbose {
+				fmt.Fprintf(human, "seed %-6d %-24s L=%d pass (%dms)\n", r.Seed, r.Family, r.PendingLimit, r.ElapsedMS)
+			}
+			continue
+		}
+		fmt.Fprintf(human, "seed %-6d %-24s L=%d FAIL %s — %s\n", r.Seed, r.Family, r.PendingLimit, r.Failure, r.Failure.Detail)
+		if r.Minimized != "" {
+			n := "?"
+			if c, err := protogen.FuzzTxnCount(r.Minimized); err == nil {
+				n = strconv.Itoa(c)
+			}
+			fmt.Fprintf(human, "           minimized to %s processes\n", n)
+			if corpusDir != "" {
+				path, err := protogen.WriteFuzzCorpusEntry(corpusDir, protogen.FuzzCorpusEntry{
+					Family: r.Family, Seed: r.Seed, SimSeed: r.SimSeed, Expect: r.Failure,
+					Txns:   mustCount(r.Minimized),
+					Source: r.Minimized,
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(human, "           wrote %s\n", path)
+			}
+		}
+	}
+	return nil
+}
+
+func mustCount(src string) int {
+	n, err := protogen.FuzzTxnCount(src)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// listEntries prints the family pools and the committed corpus.
+func listEntries(stdout io.Writer) error {
+	if err := protogen.RegisterFuzzEntries(); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "shipped families (random seeds draw from these):")
+	for _, p := range protogen.FuzzShapes() {
+		fmt.Fprintf(stdout, "  %s\n", p.Name())
+	}
+	fmt.Fprintln(stdout, "broken families (planted bugs; must be caught):")
+	for _, p := range protogen.FuzzBrokenShapes() {
+		fmt.Fprintf(stdout, "  %s\n", p.Name())
+	}
+	fmt.Fprintln(stdout, "boundary families (known generator limits):")
+	for _, p := range protogen.FuzzBoundaryShapes() {
+		fmt.Fprintf(stdout, "  %s\n", p.Name())
+	}
+	entries, err := protogen.FuzzCorpus()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "corpus reproducers:")
+	for _, e := range entries {
+		fmt.Fprintf(stdout, "  corpus/%-28s %d txns, expect %s\n", e.Name, e.Txns, e.Expect)
+	}
+	return nil
+}
+
+// replayCorpus re-runs the oracle on every committed reproducer.
+func replayCorpus(stdout io.Writer, cfg protogen.FuzzConfig) error {
+	entries, err := protogen.FuzzCorpus()
+	if err != nil {
+		return err
+	}
+	cfg.Shrink = false
+	bad := 0
+	for _, e := range entries {
+		r := protogen.FuzzCheckSource(e.Source, 1, e.ReplaySimSeed(), cfg)
+		status := "reproduced"
+		if r.OK() {
+			status = "NO LONGER FAILS"
+			bad++
+		} else if r.Failure.Class != e.Expect.Class {
+			status = fmt.Sprintf("CLASS DRIFT: %s (expected %s)", r.Failure, e.Expect)
+			bad++
+		}
+		fmt.Fprintf(stdout, "%-28s expect %-24s %s\n", e.Name, e.Expect.String(), status)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d corpus entries drifted", bad, len(entries))
+	}
+	fmt.Fprintf(stdout, "%d corpus entries reproduced\n", len(entries))
+	return nil
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmallCampaign: a short seed range over the shipped families is
+// clean — the CI smoke entry point.
+func TestRunSmallCampaign(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-seeds", "0:6", "-sim-steps", "1000", "-v"}, &out)
+	if err != nil {
+		t.Fatalf("campaign failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "6 specs: 6 pass, 0 fail") {
+		t.Errorf("unexpected summary:\n%s", out.String())
+	}
+}
+
+// TestRunBrokenFamilyCampaign: naming a defective family makes the
+// campaign fail, shrink, and (with -corpus) write the reproducer.
+func TestRunBrokenFamilyCampaign(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{
+		"-seeds", "0:1", "-family", "FZ_MI_double_grant",
+		"-sim-steps", "0", "-corpus", dir, "-json", filepath.Join(dir, "report.jsonl"),
+	}, &out)
+	if err == nil {
+		t.Fatalf("broken family campaign must fail:\n%s", out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "FAIL safety") {
+		t.Errorf("failure not reported:\n%s", s)
+	}
+	if !strings.Contains(s, "minimized to") {
+		t.Errorf("shrink not reported:\n%s", s)
+	}
+	b, rerr := os.ReadFile(filepath.Join(dir, "FZ_MI_double_grant.ssp"))
+	if rerr != nil {
+		t.Fatalf("reproducer not written: %v\n%s", rerr, s)
+	}
+	if !strings.Contains(string(b), "// kind: SWMR") {
+		t.Errorf("reproducer header lacks the expected kind:\n%s", string(b))
+	}
+	j, rerr := os.ReadFile(filepath.Join(dir, "report.jsonl"))
+	if rerr != nil || !strings.Contains(string(j), `"failure"`) {
+		t.Errorf("JSONL report missing or empty: %v", rerr)
+	}
+}
+
+// TestRunJSONToStdoutIsPure: with -json - every stdout line must be
+// valid JSON (human lines are suppressed), so `protofuzz -json - | jq`
+// works.
+func TestRunJSONToStdoutIsPure(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-seeds", "0:2", "-sim-steps", "500", "-json", "-", "-v"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 JSONL lines, got %d:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(l), &v); err != nil {
+			t.Errorf("non-JSON stdout line %q: %v", l, err)
+		}
+	}
+}
+
+// TestRunReplay: the committed corpus replays clean.
+func TestRunReplay(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-replay"}, &out); err != nil {
+		t.Fatalf("replay: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "corpus entries reproduced") {
+		t.Errorf("unexpected replay output:\n%s", out.String())
+	}
+}
+
+// TestRunList: families and corpus entries are listed via the registry.
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FZ_MSI", "FZ_MI_double_grant", "corpus/FZ_MSI_miscounted_acks", "boundary"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestParseSeeds: the range syntax is validated.
+func TestParseSeeds(t *testing.T) {
+	if a, b, err := parseSeeds("3:9"); err != nil || a != 3 || b != 9 {
+		t.Errorf("parseSeeds(3:9) = %d,%d,%v", a, b, err)
+	}
+	for _, bad := range []string{"", "5", "9:3", "a:b", "4:4"} {
+		if _, _, err := parseSeeds(bad); err == nil {
+			t.Errorf("parseSeeds(%q) must error", bad)
+		}
+	}
+}

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,47 +20,66 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "protogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("protogen", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		name    = flag.String("protocol", "MSI", "built-in protocol name (MSI, MESI, MOSI, MSI_Upgrade, MSI_Unordered, TSO_CC)")
-		file    = flag.String("file", "", "read the SSP from a file instead of a built-in")
-		mode    = flag.String("mode", "nonstalling", "generation mode: nonstalling, stalling, deferred")
-		limit   = flag.Int("L", 0, "pending-transaction limit (0 = default)")
-		out     = flag.String("out", "summary", "output: summary, table, dsl, murphi, dot, fsm")
-		machine = flag.String("machine", "cache", "which controller to print: cache, dir")
-		stale   = flag.Bool("stale", false, "show generated stale handling in tables")
-		list    = flag.Bool("list", false, "list built-in protocols")
+		name    = fs.String("protocol", "MSI", "built-in protocol name (MSI, MESI, MOSI, MSI_Upgrade, MSI_Unordered, TSO_CC)")
+		file    = fs.String("file", "", "read the SSP from a file instead of a built-in")
+		mode    = fs.String("mode", "nonstalling", "generation mode: nonstalling, stalling, deferred")
+		limit   = fs.Int("L", 0, "pending-transaction limit (0 = default)")
+		out     = fs.String("out", "summary", "output: summary, table, dsl, murphi, dot, fsm")
+		machine = fs.String("machine", "cache", "which controller to print: cache, dir")
+		stale   = fs.Bool("stale", false, "show generated stale handling in tables")
+		list    = fs.Bool("list", false, "list registry protocols (builtins plus registered entries)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		for _, e := range protogen.Builtins() {
-			fmt.Printf("%-14s %s\n", e.Name, e.Paper)
+		for _, e := range protogen.RegistryEntries() {
+			fmt.Fprintf(stdout, "%-14s %s\n", e.Name, e.Paper)
 		}
-		return
+		return nil
 	}
 
 	src := ""
 	if *file != "" {
 		b, err := os.ReadFile(*file)
-		fatal(err)
+		if err != nil {
+			return err
+		}
 		src = string(b)
 	} else {
 		e, ok := protogen.LookupBuiltin(*name)
 		if !ok {
-			fatal(fmt.Errorf("unknown protocol %q (try -list)", *name))
+			return fmt.Errorf("unknown protocol %q (try -list)", *name)
 		}
 		src = e.Source
 	}
 
-	opts, err := modeOptions(*mode)
-	fatal(err)
+	opts, err := protogen.OptionsForMode(*mode)
+	if err != nil {
+		return err
+	}
 	if *limit > 0 {
 		opts.PendingLimit = *limit
 	}
 	spec, err := protogen.Parse(src)
-	fatal(err)
+	if err != nil {
+		return err
+	}
 	p, err := protogen.Generate(spec, opts)
-	fatal(err)
+	if err != nil {
+		return err
+	}
 
 	m := p.Cache
 	if strings.HasPrefix(*machine, "dir") {
@@ -66,46 +87,35 @@ func main() {
 	}
 	switch *out {
 	case "summary":
-		printSummary(p)
+		printSummary(stdout, p)
 	case "table":
-		fmt.Print(protogen.RenderTable(m, protogen.TableOptions{ShowGuards: true, ShowStale: *stale}))
+		fmt.Fprint(stdout, protogen.RenderTable(m, protogen.TableOptions{ShowGuards: true, ShowStale: *stale}))
 	case "dsl":
-		fmt.Print(protogen.FormatSSP(spec))
+		fmt.Fprint(stdout, protogen.FormatSSP(spec))
 	case "murphi":
-		fmt.Print(protogen.EmitMurphi(p, protogen.DefaultMurphiOptions()))
+		fmt.Fprint(stdout, protogen.EmitMurphi(p, protogen.DefaultMurphiOptions()))
 	case "dot":
-		fmt.Print(protogen.RenderDot(m, nil))
+		fmt.Fprint(stdout, protogen.RenderDot(m, nil))
 	case "fsm":
-		fmt.Print(protogen.FormatProtocol(p))
+		fmt.Fprint(stdout, protogen.FormatProtocol(p))
 	default:
-		fatal(fmt.Errorf("unknown -out %q", *out))
+		return fmt.Errorf("unknown -out %q", *out)
 	}
+	return nil
 }
 
-func modeOptions(mode string) (protogen.Options, error) {
-	switch mode {
-	case "nonstalling":
-		return protogen.NonStalling(), nil
-	case "stalling":
-		return protogen.Stalling(), nil
-	case "deferred":
-		return protogen.Deferred(), nil
-	}
-	return protogen.Options{}, fmt.Errorf("unknown -mode %q", mode)
-}
-
-func printSummary(p *protogen.Protocol) {
-	fmt.Printf("protocol %s (%s)\n", p.Name, p.OptsNote)
+func printSummary(w io.Writer, p *protogen.Protocol) {
+	fmt.Fprintf(w, "protocol %s (%s)\n", p.Name, p.OptsNote)
 	for _, m := range []*protogen.Machine{p.Cache, p.Dir} {
 		s, tr, st := m.Counts()
-		fmt.Printf("  %-10s %2d states, %3d transitions, %3d stalls\n", m.Name+":", s, tr, st)
-		fmt.Printf("    states: %s\n", join(m))
+		fmt.Fprintf(w, "  %-10s %2d states, %3d transitions, %3d stalls\n", m.Name+":", s, tr, st)
+		fmt.Fprintf(w, "    states: %s\n", join(m))
 	}
 	if len(p.Renames) > 0 {
-		fmt.Printf("  renames: %v\n", p.Renames)
+		fmt.Fprintf(w, "  renames: %v\n", p.Renames)
 	}
 	if len(p.Reinterpret) > 0 {
-		fmt.Printf("  reinterpretations: %v\n", p.Reinterpret)
+		fmt.Fprintf(w, "  reinterpretations: %v\n", p.Reinterpret)
 	}
 }
 
@@ -120,11 +130,4 @@ func join(m *protogen.Machine) string {
 		parts = append(parts, s)
 	}
 	return strings.Join(parts, " ")
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "protogen:", err)
-		os.Exit(1)
-	}
 }

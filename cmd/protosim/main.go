@@ -9,41 +9,49 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"protogen"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "protosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("protosim", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		name     = flag.String("protocol", "MSI", "built-in protocol name")
-		mode     = flag.String("mode", "nonstalling", "nonstalling, stalling, deferred")
-		workload = flag.String("workload", "contended", "contended, producer-consumer, read-mostly, migratory")
-		steps    = flag.Int("steps", 50000, "scheduler steps")
-		caches   = flag.Int("caches", 3, "number of caches")
-		seed     = flag.Int64("seed", 1, "random seed")
+		name     = fs.String("protocol", "MSI", "built-in protocol name")
+		mode     = fs.String("mode", "nonstalling", "nonstalling, stalling, deferred")
+		workload = fs.String("workload", "contended", "contended, producer-consumer, read-mostly, migratory")
+		steps    = fs.Int("steps", 50000, "scheduler steps")
+		caches   = fs.Int("caches", 3, "number of caches")
+		seed     = fs.Int64("seed", 1, "random seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	e, ok := protogen.LookupBuiltin(*name)
 	if !ok {
-		fatal(fmt.Errorf("unknown protocol %q", *name))
+		return fmt.Errorf("unknown protocol %q", *name)
 	}
-	var opts protogen.Options
-	switch *mode {
-	case "nonstalling":
-		opts = protogen.NonStalling()
-	case "stalling":
-		opts = protogen.Stalling()
-	case "deferred":
-		opts = protogen.Deferred()
-	default:
-		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	opts, err := protogen.OptionsForMode(*mode)
+	if err != nil {
+		return err
 	}
 	p, err := protogen.GenerateSource(e.Source, opts)
-	fatal(err)
+	if err != nil {
+		return err
+	}
 
 	var w protogen.Workload
 	for _, cand := range protogen.StandardWorkloads() {
@@ -52,22 +60,17 @@ func main() {
 		}
 	}
 	if w == nil {
-		fatal(fmt.Errorf("unknown -workload %q", *workload))
+		return fmt.Errorf("unknown -workload %q", *workload)
 	}
 	st, err := protogen.Simulate(p, protogen.SimConfig{
 		Caches: *caches, Steps: *steps, Seed: *seed, Workload: w,
 	})
-	fatal(err)
-	fmt.Printf("%s %s %s: %s\n", *name, *mode, w.Name(), st)
-	if st.SCViolations > 0 {
-		fmt.Fprintln(os.Stderr, "per-location SC violations detected!")
-		os.Exit(1)
-	}
-}
-
-func fatal(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "protosim:", err)
-		os.Exit(1)
+		return err
 	}
+	fmt.Fprintf(stdout, "%s %s %s: %s\n", *name, *mode, w.Name(), st)
+	if st.SCViolations > 0 {
+		return fmt.Errorf("%d per-location SC violations detected", st.SCViolations)
+	}
+	return nil
 }

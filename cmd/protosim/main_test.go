@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSimulateWorkload: one workload end to end through the CLI path.
+func TestRunSimulateWorkload(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-protocol", "MSI", "-workload", "contended", "-steps", "3000", "-caches", "2"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "txns=") {
+		t.Errorf("output lacks stats: %s", out.String())
+	}
+}
+
+// TestRunSimErrors: bad flags come back as errors.
+func TestRunSimErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-protocol", "NoSuch"}, &out); err == nil {
+		t.Error("unknown protocol must error")
+	}
+	if err := run([]string{"-workload", "bogus"}, &out); err == nil {
+		t.Error("unknown workload must error")
+	}
+	if err := run([]string{"-mode", "bogus"}, &out); err == nil {
+		t.Error("unknown mode must error")
+	}
+}

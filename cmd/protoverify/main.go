@@ -6,11 +6,14 @@
 //
 //	protoverify -protocol MSI -mode nonstalling -caches 2
 //	protoverify -protocol TSO_CC -no-swmr -no-values        # deadlock only
+//	protoverify -protocol MSI -max-violations 5 -trace      # all witnesses
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -18,56 +21,66 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "protoverify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("protoverify", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		name     = flag.String("protocol", "MSI", "built-in protocol name")
-		file     = flag.String("file", "", "read the SSP from a file instead of a built-in")
-		mode     = flag.String("mode", "nonstalling", "nonstalling, stalling, deferred")
-		caches   = flag.Int("caches", 2, "number of caches (the paper uses 3)")
-		capacity = flag.Int("capacity", 4, "per-channel capacity")
-		maxSts   = flag.Int("max", 4_000_000, "state cap")
-		noSWMR   = flag.Bool("no-swmr", false, "skip the SWMR invariant")
-		noVals   = flag.Bool("no-values", false, "skip the data-value invariant")
-		noLive   = flag.Bool("no-liveness", false, "skip quiescence reachability")
-		noSym    = flag.Bool("no-symmetry", false, "disable symmetry reduction")
-		noPrune  = flag.Bool("no-prune", false, "disable sharer pruning on stale Puts (ablation)")
-		parallel = flag.Int("parallel", 0, "exploration workers (0 = all cores, 1 = sequential)")
-		trace    = flag.Bool("trace", false, "print the counterexample trace")
+		name     = fs.String("protocol", "MSI", "built-in protocol name")
+		file     = fs.String("file", "", "read the SSP from a file instead of a built-in")
+		mode     = fs.String("mode", "nonstalling", "nonstalling, stalling, deferred")
+		caches   = fs.Int("caches", 3, "number of caches (3 matches the paper setup and the library default)")
+		capacity = fs.Int("capacity", 4, "per-channel capacity")
+		maxSts   = fs.Int("max", 4_000_000, "state cap")
+		maxViol  = fs.Int("max-violations", 1, "stop after this many violations")
+		noSWMR   = fs.Bool("no-swmr", false, "skip the SWMR invariant")
+		noVals   = fs.Bool("no-values", false, "skip the data-value invariant")
+		noLive   = fs.Bool("no-liveness", false, "skip quiescence reachability")
+		noSym    = fs.Bool("no-symmetry", false, "disable symmetry reduction")
+		noPrune  = fs.Bool("no-prune", false, "disable sharer pruning on stale Puts (ablation)")
+		parallel = fs.Int("parallel", 0, "exploration workers (0 = all cores, 1 = sequential)")
+		trace    = fs.Bool("trace", false, "print every violation's counterexample trace")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	src := ""
 	if *file != "" {
 		b, err := os.ReadFile(*file)
-		fatal(err)
+		if err != nil {
+			return err
+		}
 		src = string(b)
 	} else {
 		e, ok := protogen.LookupBuiltin(*name)
 		if !ok {
-			fatal(fmt.Errorf("unknown protocol %q", *name))
+			return fmt.Errorf("unknown protocol %q", *name)
 		}
 		src = e.Source
 	}
-	var opts protogen.Options
-	switch *mode {
-	case "nonstalling":
-		opts = protogen.NonStalling()
-	case "stalling":
-		opts = protogen.Stalling()
-	case "deferred":
-		opts = protogen.Deferred()
-	default:
-		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	opts, err := protogen.OptionsForMode(*mode)
+	if err != nil {
+		return err
 	}
 	if *noPrune {
 		opts.PruneSharerOnStalePut = false
 	}
 	p, err := protogen.GenerateSource(src, opts)
-	fatal(err)
+	if err != nil {
+		return err
+	}
 
 	cfg := protogen.DefaultVerifyConfig()
 	cfg.Caches = *caches
 	cfg.Capacity = *capacity
 	cfg.MaxStates = *maxSts
+	cfg.MaxViolations = *maxViol
 	cfg.CheckSWMR = !*noSWMR
 	cfg.CheckValues = !*noVals
 	cfg.CheckLiveness = !*noLive
@@ -76,20 +89,17 @@ func main() {
 
 	start := time.Now()
 	res := protogen.Verify(p, cfg)
-	fmt.Printf("%s  (%.1fs)\n", res, time.Since(start).Seconds())
+	fmt.Fprintf(stdout, "%s  (%.1fs)\n", res, time.Since(start).Seconds())
 	if !res.OK() {
-		if *trace {
-			for i, step := range res.Violations[0].Trace {
-				fmt.Printf("  %3d. %s\n", i+1, step)
+		for vi, v := range res.Violations {
+			fmt.Fprintf(stdout, "violation %d/%d — %s\n", vi+1, len(res.Violations), v)
+			if *trace {
+				for i, step := range v.Trace {
+					fmt.Fprintf(stdout, "  %3d. %s\n", i+1, step)
+				}
 			}
 		}
-		os.Exit(1)
+		return fmt.Errorf("%d violation(s) found", len(res.Violations))
 	}
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "protoverify:", err)
-		os.Exit(1)
-	}
+	return nil
 }

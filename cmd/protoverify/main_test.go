@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunVerifyMSI: the end-to-end smoke — generate and verify MSI at a
+// fast scale through the real CLI path.
+func TestRunVerifyMSI(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("output lacks PASS: %s", out.String())
+	}
+}
+
+// TestRunVerifyDefaults: the default -caches matches the library's
+// DefaultConfig (3, the paper setup) — regression for the silent 2/3
+// mismatch.
+func TestRunVerifyDefaults(t *testing.T) {
+	var out strings.Builder
+	fsErr := run([]string{"-h"}, &out)
+	if fsErr == nil {
+		t.Fatal("-h must return flag.ErrHelp")
+	}
+	if !strings.Contains(out.String(), "caches") || !strings.Contains(out.String(), "(default 3)") {
+		t.Errorf("-caches default is not 3:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "max-violations") {
+		t.Errorf("-max-violations flag missing:\n%s", out.String())
+	}
+}
+
+// TestRunVerifyBrokenPrintsAllTraces: with -max-violations > 1 every
+// violation is printed with its own trace — regression for -trace only
+// showing Violations[0].
+func TestRunVerifyBrokenPrintsAllTraces(t *testing.T) {
+	var out strings.Builder
+	// The no-prune ablation deadlocks the stalling design (§V-F finding).
+	err := run([]string{
+		"-protocol", "MSI", "-mode", "stalling", "-no-prune",
+		"-caches", "2", "-parallel", "1", "-max-violations", "2", "-trace",
+	}, &out)
+	if err == nil {
+		t.Fatalf("no-prune stalling MSI must fail verification:\n%s", out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "violation 1/") {
+		t.Errorf("first violation not printed:\n%s", s)
+	}
+	if strings.Contains(s, "violation 2/2") {
+		// Two violations found: both must carry numbered trace lines.
+		if strings.Count(s, "  1. ") < 2 && strings.Count(s, "   1. ") < 2 {
+			t.Errorf("second violation printed without its trace:\n%s", s)
+		}
+	}
+}
+
+// TestRunVerifyUnknownProtocol: errors surface as errors, not exits.
+func TestRunVerifyUnknownProtocol(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-protocol", "NoSuch"}, &out); err == nil {
+		t.Error("unknown protocol must error")
+	}
+	if err := run([]string{"-protocol", "MSI", "-mode", "bogus"}, &out); err == nil {
+		t.Error("unknown mode must error")
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"protogen/internal/dsl"
+	"protogen/internal/ir"
+	"protogen/internal/protocols"
+)
+
+func TestGenerateNeverPanicsOnMutatedSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var specs []*ir.Spec
+	for _, e := range protocols.All {
+		s, err := dsl.Parse(e.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	opts := []Options{NonStallingOpts(), StallingOpts(), DeferredOpts()}
+	for i := 0; i < 1500; i++ {
+		s := specs[rng.Intn(len(specs))].Clone()
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			m := s.Cache
+			if rng.Intn(2) == 0 {
+				m = s.Dir
+			}
+			if len(m.Txns) == 0 {
+				continue
+			}
+			j := rng.Intn(len(m.Txns))
+			switch rng.Intn(4) {
+			case 0:
+				m.Txns = append(m.Txns[:j:j], m.Txns[j+1:]...)
+			case 1:
+				m.Txns[j].Await = nil
+				m.Txns[j].Final = m.Init
+			case 2:
+				m.Txns[j].InitActions = nil
+			case 3:
+				if len(s.Msgs) > 0 {
+					m.Txns[j].Request = s.Msgs[rng.Intn(len(s.Msgs))].Type
+				}
+			}
+		}
+		if ir.ValidateSpec(s) != nil {
+			continue
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic: %v\nspec: %s", r, dsl.Format(s))
+				}
+			}()
+			_, _ = Generate(s, opts[rng.Intn(len(opts))])
+		}()
+	}
+}

@@ -86,6 +86,20 @@ func DeferredOpts() Options {
 	return o
 }
 
+// OptionsForMode maps a generation-mode name (as used by every CLI and
+// the fuzz campaign) to its option set.
+func OptionsForMode(mode string) (Options, error) {
+	switch mode {
+	case "stalling":
+		return StallingOpts(), nil
+	case "nonstalling":
+		return NonStallingOpts(), nil
+	case "deferred":
+		return DeferredOpts(), nil
+	}
+	return Options{}, fmt.Errorf("unknown mode %q (want nonstalling, stalling or deferred)", mode)
+}
+
 // Note renders the options for protocol reports.
 func (o Options) Note() string {
 	mode := "stalling"

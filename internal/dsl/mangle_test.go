@@ -1,0 +1,47 @@
+package dsl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"protogen/internal/protocols"
+)
+
+func TestParseNeverPanicsOnMangledSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	srcs := []string{}
+	for _, e := range protocols.All {
+		srcs = append(srcs, e.Source)
+	}
+	for i := 0; i < 3000; i++ {
+		src := srcs[rng.Intn(len(srcs))]
+		switch rng.Intn(4) {
+		case 0:
+			if len(src) > 2 {
+				src = src[:rng.Intn(len(src))]
+			}
+		case 1:
+			words := strings.Fields(src)
+			if len(words) > 1 {
+				j := rng.Intn(len(words))
+				words = append(words[:j], words[j+1:]...)
+				src = strings.Join(words, " ")
+			}
+		case 2:
+			j := rng.Intn(len(src))
+			src = src[:j] + string(rune(33+rng.Intn(90))) + src[j:]
+		case 3:
+			src = strings.Replace(src, "await", "", 1)
+			src = strings.Replace(src, "state", "acks", 2)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mangled source: %v\n%s", r, src)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}

@@ -1,0 +1,423 @@
+package fuzz
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"protogen/internal/core"
+	"protogen/internal/dsl"
+	"protogen/internal/ir"
+	"protogen/internal/sim"
+	"protogen/internal/verify"
+)
+
+// Modes enumerates the three generation modes every spec is pushed
+// through, in campaign order.
+var Modes = []string{"stalling", "nonstalling", "deferred"}
+
+// ModeOptions maps a mode name to its generation options.
+func ModeOptions(mode string) (core.Options, error) { return core.OptionsForMode(mode) }
+
+// Config tunes a campaign.
+type Config struct {
+	// Families restricts the shape pool by canonical name; nil draws from
+	// every shipped (non-defective) shape. Broken shapes participate only
+	// when named explicitly.
+	Families []string
+	// Caches / MaxStates / Capacity configure the model checker. The
+	// campaign checks at small scale by design: 2 caches explore every
+	// interleaving class the generator distinguishes, in milliseconds.
+	Caches    int
+	Capacity  int
+	MaxStates int
+	// SimSteps drives the randomized-schedule SC check; 0 disables it.
+	SimSteps int
+	// Parallelism is the campaign worker count (0 = GOMAXPROCS). Each
+	// worker runs its model checks sequentially to avoid oversubscribing.
+	Parallelism int
+	// Shrink minimizes failing specs to reproducers in Report entries.
+	Shrink bool
+}
+
+// DefaultConfig returns the standard campaign scale.
+func DefaultConfig() Config {
+	return Config{
+		Caches:      2,
+		Capacity:    4,
+		MaxStates:   500_000,
+		SimSteps:    3000,
+		Parallelism: 0,
+		Shrink:      true,
+	}
+}
+
+// ModeResult is one generation mode's verification outcome.
+type ModeResult struct {
+	Mode      string `json:"mode"`
+	States    int    `json:"states"`
+	Edges     int    `json:"edges"`
+	Depth     int    `json:"depth"`
+	OK        bool   `json:"ok"`
+	Complete  bool   `json:"complete"`
+	Violation string `json:"violation,omitempty"` // kind of the first violation
+	Detail    string `json:"detail,omitempty"`
+}
+
+// Failure identifies what a spec's campaign run tripped over.
+type Failure struct {
+	// Class groups kinds the shrinker treats as equivalent: "safety"
+	// (SWMR / data-value), "error" (interpreter apply errors), "liveness"
+	// (deadlock / stuck), "differential" (modes disagree), "sim" (SC
+	// violation or scheduler deadlock), "generate" (pipeline error), or
+	// "capped" (a mode hit the state cap; inconclusive, never shrunk).
+	Class string `json:"class"`
+	// Kind is the concrete violation kind or mismatch description.
+	Kind string `json:"kind"`
+	// Mode is the generation mode the failure was observed in ("" for
+	// differential disagreements).
+	Mode string `json:"mode,omitempty"`
+	// Detail is the first violation's detail line.
+	Detail string `json:"detail,omitempty"`
+}
+
+// IsZero reports a clean run.
+func (f Failure) IsZero() bool { return f.Class == "" }
+
+func (f Failure) String() string {
+	if f.IsZero() {
+		return "pass"
+	}
+	s := f.Class + ":" + f.Kind
+	if f.Mode != "" {
+		s += " (" + f.Mode + ")"
+	}
+	return s
+}
+
+// FailureClass maps a verifier violation kind to its shrink-equivalence
+// class. SWMR and data-value breaches are one class (the same root cause
+// regularly witnesses as either), as are the two liveness formulations;
+// interpreter apply errors are their own class so a shrink cannot trade
+// a real invariant breach for a degenerate spec that merely crashes the
+// engine.
+func FailureClass(kind string) string {
+	switch kind {
+	case "SWMR", "data-value":
+		return "safety"
+	case "deadlock", "stuck":
+		return "liveness"
+	}
+	return kind
+}
+
+// SpecReport is one spec's campaign outcome.
+type SpecReport struct {
+	Seed         uint64       `json:"seed"`
+	Family       string       `json:"family"`
+	PendingLimit int          `json:"pending_limit"`
+	SimSeed      int64        `json:"sim_seed"`
+	Modes        []ModeResult `json:"modes,omitempty"`
+	SimStats     string       `json:"sim,omitempty"`
+	Failure      Failure      `json:"failure"`
+	Minimized    string       `json:"-"` // shrunk reproducer source (failures only)
+	ElapsedMS    int64        `json:"elapsed_ms"`
+	Source       string       `json:"-"`
+}
+
+// OK reports a clean spec run.
+func (r *SpecReport) OK() bool { return r.Failure.IsZero() }
+
+// Report aggregates a campaign.
+type Report struct {
+	Specs    []SpecReport `json:"specs"`
+	Pass     int          `json:"pass"`
+	Fail     int          `json:"fail"`
+	Families []string     `json:"families"`
+}
+
+// Summary is a one-line human rendering.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%d specs: %d pass, %d fail (%d families)",
+		len(r.Specs), r.Pass, r.Fail, len(r.Families))
+}
+
+// splitmix64 is the seed scrambler (Steele et al.); good dispersion from
+// sequential campaign seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SpecForSeed maps a campaign seed to a concrete (family, pending-limit,
+// sim-seed) triple over the given shape pool. The mapping is total and
+// deterministic: every uint64 yields a valid spec.
+func SpecForSeed(seed uint64, pool []Params) (Params, int, int64) {
+	if len(pool) == 0 {
+		pool = Shapes()
+	}
+	r := splitmix64(seed)
+	shape := pool[r%uint64(len(pool))]
+	limit := 1 + int((r>>16)%3) // L in 1..3
+	simSeed := int64(r>>24)%100_000 + 1
+	return shape, limit, simSeed
+}
+
+// pool resolves the configured family pool.
+func (cfg Config) pool() ([]Params, error) {
+	if len(cfg.Families) == 0 {
+		return Shapes(), nil
+	}
+	var out []Params
+	for _, name := range cfg.Families {
+		p, ok := ShapeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown family %q", name)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Run executes the differential campaign over the half-open seed range
+// [first, last): each seed's spec is generated in all three modes, model
+// checked in each, the verdicts cross-checked, and the simulator's SC
+// checker run on the non-stalling protocol. Failing specs are shrunk to
+// minimal reproducers when cfg.Shrink is set. Reports come back in seed
+// order regardless of parallelism.
+func Run(first, last uint64, cfg Config) (*Report, error) {
+	pool, err := cfg.pool()
+	if err != nil {
+		return nil, err
+	}
+	if last < first {
+		return nil, fmt.Errorf("empty seed range [%d, %d)", first, last)
+	}
+	const maxSeeds = 1 << 24 // each seed is three model checks; cap well below int overflow
+	if last-first > maxSeeds {
+		return nil, fmt.Errorf("seed range [%d, %d) spans %d seeds, max %d per campaign", first, last, last-first, maxSeeds)
+	}
+	n := int(last - first)
+	rep := &Report{Specs: make([]SpecReport, n)}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = defaultParallelism()
+	}
+	workers = min(workers, n)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < max(workers, 1); g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r := CheckSeed(first+uint64(i), pool, cfg)
+				// Shrinking happens in the worker so failing campaigns
+				// minimize in parallel too (each shrink is sequential by
+				// design; the pool provides the concurrency). Capped runs
+				// are inconclusive, not reproducers — never shrink them.
+				if !r.OK() && cfg.Shrink && r.Failure.Class != "capped" {
+					if minSrc, err := Shrink(r.Source, r.Failure, r.SimSeed, cfg); err == nil {
+						r.Minimized = minSrc
+					}
+				}
+				if r.OK() {
+					// Passing specs never need their source again; keeping
+					// it would retain every generated spec for the whole
+					// campaign.
+					r.Source = ""
+				}
+				rep.Specs[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	fams := map[string]bool{}
+	for i := range rep.Specs {
+		r := &rep.Specs[i]
+		fams[r.Family] = true
+		if r.OK() {
+			rep.Pass++
+		} else {
+			rep.Fail++
+		}
+	}
+	for f := range fams {
+		rep.Families = append(rep.Families, f)
+	}
+	sort.Strings(rep.Families)
+	return rep, nil
+}
+
+// CheckSeed runs the full differential oracle for one campaign seed.
+func CheckSeed(seed uint64, pool []Params, cfg Config) SpecReport {
+	shape, limit, simSeed := SpecForSeed(seed, pool)
+	r := CheckSource(shape.Source(), limit, simSeed, cfg)
+	r.Seed = seed
+	r.Family = shape.Name()
+	return r
+}
+
+// CheckSource runs the differential oracle on one spec source: parse,
+// generate all three modes (at pending limit L), model check each,
+// cross-check verdicts, then run the simulator SC check on the
+// non-stalling protocol. It is the single oracle shared by the campaign,
+// the shrinker and the corpus replay test.
+func CheckSource(src string, limit int, simSeed int64, cfg Config) SpecReport {
+	start := time.Now()
+	r := SpecReport{PendingLimit: limit, SimSeed: simSeed, Source: src}
+	defer func() { r.ElapsedMS = time.Since(start).Milliseconds() }()
+
+	spec, err := dsl.Parse(src)
+	if err != nil {
+		r.Failure = Failure{Class: "generate", Kind: "parse", Detail: err.Error()}
+		return r
+	}
+	r.Family = spec.Name
+
+	for _, mode := range Modes {
+		mr, failure := checkMode(spec, mode, limit, cfg)
+		r.Modes = append(r.Modes, mr)
+		if failure.Class == "generate" {
+			r.Failure = failure
+			return r
+		}
+	}
+
+	// A capped exploration has no verdict: its OK=true only means "no
+	// violation found so far", which must not enter the differential
+	// comparison (a capped clean mode next to a complete failing mode is
+	// an inconclusive run, not a mode disagreement).
+	for _, mr := range r.Modes {
+		if !mr.Complete {
+			r.Failure = Failure{Class: "capped", Kind: "state-cap", Mode: mr.Mode,
+				Detail: fmt.Sprintf("exploration capped at %d states", mr.States)}
+			return r
+		}
+	}
+	// Differential cross-check: the three designs implement the same SSP
+	// and must agree on whether it is correct.
+	for _, mr := range r.Modes[1:] {
+		if mr.OK != r.Modes[0].OK {
+			r.Failure = Failure{
+				Class: "differential",
+				Kind:  fmt.Sprintf("%s=%v vs %s=%v", r.Modes[0].Mode, r.Modes[0].OK, mr.Mode, mr.OK),
+			}
+			return r
+		}
+	}
+	// Agreed-on verdict; a shared failure is still a (caught) bad spec.
+	for _, mr := range r.Modes {
+		if !mr.OK {
+			r.Failure = Failure{
+				Class:  FailureClass(mr.Violation),
+				Kind:   mr.Violation,
+				Mode:   mr.Mode,
+				Detail: mr.Detail,
+			}
+			return r
+		}
+	}
+
+	// Simulator cross-check on the non-stalling design: randomized
+	// schedules with the per-location SC history checker.
+	if cfg.SimSteps > 0 {
+		opts, _ := ModeOptions("nonstalling")
+		opts.PendingLimit = limit
+		p, err := core.Generate(spec, opts) // Generate clones internally
+		if err != nil {
+			r.Failure = Failure{Class: "generate", Kind: "generate", Mode: "nonstalling", Detail: err.Error()}
+			return r
+		}
+		for _, w := range []sim.Workload{sim.Contended{}, sim.Migratory{}} {
+			st, err := sim.Run(p, sim.Config{
+				Caches: max(cfg.Caches, 2), Steps: cfg.SimSteps,
+				Seed: simSeed, Workload: w,
+			})
+			if err != nil {
+				r.Failure = Failure{Class: "sim", Kind: "sim-deadlock", Mode: "nonstalling", Detail: err.Error()}
+				return r
+			}
+			if st.SCViolations > 0 {
+				r.Failure = Failure{Class: "sim", Kind: "sc-violation", Mode: "nonstalling",
+					Detail: fmt.Sprintf("%d SC violations under %s", st.SCViolations, w.Name())}
+				return r
+			}
+			if r.SimStats == "" {
+				r.SimStats = st.String()
+			}
+		}
+	}
+	return r
+}
+
+// checkMode generates and model-checks one mode of one spec. The parsed
+// spec is shared across modes: Generate clones it internally.
+func checkMode(spec *ir.Spec, mode string, limit int, cfg Config) (ModeResult, Failure) {
+	mr := ModeResult{Mode: mode}
+	opts, err := ModeOptions(mode)
+	if err != nil {
+		return mr, Failure{Class: "generate", Kind: "mode", Mode: mode, Detail: err.Error()}
+	}
+	opts.PendingLimit = limit
+	p, err := core.Generate(spec, opts)
+	if err != nil {
+		return mr, Failure{Class: "generate", Kind: "generate", Mode: mode, Detail: err.Error()}
+	}
+	vcfg := verify.Config{
+		Caches: cfg.Caches, Capacity: cfg.Capacity, Values: 2,
+		MaxStates: cfg.MaxStates, CheckSWMR: true, CheckValues: true,
+		CheckLiveness: true, Symmetry: true, MaxViolations: 1,
+		Parallelism: 1, // campaign workers provide the parallelism
+	}
+	res := verify.Check(p, vcfg)
+	mr.States, mr.Edges, mr.Depth = res.States, res.Edges, res.Depth
+	mr.OK, mr.Complete = res.OK(), res.Complete
+	if !res.OK() {
+		mr.Violation = res.Violations[0].Kind
+		mr.Detail = res.Violations[0].Detail
+	}
+	return mr, Failure{}
+}
+
+// defaultParallelism mirrors the verify package's worker default.
+func defaultParallelism() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// FormatSpec pretty-prints a seed's resolved spec parameters.
+func FormatSpec(seed uint64, pool []Params) string {
+	shape, limit, simSeed := SpecForSeed(seed, pool)
+	return fmt.Sprintf("seed %d -> %s L=%d simSeed=%d", seed, shape.Name(), limit, simSeed)
+}
+
+// FamilyNames lists the shipped family names in canonical order.
+func FamilyNames() []string {
+	var out []string
+	for _, p := range Shapes() {
+		out = append(out, p.Name())
+	}
+	return out
+}
+
+// BrokenFamilyNames lists the defective demonstration families.
+func BrokenFamilyNames() []string {
+	var out []string
+	for _, p := range BrokenShapes() {
+		out = append(out, p.Name())
+	}
+	return out
+}
+
+// JoinedFamilies renders a comma list for CLI help.
+func JoinedFamilies(names []string) string { return strings.Join(names, ",") }

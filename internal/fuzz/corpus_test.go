@@ -1,0 +1,85 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+
+	"protogen/internal/protocols"
+)
+
+// TestCorpusReplay: the table-driven regression gate — every committed
+// reproducer must keep failing with its recorded class and kind, in the
+// recorded mode. A reproducer that stops failing means either a checker
+// regression (it can no longer see the bug) or a generator behavior
+// change; both demand attention, not a silent pass.
+func TestCorpusReplay(t *testing.T) {
+	entries, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("corpus has %d entries, want >= 3", len(entries))
+	}
+	cfg := DefaultConfig()
+	cfg.Shrink = false
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			r := CheckSource(e.Source, 1, e.ReplaySimSeed(), cfg)
+			if r.OK() {
+				t.Fatalf("reproducer no longer fails (expected %s)", e.Expect)
+			}
+			if r.Failure.Class != e.Expect.Class {
+				t.Errorf("failure class %q, want %q (%s)", r.Failure.Class, e.Expect.Class, r.Failure.Detail)
+			}
+			if e.Expect.Kind != "" && r.Failure.Kind != e.Expect.Kind {
+				t.Errorf("failure kind %q, want %q (%s)", r.Failure.Kind, e.Expect.Kind, r.Failure.Detail)
+			}
+			if n, err := TxnCount(e.Source); err != nil {
+				t.Errorf("reproducer unparseable: %v", err)
+			} else if e.Txns != 0 && n != e.Txns {
+				t.Errorf("reproducer has %d processes, header says %d", n, e.Txns)
+			}
+		})
+	}
+}
+
+// TestCorpusRoundTrip: the corpus file format round-trips.
+func TestCorpusRoundTrip(t *testing.T) {
+	e := CorpusEntry{
+		Name:   "x",
+		Family: "FZ_MI_double_grant",
+		Seed:   12,
+		Expect: Failure{Class: "safety", Kind: "SWMR", Mode: "stalling"},
+		Txns:   5,
+		Source: "protocol X;\n",
+	}
+	got, err := parseCorpusEntry("x", e.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Family != e.Family || got.Seed != e.Seed || got.Expect != e.Expect || got.Txns != e.Txns {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if !strings.Contains(got.Source, "protocol X;") {
+		t.Errorf("round trip lost the source")
+	}
+}
+
+// TestRegisterEntries: families and corpus reproducers land in the
+// protocols registry and are addressable by name.
+func TestRegisterEntries(t *testing.T) {
+	if err := RegisterEntries(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := protocols.Lookup("FZ_MESI_upg"); !ok {
+		t.Error("family exemplar not registered")
+	}
+	if _, ok := protocols.Lookup("corpus/FZ_MI_double_grant"); !ok {
+		t.Error("corpus reproducer not registered")
+	}
+	if err := RegisterEntries(); err == nil {
+		t.Error("second registration must report duplicates")
+	}
+}

@@ -1,0 +1,661 @@
+// Package fuzz mass-produces scenarios for the ProtoGen pipeline: a
+// seeded generator of well-formed atomic SSPs drawn from parameterized
+// protocol families, a differential campaign that generates every spec in
+// all three modes and cross-checks the model checker's verdicts against
+// each other and against the simulator's SC checker, a shrinker that
+// reduces failing specs to minimal reproducers, and a versioned regression
+// corpus replayed by the test suite.
+//
+// The family space is spanned by axes the paper's own suite proves the
+// generator must support — stable-state count (MI / MSI / MESI / MOSI),
+// invalidation-ack strategy (data-carrying GetM responses vs Upgrade /
+// Ack_Count), eviction style (Put handshake vs silent drop of clean
+// Shared copies), Owned-state variants, and network ordering (ordered vs
+// unordered with Unblock serialization). Every combination is emitted as
+// DSL source, so each generated spec also exercises the lexer, parser,
+// lowerer and validator before it reaches the generator.
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Defect marks a deliberately planted bug in an emitted family. The
+// campaign must catch every defective spec; shipped families carry
+// DefectNone.
+type Defect int
+
+// Defects.
+const (
+	DefectNone Defect = iota
+	// DefectMiscountedAcks makes the directory count the requestor itself
+	// among the invalidation acks it announces, so the requestor waits
+	// forever for one more Inv_Ack than will ever arrive (liveness bug).
+	DefectMiscountedAcks
+	// DefectNoInvalidate makes the directory grant M without invalidating
+	// the sharers, leaving readers alongside the writer (SWMR bug).
+	DefectNoInvalidate
+	// DefectLostWriteback makes the directory drop the owner's writeback
+	// on an M->S downgrade, serving stale memory to later readers
+	// (data-value bug).
+	DefectLostWriteback
+	// DefectDoubleGrant makes the directory answer a GetM at M straight
+	// from (stale) memory instead of forwarding to the owner, leaving two
+	// writers alive (SWMR bug).
+	DefectDoubleGrant
+)
+
+func (d Defect) String() string {
+	switch d {
+	case DefectNone:
+		return "none"
+	case DefectMiscountedAcks:
+		return "miscounted-acks"
+	case DefectNoInvalidate:
+		return "no-invalidate"
+	case DefectLostWriteback:
+		return "lost-writeback"
+	case DefectDoubleGrant:
+		return "double-grant"
+	}
+	return "defect?"
+}
+
+// Params selects one member of the family space. The zero value is plain
+// ordered MSI. Canonicalize enforces the compatibility constraints.
+type Params struct {
+	// MI drops the Shared state entirely: loads acquire M like stores.
+	MI bool
+	// Exclusive adds the MESI E state (ExcData grant on an idle
+	// directory, silent E->M upgrade, PutE on eviction).
+	Exclusive bool
+	// Owned adds the MOSI O state (M->O downgrade on Fwd_GetS, the owner
+	// keeps supplying data, Ack_Count upgrades from O).
+	Owned bool
+	// SilentDrop evicts clean Shared copies silently instead of running
+	// the PutS handshake; the spec keeps an explicit stale-invalidation
+	// handler at I for the invalidations the directory still sends.
+	SilentDrop bool
+	// Upgrade lets a Shared store request only the invalidation count
+	// (Upgrade / Ack_Count) instead of redundant data, relying on the
+	// directory's §V-D1 reinterpretation when the upgrade loses a race.
+	Upgrade bool
+	// Unordered drops point-to-point ordering; every Get transaction then
+	// ends with an Unblock so the directory serializes conflicts.
+	Unordered bool
+	// Defect plants a bug (broken families only).
+	Defect Defect
+}
+
+// Canonicalize resolves incompatible axis combinations deterministically
+// (rather than erroring, so any random bit pattern maps to a valid
+// family member).
+func (p Params) Canonicalize() Params {
+	if p.MI {
+		// No Shared state: every S-dependent axis is moot.
+		p.Exclusive, p.Owned, p.SilentDrop, p.Upgrade, p.Unordered = false, false, false, false, false
+	}
+	if p.Exclusive && p.Owned {
+		// MOESI-grade interaction (a silently-upgraded E owner behind an
+		// O directory) is out of scope; prefer the Owned shape.
+		p.Exclusive = false
+	}
+	if p.Unordered && (p.Exclusive || p.Owned || p.Upgrade) {
+		// The Unblock handshake variants are only written for the plain
+		// MSI shape.
+		p.Exclusive, p.Owned, p.Upgrade = false, false, false
+	}
+	return p
+}
+
+// boundary reports whether the member sits on a known generator boundary
+// (see BoundaryShapes); boundary members are excluded from the shipped
+// pool random seeds draw from.
+func (p Params) boundary() bool { return p.SilentDrop }
+
+// Name is the canonical family name, usable as a DSL protocol identifier.
+func (p Params) Name() string {
+	base := "MSI"
+	switch {
+	case p.MI:
+		base = "MI"
+	case p.Exclusive:
+		base = "MESI"
+	case p.Owned:
+		base = "MOSI"
+	}
+	var tags []string
+	if p.Upgrade {
+		tags = append(tags, "upg")
+	}
+	if p.SilentDrop {
+		tags = append(tags, "silent")
+	}
+	if p.Unordered {
+		tags = append(tags, "unord")
+	}
+	if p.Defect != DefectNone {
+		tags = append(tags, strings.ReplaceAll(p.Defect.String(), "-", "_"))
+	}
+	name := "FZ_" + base
+	if len(tags) > 0 {
+		name += "_" + strings.Join(tags, "_")
+	}
+	return name
+}
+
+// allShapes enumerates every distinct canonical member, shipped and
+// boundary.
+func allShapes() []Params {
+	var out []Params
+	seen := map[string]bool{}
+	for bits := 0; bits < 1<<6; bits++ {
+		p := Params{
+			MI:         bits&1 != 0,
+			Exclusive:  bits&2 != 0,
+			Owned:      bits&4 != 0,
+			SilentDrop: bits&8 != 0,
+			Upgrade:    bits&16 != 0,
+			Unordered:  bits&32 != 0,
+		}.Canonicalize()
+		if seen[p.Name()] {
+			continue
+		}
+		seen[p.Name()] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// Shapes enumerates every shipped family member (DefectNone, inside the
+// generator's supported envelope) in canonical order. Random seeds index
+// into this list, and the campaign must pass on all of it.
+func Shapes() []Params {
+	var out []Params
+	for _, p := range allShapes() {
+		if !p.boundary() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BoundaryShapes enumerates the family members that sit on known
+// generator boundaries — the harvest of the first campaign runs. The
+// fire-and-forget eviction axis (SilentDrop) produces SSP shapes the
+// pipeline either rejects outright or generates with mode-dependent
+// correctness:
+//
+//   - A truly silent S eviction unions I into S's directory-visible
+//     class and makes Inv genuinely ambiguous at IS_D (rejected by
+//     preprocessing).
+//   - Fire-and-forget PutS as a put-class request violates the §V-F
+//     invariant that every put is acknowledged (rejected).
+//   - As a plain request alongside the M/E put handshakes it creates
+//     Case-1 restarts where a replacement completes locally while the
+//     original put is still in flight (rejected by cache generation).
+//   - In the MOSI shape it generates, but the stalling and
+//     deferred-response designs deadlock on dangling-sharer cycles while
+//     the immediate-response design is correct — a differential verdict
+//     split the campaign flags.
+//
+// They are listed here (and replayed by tests) so the boundary stays
+// documented and deliberate rather than silently skipped.
+func BoundaryShapes() []Params {
+	var out []Params
+	for _, p := range allShapes() {
+		if p.boundary() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BrokenShapes enumerates the deliberately defective families used to
+// demonstrate (and regression-test) that the campaign catches planted
+// bugs. All are planted in the plain MSI shape so the reproducers shrink
+// small.
+func BrokenShapes() []Params {
+	return []Params{
+		{Defect: DefectMiscountedAcks},
+		{Defect: DefectNoInvalidate},
+		{Defect: DefectLostWriteback},
+		// Planted in the two-state family: its well-formedness floor is
+		// far lower, so the shrinker can reach a handful of processes.
+		{MI: true, Defect: DefectLostWriteback},
+		{MI: true, Defect: DefectDoubleGrant},
+	}
+}
+
+// ShapeByName finds a shipped, boundary or broken shape by its canonical
+// name.
+func ShapeByName(name string) (Params, bool) {
+	for _, pool := range [][]Params{Shapes(), BoundaryShapes(), BrokenShapes()} {
+		for _, p := range pool {
+			if p.Name() == name {
+				return p, true
+			}
+		}
+	}
+	return Params{}, false
+}
+
+// Source emits the family member as DSL source. The result always parses
+// and validates; whether it verifies is the campaign's business (shipped
+// shapes must, defective ones must not).
+func (p Params) Source() string {
+	p = p.Canonicalize()
+	var b strings.Builder
+	e := &emitter{b: &b, p: p}
+	e.header()
+	e.machines()
+	e.cacheArch()
+	e.dirArch()
+	return b.String()
+}
+
+type emitter struct {
+	b *strings.Builder
+	p Params
+}
+
+func (e *emitter) f(format string, args ...any) {
+	fmt.Fprintf(e.b, format, args...)
+}
+
+func (e *emitter) header() {
+	p := e.p
+	e.f("protocol %s;\n", p.Name())
+	if p.Unordered {
+		e.f("network unordered;\n\n")
+	} else {
+		e.f("network ordered;\n\n")
+	}
+	if p.MI {
+		e.f("message request GetM;\n")
+		e.f("message request put PutM;\n")
+		e.f("message forward Fwd_GetM Put_Ack;\n")
+		e.f("message response Data;\n\n")
+		return
+	}
+	reqs := []string{"GetS", "GetM"}
+	if p.Upgrade {
+		reqs = append(reqs, "Upgrade")
+	}
+	if p.SilentDrop {
+		// Fire-and-forget PutS is a plain request, not a put: the §V-F
+		// stale-Put rule requires an acknowledgment message, which this
+		// eviction style deliberately does not have. The directory
+		// instead handles PutS explicitly at every stable state.
+		reqs = append(reqs, "PutS")
+	}
+	e.f("message request %s;\n", strings.Join(reqs, " "))
+	var puts []string
+	if !p.SilentDrop {
+		puts = append(puts, "PutS")
+	}
+	puts = append(puts, "PutM")
+	if p.Exclusive {
+		puts = append(puts, "PutE")
+	}
+	if p.Owned {
+		puts = append(puts, "PutO")
+	}
+	e.f("message request put %s;\n", strings.Join(puts, " "))
+	e.f("message forward Fwd_GetS Fwd_GetM Inv Put_Ack;\n")
+	resps := []string{"Data"}
+	if p.Exclusive {
+		resps = append(resps, "ExcData")
+	}
+	if p.Upgrade || p.Owned {
+		resps = append(resps, "Ack_Count")
+	}
+	resps = append(resps, "Inv_Ack")
+	if p.Unordered {
+		resps = append(resps, "Unblock")
+	}
+	e.f("message response %s;\n\n", strings.Join(resps, " "))
+}
+
+func (e *emitter) states() string {
+	if e.p.MI {
+		return "I M"
+	}
+	s := []string{"I", "S"}
+	if e.p.Exclusive {
+		s = append(s, "E")
+	}
+	if e.p.Owned {
+		s = append(s, "O")
+	}
+	s = append(s, "M")
+	return strings.Join(s, " ")
+}
+
+func (e *emitter) machines() {
+	e.f("machine cache {\n  states %s;\n  init I;\n  data block;\n", e.states())
+	if !e.p.MI {
+		e.f("  int acksReceived;\n  int acksExpected;\n")
+	}
+	e.f("}\n\n")
+	dirStates := e.states()
+	if e.p.Exclusive {
+		// The silent E->M upgrade makes E and M one directory-visible
+		// class; the directory only tracks "owner present".
+		dirStates = "I S M"
+	}
+	e.f("machine directory {\n  states %s;\n  init I;\n  data block;\n  id owner;\n", dirStates)
+	if !e.p.MI {
+		e.f("  idset sharers;\n")
+	}
+	e.f("}\n\n")
+}
+
+// unblock emits the Unblock send that closes a Get transaction on
+// unordered networks.
+func (e *emitter) unblock(ind string) string {
+	if !e.p.Unordered {
+		return ""
+	}
+	return ind + "send Unblock to dir;\n"
+}
+
+// storeAwait emits the classic requestor-collected invalidation-ack await
+// of Listing 1: respMsg arrives with an ack count; zero acks completes
+// immediately, otherwise Inv_Acks (which may outrun the response) are
+// counted to the announced total. copy selects whether the response
+// carries data to copy (Data) or not (Ack_Count).
+func (e *emitter) storeAwait(ind, respMsg string, copy bool, extraArms func(ind string)) {
+	cp := ""
+	if copy {
+		cp = ind + "    copydata;\n"
+	}
+	ub := e.unblock(ind + "    ")
+	ubNest := e.unblock(ind + "          ")
+	e.f("%sawait {\n", ind)
+	e.f("%s  when %s if acks == 0 {\n%s%s%s    state = M;\n%s  }\n", ind, respMsg, cp, ub, ind, ind)
+	e.f("%s  when %s if acks > 0 {\n", ind, respMsg)
+	if copy {
+		e.f("%s    copydata;\n", ind)
+	}
+	e.f("%s    acksExpected = %s.acks;\n", ind, respMsg)
+	e.f("%s    if acksReceived == acksExpected {\n%s%s      state = M;\n%s    } else {\n", ind, ub, ind, ind)
+	e.f("%s      await {\n%s        when Inv_Ack {\n", ind, ind)
+	e.f("%s          acksReceived = acksReceived + 1;\n", ind)
+	e.f("%s          if acksReceived == acksExpected {\n%s%s            state = M;\n%s          }\n", ind, ubNest, ind, ind)
+	e.f("%s        }\n%s      }\n%s    }\n%s  }\n", ind, ind, ind, ind)
+	if extraArms != nil {
+		extraArms(ind + "  ")
+	}
+	e.f("%s  when Inv_Ack {\n%s    acksReceived = acksReceived + 1;\n%s  }\n", ind, ind, ind)
+	e.f("%s}\n", ind)
+}
+
+// putHandshake emits a replacement transaction: Put request (optionally
+// carrying data) answered by Put_Ack.
+func (e *emitter) putHandshake(state, put string, withData bool) {
+	wd := ""
+	if withData {
+		wd = " with data"
+	}
+	e.f("  process (%s, repl) {\n    send %s to dir%s;\n    await {\n      when Put_Ack { state = I; }\n    }\n  }\n\n", state, put, wd)
+}
+
+func (e *emitter) cacheArch() {
+	p := e.p
+	e.f("architecture cache {\n")
+	if p.MI {
+		// Loads acquire M too: a two-state protocol stresses the
+		// writer-only permission paths.
+		for _, acc := range []string{"load", "store"} {
+			e.f("  process (I, %s) {\n    send GetM to dir;\n    await {\n      when Data {\n        copydata;\n        state = M;\n      }\n    }\n  }\n\n", acc)
+		}
+		e.f("  process (M, load) { hit; }\n  process (M, store) { hit; }\n\n")
+		e.putHandshake("M", "PutM", true)
+		e.f("  process (M, Fwd_GetM) {\n    send Data to req with data;\n    state = I;\n  }\n")
+		e.f("}\n\n")
+		return
+	}
+
+	// (I, load)
+	e.f("  process (I, load) {\n    send GetS to dir;\n    await {\n      when Data {\n        copydata;\n%s        state = S;\n      }\n", e.unblock("        "))
+	if p.Exclusive {
+		e.f("      when ExcData {\n        copydata;\n        state = E;\n      }\n")
+	}
+	e.f("    }\n  }\n\n")
+
+	// (I, store)
+	e.f("  process (I, store) {\n    send GetM to dir;\n    acksReceived = 0;\n")
+	e.storeAwait("    ", "Data", true, nil)
+	e.f("  }\n\n")
+
+	e.f("  process (S, load) { hit; }\n\n")
+
+	// (S, store)
+	if p.Upgrade {
+		// A still-shared upgrader gets Ack_Count; one that lost its copy
+		// to a race gets full GetM treatment (Data), so the await accepts
+		// both response shapes (§V-D1 reinterpretation).
+		e.f("  process (S, store) {\n    send Upgrade to dir;\n    acksReceived = 0;\n")
+		e.storeAwaitUpgrade("    ")
+		e.f("  }\n\n")
+	} else {
+		e.f("  process (S, store) {\n    send GetM to dir;\n    acksReceived = 0;\n")
+		e.storeAwait("    ", "Data", true, nil)
+		e.f("  }\n\n")
+	}
+
+	// (S, repl)
+	if p.SilentDrop {
+		// Fire-and-forget eviction: the clean Shared copy leaves without
+		// waiting for an acknowledgment. A truly silent drop (no PutS at
+		// all) would union I and S into one directory-visible class and
+		// make Inv genuinely ambiguous at IS_D — rejected by the
+		// generator — so the notification is kept but the handshake is
+		// dropped; invalidations racing the PutS reach I and are
+		// acknowledged by the generated stale-forward rule.
+		e.f("  process (S, repl) {\n    send PutS to dir;\n    state = I;\n  }\n\n")
+	} else {
+		e.putHandshake("S", "PutS", false)
+	}
+
+	e.f("  process (S, Inv) {\n    send Inv_Ack to req;\n    state = I;\n  }\n\n")
+
+	if p.Exclusive {
+		e.f("  process (E, load) { hit; }\n\n")
+		e.f("  process (E, store) {\n    hit;\n    state = M;\n  }\n\n")
+		e.putHandshake("E", "PutE", false)
+		e.f("  process (E, Fwd_GetS) {\n    send Data to req with data;\n    send Data to dir with data;\n    state = S;\n  }\n\n")
+		e.f("  process (E, Fwd_GetM) {\n    send Data to req with data;\n    state = I;\n  }\n\n")
+	}
+
+	if p.Owned {
+		e.f("  process (O, load) { hit; }\n\n")
+		// Upgrade from O: the owner already holds current data, so the
+		// directory answers with just the invalidation count.
+		e.f("  process (O, store) {\n    send GetM to dir;\n    acksReceived = 0;\n")
+		e.storeAwait("    ", "Ack_Count", false, nil)
+		e.f("  }\n\n")
+		e.putHandshake("O", "PutO", true)
+		e.f("  process (O, Fwd_GetS) {\n    send Data to req with data;\n  }\n\n")
+		e.f("  process (O, Fwd_GetM) {\n    send Data to req with data acks Fwd_GetM.acks;\n    state = I;\n  }\n\n")
+	}
+
+	e.f("  process (M, load) { hit; }\n  process (M, store) { hit; }\n\n")
+	e.putHandshake("M", "PutM", true)
+
+	// (M, Fwd_GetS)
+	if p.Owned {
+		e.f("  process (M, Fwd_GetS) {\n    send Data to req with data;\n    state = O;\n  }\n\n")
+		e.f("  process (M, Fwd_GetM) {\n    send Data to req with data acks Fwd_GetM.acks;\n    state = I;\n  }\n")
+	} else {
+		if p.Defect == DefectLostWriteback {
+			// The planted bug pairs with the directory not awaiting the
+			// writeback: the owner's data goes to the requestor only and
+			// memory silently goes stale.
+			e.f("  process (M, Fwd_GetS) {\n    send Data to req with data;\n    state = S;\n  }\n\n")
+		} else {
+			e.f("  process (M, Fwd_GetS) {\n    send Data to req with data;\n    send Data to dir with data;\n    state = S;\n  }\n\n")
+		}
+		e.f("  process (M, Fwd_GetM) {\n    send Data to req with data;\n    state = I;\n  }\n")
+	}
+	e.f("}\n\n")
+}
+
+// storeAwaitUpgrade emits the dual-shape upgrade await: Ack_Count when
+// the directory saw the upgrader as a sharer, Data when the upgrade was
+// reinterpreted as a GetM.
+func (e *emitter) storeAwaitUpgrade(ind string) {
+	e.storeAwait(ind, "Ack_Count", false, func(ind string) {
+		cp := ind + "    copydata;\n"
+		ub := e.unblock(ind + "    ")
+		ubNest := e.unblock(ind + "          ")
+		e.f("%swhen Data if acks == 0 {\n%s%s%s  state = M;\n%s}\n", ind, cp, ub, ind, ind)
+		e.f("%swhen Data if acks > 0 {\n%s", ind, cp)
+		e.f("%s  acksExpected = Data.acks;\n", ind)
+		e.f("%s  if acksReceived == acksExpected {\n%s%s    state = M;\n%s  } else {\n", ind, ub, ind, ind)
+		e.f("%s    await {\n%s      when Inv_Ack {\n", ind, ind)
+		e.f("%s        acksReceived = acksReceived + 1;\n", ind)
+		e.f("%s        if acksReceived == acksExpected {\n%s%s          state = M;\n%s        }\n", ind, ubNest, ind, ind)
+		e.f("%s      }\n%s    }\n%s  }\n%s}\n", ind, ind, ind, ind)
+	})
+}
+
+// ackExpr is the invalidation count the directory announces to a
+// requestor at S; the miscount defect forgets to exclude the requestor.
+func (e *emitter) ackExpr() string {
+	if e.p.Defect == DefectMiscountedAcks {
+		return "count(sharers)"
+	}
+	return "count(sharers except src)"
+}
+
+// dirGetM emits the directory's sharer-invalidation block for a GetM (or
+// Upgrade) at S: announce the count, invalidate the sharers, hand
+// ownership over.
+func (e *emitter) dirGetM(ind, respLine string) {
+	e.f("%s%s\n", ind, respLine)
+	if e.p.Defect != DefectNoInvalidate {
+		e.f("%ssend Inv to sharers except src req src;\n", ind)
+	}
+	e.f("%sowner = src;\n", ind)
+	if e.p.Defect != DefectNoInvalidate {
+		e.f("%ssharers.clear;\n", ind)
+	}
+	if e.p.Unordered {
+		e.f("%sawait {\n%s  when Unblock { state = M; }\n%s}\n", ind, ind, ind)
+	} else {
+		e.f("%sstate = M;\n", ind)
+	}
+}
+
+func (e *emitter) dirArch() {
+	p := e.p
+	e.f("architecture directory {\n")
+	if p.MI {
+		e.f("  process (I, GetM) {\n    send Data to src with data;\n    owner = src;\n    state = M;\n  }\n\n")
+		if p.Defect == DefectDoubleGrant {
+			// The planted bug: grant from stale memory, never recall the
+			// current owner.
+			e.f("  process (M, GetM) {\n    send Data to src with data;\n    owner = src;\n  }\n\n")
+		} else {
+			e.f("  process (M, GetM) {\n    send Fwd_GetM to owner req src;\n    owner = src;\n  }\n\n")
+		}
+		if p.Defect == DefectLostWriteback {
+			// The planted bug: accept the eviction but drop its data.
+			e.f("  process (M, PutM) from owner {\n    owner = none;\n    send Put_Ack to src;\n    state = I;\n  }\n")
+		} else {
+			e.f("  process (M, PutM) from owner {\n    writeback;\n    owner = none;\n    send Put_Ack to src;\n    state = I;\n  }\n")
+		}
+		e.f("}\n")
+		return
+	}
+
+	// Row I.
+	if p.Exclusive {
+		e.f("  process (I, GetS) {\n    send ExcData to src with data;\n    owner = src;\n    state = M;\n  }\n\n")
+	} else if p.Unordered {
+		e.f("  process (I, GetS) {\n    send Data to src with data;\n    sharers.add(src);\n    await {\n      when Unblock { state = S; }\n    }\n  }\n\n")
+	} else {
+		e.f("  process (I, GetS) {\n    send Data to src with data;\n    sharers.add(src);\n    state = S;\n  }\n\n")
+	}
+	if p.Unordered {
+		e.f("  process (I, GetM) {\n    send Data to src with data acks 0;\n    owner = src;\n    await {\n      when Unblock { state = M; }\n    }\n  }\n\n")
+	} else {
+		e.f("  process (I, GetM) {\n    send Data to src with data acks 0;\n    owner = src;\n    state = M;\n  }\n\n")
+	}
+
+	// Row S.
+	if p.Unordered {
+		e.f("  process (S, GetS) {\n    send Data to src with data;\n    sharers.add(src);\n    await {\n      when Unblock { state = S; }\n    }\n  }\n\n")
+	} else {
+		e.f("  process (S, GetS) {\n    send Data to src with data;\n    sharers.add(src);\n  }\n\n")
+	}
+	e.f("  process (S, GetM) {\n")
+	e.dirGetM("    ", fmt.Sprintf("send Data to src with data acks %s;", e.ackExpr()))
+	e.f("  }\n\n")
+	if p.Upgrade {
+		e.f("  process (S, Upgrade) from sharer {\n")
+		e.dirGetM("    ", fmt.Sprintf("send Ack_Count to src acks %s;", e.ackExpr()))
+		e.f("  }\n\n")
+		e.f("  process (S, Upgrade) from nonsharer {\n")
+		e.dirGetM("    ", fmt.Sprintf("send Data to src with data acks %s;", e.ackExpr()))
+		e.f("  }\n\n")
+	}
+	if p.SilentDrop {
+		// PutS can race ahead of the directory's own state changes, so
+		// every stable state absorbs it (delete is a no-op off S).
+		e.f("  process (I, PutS) {\n    sharers.del(src);\n  }\n\n")
+		e.f("  process (S, PutS) {\n    sharers.del(src);\n  }\n\n")
+		e.f("  process (M, PutS) {\n    sharers.del(src);\n  }\n\n")
+	} else {
+		e.f("  process (S, PutS) {\n    send Put_Ack to src;\n    sharers.del(src);\n  }\n\n")
+	}
+
+	// Row O.
+	if p.Owned {
+		e.f("  process (O, GetS) {\n    send Fwd_GetS to owner req src;\n    sharers.add(src);\n  }\n\n")
+		e.f("  process (O, GetM) from owner {\n    send Ack_Count to src acks %s;\n    send Inv to sharers except src req src;\n    sharers.clear;\n    state = M;\n  }\n\n", e.ackExpr())
+		e.f("  process (O, GetM) from nonowner {\n    send Fwd_GetM to owner req src acks %s;\n    send Inv to sharers except src req src;\n    owner = src;\n    sharers.clear;\n    state = M;\n  }\n\n", e.ackExpr())
+		if p.SilentDrop {
+			e.f("  process (O, PutS) {\n    sharers.del(src);\n  }\n\n")
+		} else {
+			e.f("  process (O, PutS) {\n    send Put_Ack to src;\n    sharers.del(src);\n  }\n\n")
+		}
+		e.f("  process (O, PutO) from owner {\n    writeback;\n    owner = none;\n    send Put_Ack to src;\n    state = S;\n  }\n\n")
+		// An owner's PutM can race with the GetS that downgraded M -> O.
+		e.f("  process (O, PutM) from owner {\n    writeback;\n    owner = none;\n    send Put_Ack to src;\n    state = S;\n  }\n\n")
+	}
+
+	// Row M.
+	switch {
+	case p.Owned:
+		e.f("  process (M, GetS) {\n    send Fwd_GetS to owner req src;\n    sharers.add(src);\n    state = O;\n  }\n\n")
+	case p.Defect == DefectLostWriteback:
+		// The planted bug: downgrade without collecting the writeback.
+		e.f("  process (M, GetS) {\n    send Fwd_GetS to owner req src;\n    sharers.add(src);\n    sharers.add(owner);\n    owner = none;\n    state = S;\n  }\n\n")
+	case p.Unordered:
+		// Busy until both the writeback and the Unblock arrive, in
+		// either order.
+		e.f("  process (M, GetS) {\n    send Fwd_GetS to owner req src;\n    sharers.add(src);\n    sharers.add(owner);\n    owner = none;\n    await {\n" +
+			"      when Data {\n        writeback;\n        await {\n          when Unblock { state = S; }\n        }\n      }\n" +
+			"      when Unblock {\n        await {\n          when Data {\n            writeback;\n            state = S;\n          }\n        }\n      }\n    }\n  }\n\n")
+	default:
+		e.f("  process (M, GetS) {\n    send Fwd_GetS to owner req src;\n    sharers.add(src);\n    sharers.add(owner);\n    owner = none;\n    await {\n      when Data {\n        writeback;\n        state = S;\n      }\n    }\n  }\n\n")
+	}
+	fwdAcks := ""
+	if p.Owned {
+		fwdAcks = " acks 0"
+	}
+	if p.Unordered {
+		e.f("  process (M, GetM) {\n    send Fwd_GetM to owner req src%s;\n    owner = src;\n    await {\n      when Unblock { state = M; }\n    }\n  }\n\n", fwdAcks)
+	} else {
+		e.f("  process (M, GetM) {\n    send Fwd_GetM to owner req src%s;\n    owner = src;\n  }\n\n", fwdAcks)
+	}
+	e.f("  process (M, PutM) from owner {\n    writeback;\n    owner = none;\n    send Put_Ack to src;\n    state = I;\n  }\n")
+	if p.Exclusive {
+		e.f("\n  process (M, PutE) from owner {\n    owner = none;\n    send Put_Ack to src;\n    state = I;\n  }\n")
+	}
+	e.f("}\n")
+}

@@ -1,0 +1,287 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"protogen/internal/dsl"
+	"protogen/internal/ir"
+)
+
+// Shrink reduces a failing spec to a minimal reproducer: it greedily
+// removes whole SSP processes (and then unused messages, variables and
+// stable states) while the campaign oracle keeps reporting a failure of
+// the same class. The result is canonical DSL source ready for the
+// regression corpus.
+//
+// Reproduction is judged at the failure-class granularity (safety /
+// liveness / differential / sim) rather than the exact violation kind:
+// removing processes legitimately morphs a stuck transaction into a full
+// deadlock, or an SWMR breach into the data-value breach on the same
+// path, without changing which planted bug is being witnessed.
+//
+// simSeed must be the simulator seed that witnessed the failure (from
+// the SpecReport): sim-class failures are schedule-dependent, and
+// replaying a different schedule would fail the initial reproduction
+// gate. Verifier-class failures ignore it.
+func Shrink(src string, failure Failure, simSeed int64, cfg Config) (string, error) {
+	if failure.IsZero() {
+		return "", fmt.Errorf("shrink: spec does not fail")
+	}
+	spec, err := dsl.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("shrink: reparse: %v", err)
+	}
+	if simSeed == 0 {
+		simSeed = 1
+	}
+	// Shrinking re-checks candidates dozens of times; keep each check as
+	// cheap as the failure allows.
+	cfg.Shrink = false
+	cfg.Parallelism = 1
+	if failure.Class != "sim" {
+		cfg.SimSteps = 0 // verifier-visible failures don't need the simulator
+	}
+
+	// Shrinking pins L=1: the smallest transient spaces, where every
+	// planted bug class still manifests.
+	const shrinkLimit = 1
+	reproduces := func(s *ir.Spec) bool {
+		if ir.ValidateSpec(s) != nil {
+			return false
+		}
+		r := CheckSource(dsl.Format(s), shrinkLimit, simSeed, cfg)
+		return r.Failure.Class == failure.Class
+	}
+	if !reproduces(spec) {
+		return "", fmt.Errorf("shrink: failure %s does not reproduce at shrink scale", failure)
+	}
+
+	// Fixpoint loop of greedy process removal: single removals first,
+	// then pairs once singles plateau (the generator's well-formedness
+	// invariants often pin processes in dependent groups — a directory
+	// process and the cache handler of the forward it sends can only
+	// leave together). Every candidate also cascades away processes whose
+	// trigger message is no longer sent by anyone.
+	// tryAccept checks the plain candidate first and falls back to the
+	// orphan-cascaded variant — cascading helps when a removal leaves
+	// handlers that only constrain generation, but can also overshoot.
+	tryAccept := func(plain *ir.Spec) (*ir.Spec, bool) {
+		if reproduces(plain) {
+			return plain, true
+		}
+		casc := plain.Clone()
+		cascadeOrphans(casc)
+		if txnTotal(casc) < txnTotal(plain) && reproduces(casc) {
+			return casc, true
+		}
+		return nil, false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, kind := range []ir.MachineKind{ir.KindCache, ir.KindDirectory} {
+			for i := 0; i < len(spec.Machine(kind).Txns); i++ {
+				cand := spec.Clone()
+				dropTxn(cand.Machine(kind), i)
+				if acc, ok := tryAccept(cand); ok {
+					spec = acc
+					changed = true
+					i--
+				}
+			}
+		}
+		if changed {
+			continue
+		}
+		// Pairs, across both machines.
+		type loc struct {
+			kind ir.MachineKind
+			i    int
+		}
+		var locs []loc
+		for _, kind := range []ir.MachineKind{ir.KindCache, ir.KindDirectory} {
+			for i := range spec.Machine(kind).Txns {
+				locs = append(locs, loc{kind, i})
+			}
+		}
+	pairs:
+		for a := 0; a < len(locs); a++ {
+			for b := a + 1; b < len(locs); b++ {
+				cand := spec.Clone()
+				// Remove the higher index first within a machine so the
+				// lower index stays valid.
+				la, lb := locs[a], locs[b]
+				if la.kind == lb.kind {
+					dropTxn(cand.Machine(la.kind), lb.i)
+					dropTxn(cand.Machine(la.kind), la.i)
+				} else {
+					dropTxn(cand.Machine(la.kind), la.i)
+					dropTxn(cand.Machine(lb.kind), lb.i)
+				}
+				if acc, ok := tryAccept(cand); ok {
+					spec = acc
+					changed = true
+					break pairs
+				}
+			}
+		}
+	}
+	pruneUnused(spec)
+	if err := ir.ValidateSpec(spec); err != nil {
+		return "", fmt.Errorf("shrink: pruned spec invalid: %v", err)
+	}
+	out := dsl.Format(spec)
+	// The pruned spec must still reproduce (pruning only removed
+	// unreferenced declarations, but verify end-to-end to be safe).
+	r := CheckSource(out, shrinkLimit, simSeed, cfg)
+	if r.Failure.Class != failure.Class {
+		return "", fmt.Errorf("shrink: pruning lost the failure (%s became %s)", failure.Class, r.Failure)
+	}
+	return out, nil
+}
+
+func txnTotal(spec *ir.Spec) int {
+	return len(spec.Cache.Txns) + len(spec.Dir.Txns)
+}
+
+func dropTxn(m *ir.MachineSpec, i int) {
+	m.Txns = append(m.Txns[:i:i], m.Txns[i+1:]...)
+}
+
+// cascadeOrphans repeatedly removes message-triggered processes whose
+// trigger is no longer sent by any remaining process (their handler can
+// never fire, but its presence still constrains generation).
+func cascadeOrphans(spec *ir.Spec) {
+	for {
+		sent := map[ir.MsgType]bool{}
+		note := func(as []ir.Action) {
+			for _, a := range as {
+				if a.Op == ir.ASend {
+					sent[a.Msg] = true
+				}
+			}
+		}
+		for _, m := range []*ir.MachineSpec{spec.Cache, spec.Dir} {
+			for _, t := range m.Txns {
+				if t.Request != "" {
+					sent[t.Request] = true
+				}
+				note(t.InitActions)
+				t.Await.EachAwait(func(a *ir.Await) {
+					for _, c := range a.Cases {
+						note(c.Actions)
+					}
+				})
+			}
+		}
+		removed := false
+		for _, m := range []*ir.MachineSpec{spec.Cache, spec.Dir} {
+			for i := 0; i < len(m.Txns); i++ {
+				t := m.Txns[i]
+				if t.Trigger.Kind == ir.EvMsg && !sent[t.Trigger.Msg] {
+					dropTxn(m, i)
+					i--
+					removed = true
+				}
+			}
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+// TxnCount counts the SSP processes (stable-state transitions) of a
+// spec's source — the reproducer size metric.
+func TxnCount(src string) (int, error) {
+	spec, err := dsl.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	return len(spec.Cache.Txns) + len(spec.Dir.Txns), nil
+}
+
+// pruneUnused drops message declarations, variables and stable states no
+// remaining process references.
+func pruneUnused(spec *ir.Spec) {
+	usedMsg := map[ir.MsgType]bool{}
+	usedVar := map[string]bool{}
+	usedState := map[ir.StateName]bool{}
+	noteExpr := func(e *ir.Expr) {
+		e.Walk(func(n *ir.Expr) {
+			switch n.Kind {
+			case ir.EVar, ir.ECount, ir.EInSet:
+				usedVar[n.Name] = true
+			}
+		})
+	}
+	noteActions := func(as []ir.Action) {
+		for _, a := range as {
+			if a.Op == ir.ASend {
+				usedMsg[a.Msg] = true
+				// Destinations resolved through directory variables keep
+				// those variables alive.
+				switch a.Dst {
+				case ir.DstOwner:
+					usedVar["owner"] = true
+				case ir.DstSharers:
+					usedVar["sharers"] = true
+				}
+			}
+			if a.Var != "" {
+				usedVar[a.Var] = true
+			}
+			noteExpr(a.Expr)
+			noteExpr(a.Payload.Acks)
+			noteExpr(a.Payload.Req)
+		}
+	}
+	for _, m := range []*ir.MachineSpec{spec.Cache, spec.Dir} {
+		usedState[m.Init] = true
+		for _, t := range m.Txns {
+			usedState[t.Start] = true
+			if t.Trigger.Kind == ir.EvMsg {
+				usedMsg[t.Trigger.Msg] = true
+			}
+			if t.Request != "" {
+				usedMsg[t.Request] = true
+			}
+			if t.Await == nil && t.Final != "" {
+				usedState[t.Final] = true
+			}
+			noteActions(t.InitActions)
+			t.Await.EachAwait(func(a *ir.Await) {
+				for _, c := range a.Cases {
+					usedMsg[c.Msg] = true
+					if c.Kind == ir.CaseBreak {
+						usedState[c.Final] = true
+					}
+					noteActions(c.Actions)
+					noteExpr(c.Guard)
+				}
+			})
+		}
+	}
+	var msgs []ir.MsgDecl
+	for _, d := range spec.Msgs {
+		if usedMsg[d.Type] {
+			msgs = append(msgs, d)
+		}
+	}
+	spec.Msgs = msgs
+	for _, m := range []*ir.MachineSpec{spec.Cache, spec.Dir} {
+		var vars []ir.VarDecl
+		for _, v := range m.Vars {
+			if usedVar[v.Name] || v.Type == ir.VData {
+				vars = append(vars, v)
+			}
+		}
+		m.Vars = vars
+		var stable []ir.StableDecl
+		for _, s := range m.Stable {
+			if usedState[s.Name] {
+				stable = append(stable, s)
+			}
+		}
+		m.Stable = stable
+	}
+}

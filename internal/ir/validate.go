@@ -71,8 +71,14 @@ func validateMachineSpec(s *Spec, m *MachineSpec, msgs map[MsgType]bool) error {
 			return fmt.Errorf("%s: duplicate process (%s, %s)", m.Name, t.Start, t.Trigger)
 		}
 		seen[k] = true
-		if t.Request != "" && !msgs[t.Request] {
-			return fmt.Errorf("%s: process %s sends undeclared request %s", m.Name, t.ID, t.Request)
+		if t.Request != "" {
+			if !msgs[t.Request] {
+				return fmt.Errorf("%s: process %s sends undeclared request %s", m.Name, t.ID, t.Request)
+			}
+			if d, _ := s.MsgDecl(t.Request); d.Class != ClassRequest {
+				return fmt.Errorf("%s: process %s uses %s-class message %s as its request",
+					m.Name, t.ID, d.Class, t.Request)
+			}
 		}
 		if err := validateActions(m, vars, t.InitActions, msgs); err != nil {
 			return fmt.Errorf("%s: process %s: %v", m.Name, t.ID, err)

@@ -61,6 +61,7 @@ func Run(p *ir.Protocol, cfg Config) (Stats, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var st Stats
 	sc := newSCChecker(cfg.Caches)
+	wedged := 0                                  // consecutive steps with nothing runnable but messages in flight
 	pending := make([]ir.AccessType, cfg.Caches) // desired next access per cache
 	started := make([]int, cfg.Caches)           // txn start step (-1 = idle)
 	for i := range started {
@@ -77,6 +78,10 @@ func Run(p *ir.Protocol, cfg Config) (Stats, error) {
 			}
 		}
 
+		// progressed records whether any cache consumed a workload item
+		// this step (a local hit or a no-op skip): if so, the next step
+		// can see a different access mix even without a rule firing.
+		progressed := false
 		var rules []engine.Rule
 		for i := 0; i < cfg.Caches; i++ {
 			if started[i] >= 0 {
@@ -98,6 +103,7 @@ func Run(p *ir.Protocol, cfg Config) (Stats, error) {
 				// The access is a no-op here (e.g. replacing an Invalid
 				// block); skip to the next workload item.
 				pending[i] = ir.AccessNone
+				progressed = true
 				continue
 			}
 			if done, val := tryHit(sys, i, a); done {
@@ -111,6 +117,7 @@ func Run(p *ir.Protocol, cfg Config) (Stats, error) {
 					sc.observeStore(i, sys.LastWrite)
 				}
 				pending[i] = ir.AccessNone
+				progressed = true
 				continue
 			}
 			rules = append(rules, engine.Rule{Kind: engine.RuleAccess, Cache: i, Access: a})
@@ -121,8 +128,26 @@ func Run(p *ir.Protocol, cfg Config) (Stats, error) {
 			}
 		}
 		if len(rules) == 0 {
+			// No rule can fire. With messages in flight and no workload
+			// progress this step, only a cache that happened to draw
+			// AccessNone could still enable a rule on a later draw — so
+			// require the wedge to persist before declaring deadlock
+			// (the shipped workloads never idle, but the Workload
+			// interface permits it). The run used to spin here until the
+			// step budget ran out, inflating Steps and StallEvents with
+			// the same blocked deliveries every step.
+			const wedgedLimit = 64
+			if inFlight := sys.Net.InFlight(); inFlight > 0 && !progressed {
+				if wedged++; wedged >= wedgedLimit {
+					return st, fmt.Errorf("deadlock at step %d: no enabled rules with %d messages in flight (%d transactions outstanding)",
+						step, inFlight, outstanding(started))
+				}
+			} else {
+				wedged = 0
+			}
 			continue // fully quiescent and idle
 		}
+		wedged = 0
 		r := rules[rng.Intn(len(rules))]
 		performs, err := sys.Apply(r)
 		if err != nil {
@@ -162,6 +187,17 @@ func Run(p *ir.Protocol, cfg Config) (Stats, error) {
 		}
 	}
 	return st, nil
+}
+
+// outstanding counts caches with a transaction in flight.
+func outstanding(started []int) int {
+	n := 0
+	for _, s := range started {
+		if s >= 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // tryHit performs an access locally when the current state hits it

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"protogen/internal/core"
@@ -99,6 +100,63 @@ func TestMOSIAndMESIRun(t *testing.T) {
 		if st.SCViolations != 0 {
 			t.Errorf("%s: SC violations", name)
 		}
+	}
+}
+
+// simDeadlockSSP requests data from a directory that never answers: the
+// GetS is undeliverable forever, the minimal in-flight deadlock.
+const simDeadlockSSP = `
+protocol SimDeadlock;
+network ordered;
+
+message request GetS;
+message response Data;
+
+machine cache {
+  states I S;
+  init I;
+  data block;
+}
+
+machine directory {
+  states I;
+  init I;
+  data block;
+  id owner;
+}
+
+architecture cache {
+  process (I, load) {
+    send GetS to dir;
+    await {
+      when Data {
+        copydata;
+        state = S;
+      }
+    }
+  }
+  process (S, load) { hit; }
+}
+
+architecture directory {
+}
+`
+
+// TestRunDetectsDeadlock: a system with messages in flight but no enabled
+// rule must fail fast with an error naming the in-flight count, instead
+// of burning the whole step budget as no-op steps (which silently
+// inflated Steps and StallEvents before).
+func TestRunDetectsDeadlock(t *testing.T) {
+	p := gen(t, simDeadlockSSP, core.NonStallingOpts())
+	st, err := Run(p, Config{Caches: 2, Steps: 10000, Seed: 3, Workload: ReadMostly{}})
+	if err == nil {
+		t.Fatalf("deadlocked run returned no error: %s", st)
+	}
+	if !strings.Contains(err.Error(), "deadlock") || !strings.Contains(err.Error(), "in flight") {
+		t.Errorf("error does not name the deadlock: %v", err)
+	}
+	if st.Steps >= 10000 {
+		t.Errorf("run burned the whole step budget (%d steps) before failing", st.Steps)
 	}
 }
 

@@ -483,11 +483,18 @@ func (c *checker) livenessCheck() {
 			}
 		}
 	}
+	stuck, first := 0, -1
 	for i := 0; i < n; i++ {
 		if !reach[i] {
-			c.violate("stuck", "quiescence unreachable (stuck transaction)", i)
-			return
+			stuck++
+			if first < 0 {
+				first = i
+			}
 		}
+	}
+	if stuck > 0 {
+		c.violate("stuck",
+			fmt.Sprintf("quiescence unreachable from %d of %d states (stuck transaction)", stuck, n), first)
 	}
 }
 

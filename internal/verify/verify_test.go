@@ -110,6 +110,38 @@ func TestBrokenAckCountCaught(t *testing.T) {
 	}
 }
 
+// TestLivenessCountsAllStuckStates: the stuck violation reports how many
+// states cannot reach quiescence, not just the first one found, and the
+// witness trace still leads to the first stuck state.
+func TestLivenessCountsAllStuckStates(t *testing.T) {
+	c := &checker{cfg: Config{CheckLiveness: true}, res: &Result{}}
+	// 0 -> {1, 3}, 1 -> {2}, 2 -> {2} (quiescent), 3 -> {4}, 4 -> {3}:
+	// the 3/4 cycle is a livelock — two states stuck out of five.
+	c.recs = []stateRec{
+		{parent: -1},
+		{parent: 0, rule: "r1", depth: 1},
+		{parent: 1, rule: "r2", depth: 2},
+		{parent: 0, rule: "r3", depth: 1},
+		{parent: 3, rule: "r4", depth: 2},
+	}
+	c.edges = [][]int32{{1, 3}, {2}, {2}, {4}, {3}}
+	c.quiet = []bool{false, false, true, false, false}
+	c.livenessCheck()
+	if len(c.res.Violations) != 1 {
+		t.Fatalf("expected one stuck violation, got %v", c.res.Violations)
+	}
+	v := c.res.Violations[0]
+	if v.Kind != "stuck" {
+		t.Fatalf("kind = %q", v.Kind)
+	}
+	if !strings.Contains(v.Detail, "2 of 5 states") {
+		t.Errorf("detail must count the stuck states: %q", v.Detail)
+	}
+	if len(v.Trace) != 1 || v.Trace[0] != "r3" {
+		t.Errorf("trace must witness the first stuck state: %v", v.Trace)
+	}
+}
+
 // TestViolationTraces: violations carry a replayable trace.
 func TestViolationTraces(t *testing.T) {
 	broken := strings.Replace(protocols.MSI,

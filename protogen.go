@@ -21,6 +21,7 @@ import (
 	"protogen/internal/compare"
 	"protogen/internal/core"
 	"protogen/internal/dsl"
+	"protogen/internal/fuzz"
 	"protogen/internal/ir"
 	"protogen/internal/murphi"
 	"protogen/internal/protocols"
@@ -82,6 +83,22 @@ type (
 	LitmusResult = sim.LitmusResult
 )
 
+// Fuzzing: randomized spec families with differential verification.
+type (
+	// FuzzParams selects one member of the fuzz family space.
+	FuzzParams = fuzz.Params
+	// FuzzConfig tunes a differential fuzz campaign.
+	FuzzConfig = fuzz.Config
+	// FuzzReport aggregates a campaign.
+	FuzzReport = fuzz.Report
+	// FuzzSpecReport is one spec's campaign outcome.
+	FuzzSpecReport = fuzz.SpecReport
+	// FuzzFailure identifies what a spec run tripped over.
+	FuzzFailure = fuzz.Failure
+	// FuzzCorpusEntry is one committed regression reproducer.
+	FuzzCorpusEntry = fuzz.CorpusEntry
+)
+
 // Comparison and rendering.
 type (
 	// Baseline is a hand-encoded controller table for diffing.
@@ -118,7 +135,14 @@ type BuiltinEntry = protocols.Entry
 // Builtins lists every built-in SSP in paper order.
 func Builtins() []BuiltinEntry { return protocols.All }
 
-// LookupBuiltin finds a built-in SSP by name.
+// RegistryEntries lists the full protocol registry: builtins plus any
+// runtime-registered entries (fuzz families, corpus reproducers).
+func RegistryEntries() []BuiltinEntry { return protocols.Entries() }
+
+// RegisterEntry adds an SSP to the registry at runtime.
+func RegisterEntry(e BuiltinEntry) error { return protocols.Register(e) }
+
+// LookupBuiltin finds a registry SSP (built-in or registered) by name.
 func LookupBuiltin(name string) (BuiltinEntry, bool) { return protocols.Lookup(name) }
 
 // Parse parses DSL source into a validated SSP.
@@ -146,6 +170,10 @@ func GenerateSource(src string, o Options) (*Protocol, error) {
 // NonStalling returns the Table VI configuration: non-stalling,
 // immediate responses, transient loads allowed.
 func NonStalling() Options { return core.NonStallingOpts() }
+
+// OptionsForMode maps a generation-mode name (nonstalling, stalling,
+// deferred) to its option set — the single mapping every CLI shares.
+func OptionsForMode(mode string) (Options, error) { return core.OptionsForMode(mode) }
 
 // Stalling returns the primer-style stalling configuration (§VI-A).
 func Stalling() Options { return core.StallingOpts() }
@@ -185,6 +213,56 @@ func LitmusSB() Litmus { return sim.SB() }
 
 // LitmusCoRR builds the per-location coherence read-read test.
 func LitmusCoRR() Litmus { return sim.CoRR() }
+
+// FuzzShapes lists the shipped fuzz family members; FuzzBrokenShapes the
+// deliberately defective demonstration families; FuzzBoundaryShapes the
+// members pinned on known generator boundaries.
+func FuzzShapes() []FuzzParams         { return fuzz.Shapes() }
+func FuzzBrokenShapes() []FuzzParams   { return fuzz.BrokenShapes() }
+func FuzzBoundaryShapes() []FuzzParams { return fuzz.BoundaryShapes() }
+
+// FuzzShapeByName resolves a family by its canonical name.
+func FuzzShapeByName(name string) (FuzzParams, bool) { return fuzz.ShapeByName(name) }
+
+// DefaultFuzzConfig is the standard campaign scale (2-cache differential
+// checks, simulator cross-check, shrinking on failure).
+func DefaultFuzzConfig() FuzzConfig { return fuzz.DefaultConfig() }
+
+// RunFuzzCampaign executes the differential campaign over [first, last):
+// every seed's spec is generated in all three modes, model-checked in
+// each, verdict-cross-checked, and SC-checked in the simulator.
+func RunFuzzCampaign(first, last uint64, cfg FuzzConfig) (*FuzzReport, error) {
+	return fuzz.Run(first, last, cfg)
+}
+
+// FuzzCheckSource runs the differential oracle on one spec source.
+func FuzzCheckSource(src string, limit int, simSeed int64, cfg FuzzConfig) FuzzSpecReport {
+	return fuzz.CheckSource(src, limit, simSeed, cfg)
+}
+
+// FuzzShrink minimizes a failing spec to a reproducer that still fails
+// in the same class. simSeed is the simulator seed that witnessed the
+// failure (SpecReport.SimSeed); verifier-class failures ignore it.
+func FuzzShrink(src string, failure FuzzFailure, simSeed int64, cfg FuzzConfig) (string, error) {
+	return fuzz.Shrink(src, failure, simSeed, cfg)
+}
+
+// FuzzCorpus lists the committed regression reproducers.
+func FuzzCorpus() ([]FuzzCorpusEntry, error) { return fuzz.Corpus() }
+
+// WriteFuzzCorpusEntry writes a reproducer into dir (one file per
+// family, latest minimization wins).
+func WriteFuzzCorpusEntry(dir string, e FuzzCorpusEntry) (string, error) {
+	return fuzz.WriteCorpusEntry(dir, e)
+}
+
+// FuzzTxnCount counts a spec source's SSP processes — the reproducer
+// size metric.
+func FuzzTxnCount(src string) (int, error) { return fuzz.TxnCount(src) }
+
+// RegisterFuzzEntries adds the fuzz family exemplars and corpus
+// reproducers to the protocol registry.
+func RegisterFuzzEntries() error { return fuzz.RegisterEntries() }
 
 // EmitMurphi renders the protocol as Murphi source (§IV-B backend).
 func EmitMurphi(p *Protocol, o MurphiOptions) string { return murphi.Emit(p, o) }
