@@ -1,0 +1,228 @@
+// Command benchdiff records and compares benchmark snapshots. It parses
+// raw `go test -bench` output — including custom b.ReportMetric columns
+// like the visited set's bytes/state — into the repo's BENCH JSON
+// schema, and diffs a per-PR snapshot against the committed baseline,
+// failing when a watched metric regresses past a tolerance. CI uses it
+// to keep the fingerprint visited set honest: a >10% bytes/state
+// regression against BENCH_baseline.json fails the build.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=1x ./... | tee bench_raw.txt
+//	benchdiff -record bench_raw.txt -out BENCH_pr.json
+//	benchdiff -diff -baseline BENCH_baseline.json -pr BENCH_pr.json \
+//	          -metric bytes/state -max-regress 0.10
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is the BENCH_*.json schema shared with BENCH_baseline.json.
+type Snapshot struct {
+	Recorded   string      `json:"recorded"`
+	Command    string      `json:"command"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one recorded benchmark result.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		record     = fs.String("record", "", "parse this raw `go test -bench` output into -out")
+		out        = fs.String("out", "BENCH_pr.json", "snapshot file to write with -record")
+		note       = fs.String("note", "per-PR benchmark snapshot; compare against BENCH_baseline.json", "note embedded in the recorded snapshot")
+		diff       = fs.Bool("diff", false, "compare -pr against -baseline on -metric")
+		baseline   = fs.String("baseline", "BENCH_baseline.json", "committed baseline snapshot")
+		pr         = fs.String("pr", "BENCH_pr.json", "freshly recorded snapshot")
+		metric     = fs.String("metric", "bytes/state", "metric to compare (a ReportMetric unit, or ns_per_op)")
+		maxRegress = fs.Float64("max-regress", 0.10, "fail when the metric exceeds baseline by more than this fraction")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *record != "":
+		return recordSnapshot(stdout, *record, *out, *note)
+	case *diff:
+		return diffSnapshots(stdout, *baseline, *pr, *metric, *maxRegress)
+	}
+	fs.Usage()
+	return errors.New("nothing to do: pass -record or -diff")
+}
+
+// benchLine matches one `go test -bench` result line: the benchmark
+// name (GOMAXPROCS suffix stripped), iterations, then value/unit pairs,
+// the first of which testing always emits as ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseBench parses raw benchmark output into the snapshot schema.
+// Non-benchmark lines (test chatter, pass/fail summaries) are skipped.
+func parseBench(raw string) []Benchmark {
+	var out []Benchmark
+	for _, line := range strings.Split(raw, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func recordSnapshot(stdout io.Writer, rawPath, outPath, note string) error {
+	raw, err := os.ReadFile(rawPath)
+	if err != nil {
+		return err
+	}
+	snap := Snapshot{
+		Recorded:   time.Now().UTC().Format("2006-01-02"),
+		Command:    "go test -run '^$' -bench . -benchtime=1x ./...",
+		Note:       note,
+		Benchmarks: parseBench(string(raw)),
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmark lines found", rawPath)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "recorded %d benchmarks to %s\n", len(snap.Benchmarks), outPath)
+	return nil
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// metricOf extracts the watched metric from one benchmark record;
+// ok=false when the benchmark doesn't report it.
+func metricOf(b Benchmark, metric string) (float64, bool) {
+	if metric == "ns_per_op" || metric == "ns/op" {
+		return b.NsPerOp, b.NsPerOp > 0
+	}
+	v, ok := b.Metrics[metric]
+	return v, ok
+}
+
+// diffSnapshots compares every benchmark that reports the metric in
+// BOTH snapshots. Benchmarks present on only one side are listed (NEW /
+// MISSING) but never fail the diff (renames and new benchmarks need a
+// baseline refresh, not a red build) — the MISSING lines are what keeps
+// a silent rename from invisibly disabling the gate.
+func diffSnapshots(stdout io.Writer, basePath, prPath, metric string, maxRegress float64) error {
+	base, err := loadSnapshot(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadSnapshot(prPath)
+	if err != nil {
+		return err
+	}
+	baseBy := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	compared, regressed := 0, 0
+	matched := map[string]bool{}
+	for _, b := range cur.Benchmarks {
+		pv, ok := metricOf(b, metric)
+		if !ok {
+			continue
+		}
+		matched[b.Name] = true
+		bb, inBase := baseBy[b.Name]
+		if !inBase {
+			fmt.Fprintf(stdout, "NEW        %-44s %s=%.2f (no baseline)\n", b.Name, metric, pv)
+			continue
+		}
+		bv, ok := metricOf(bb, metric)
+		if !ok || bv == 0 {
+			// A zero baseline has no meaningful relative delta (and
+			// would divide to ±Inf/NaN); report, never gate.
+			fmt.Fprintf(stdout, "NEW-METRIC %-44s %s=%.2f (no comparable baseline value)\n", b.Name, metric, pv)
+			continue
+		}
+		compared++
+		delta := (pv - bv) / bv
+		status := "ok"
+		if delta > maxRegress {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(stdout, "%-10s %-44s %s: %.2f -> %.2f (%+.1f%%)\n",
+			status, b.Name, metric, bv, pv, delta*100)
+	}
+	for _, bb := range base.Benchmarks {
+		if bv, ok := metricOf(bb, metric); ok && !matched[bb.Name] {
+			fmt.Fprintf(stdout, "MISSING    %-44s %s=%.2f in baseline but absent from PR run (renamed or deleted? refresh the baseline)\n",
+				bb.Name, metric, bv)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmark reports metric %q in both %s and %s", metric, basePath, prPath)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed %s by more than %.0f%%", regressed, compared, metric, maxRegress*100)
+	}
+	fmt.Fprintf(stdout, "%d benchmarks within %.0f%% of baseline on %s\n", compared, maxRegress*100, metric)
+	return nil
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleRaw = `goos: linux
+goarch: amd64
+BenchmarkVisitedStore/exact-4          	       1	 920000000 ns/op	       148.2 bytes/state	     50000 states
+BenchmarkVisitedStore/fingerprint-4    	       1	 900000000 ns/op	        26.5 bytes/state	     50000 states
+BenchmarkExpB_VerifyNonStallingMSI-4   	       1	 130416598 ns/op
+PASS
+ok  	protogen	3.1s
+`
+
+func TestParseBench(t *testing.T) {
+	bs := parseBench(sampleRaw)
+	if len(bs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(bs))
+	}
+	b := bs[0]
+	if b.Name != "BenchmarkVisitedStore/exact" || b.Iterations != 1 || b.NsPerOp != 920000000 {
+		t.Fatalf("first benchmark mangled: %+v", b)
+	}
+	if b.Metrics["bytes/state"] != 148.2 || b.Metrics["states"] != 50000 {
+		t.Fatalf("metrics mangled: %+v", b.Metrics)
+	}
+	if bs[2].Metrics != nil {
+		t.Fatalf("metric-free benchmark grew metrics: %+v", bs[2])
+	}
+}
+
+func writeSnapshot(t *testing.T, path string, benches []Benchmark) {
+	t.Helper()
+	data, err := json.Marshal(Snapshot{Recorded: "2026-07-28", Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "raw.txt")
+	if err := os.WriteFile(raw, []byte(sampleRaw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prPath := filepath.Join(dir, "BENCH_pr.json")
+	var out strings.Builder
+	if err := run([]string{"-record", raw, "-out", prPath}, &out); err != nil {
+		t.Fatalf("record: %v\n%s", err, out.String())
+	}
+
+	basePath := filepath.Join(dir, "BENCH_baseline.json")
+	writeSnapshot(t, basePath, []Benchmark{
+		{Name: "BenchmarkVisitedStore/exact", NsPerOp: 1, Metrics: map[string]float64{"bytes/state": 150}},
+		{Name: "BenchmarkVisitedStore/fingerprint", NsPerOp: 1, Metrics: map[string]float64{"bytes/state": 27}},
+	})
+	out.Reset()
+	if err := run([]string{"-diff", "-baseline", basePath, "-pr", prPath}, &out); err != nil {
+		t.Fatalf("diff within tolerance failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 benchmarks within 10%") {
+		t.Errorf("summary missing:\n%s", out.String())
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	prPath := filepath.Join(dir, "pr.json")
+	writeSnapshot(t, basePath, []Benchmark{
+		{Name: "BenchmarkVisitedStore/fingerprint", Metrics: map[string]float64{"bytes/state": 26.5}},
+	})
+	writeSnapshot(t, prPath, []Benchmark{
+		{Name: "BenchmarkVisitedStore/fingerprint", Metrics: map[string]float64{"bytes/state": 40}},
+	})
+	var out strings.Builder
+	err := run([]string{"-diff", "-baseline", basePath, "-pr", prPath, "-metric", "bytes/state", "-max-regress", "0.10"}, &out)
+	if err == nil {
+		t.Fatalf("a 51%% regression must fail the diff:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("regression not flagged:\n%s", out.String())
+	}
+	// Improvements and new benchmarks never fail.
+	writeSnapshot(t, prPath, []Benchmark{
+		{Name: "BenchmarkVisitedStore/fingerprint", Metrics: map[string]float64{"bytes/state": 16}},
+		{Name: "BenchmarkBrandNew", Metrics: map[string]float64{"bytes/state": 999}},
+	})
+	out.Reset()
+	if err := run([]string{"-diff", "-baseline", basePath, "-pr", prPath}, &out); err != nil {
+		t.Fatalf("improvement failed the diff: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "NEW") {
+		t.Errorf("new benchmark not listed:\n%s", out.String())
+	}
+}
+
+func TestDiffErrorsWithoutComparableMetric(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	prPath := filepath.Join(dir, "pr.json")
+	writeSnapshot(t, basePath, []Benchmark{{Name: "A", NsPerOp: 5}})
+	writeSnapshot(t, prPath, []Benchmark{{Name: "B", NsPerOp: 5}})
+	var out strings.Builder
+	if err := run([]string{"-diff", "-baseline", basePath, "-pr", prPath, "-metric", "bytes/state"}, &out); err == nil {
+		t.Error("no comparable benchmarks must error, not silently pass")
+	}
+}
+
+func TestDiffZeroBaselineNeverGates(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	prPath := filepath.Join(dir, "pr.json")
+	writeSnapshot(t, basePath, []Benchmark{
+		{Name: "Zeroed", Metrics: map[string]float64{"stalls/run": 0}},
+		{Name: "Real", Metrics: map[string]float64{"stalls/run": 100}},
+	})
+	writeSnapshot(t, prPath, []Benchmark{
+		{Name: "Zeroed", Metrics: map[string]float64{"stalls/run": 50}},
+		{Name: "Real", Metrics: map[string]float64{"stalls/run": 101}},
+	})
+	var out strings.Builder
+	// The zero baseline must be reported but never divide to ±Inf/NaN
+	// or fail the gate; the nonzero pair still compares.
+	if err := run([]string{"-diff", "-baseline", basePath, "-pr", prPath, "-metric", "stalls/run"}, &out); err != nil {
+		t.Fatalf("zero baseline gated the diff: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no comparable baseline value") {
+		t.Errorf("zero baseline not reported:\n%s", out.String())
+	}
+}
+
+func TestDiffListsMissingBaselineBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	prPath := filepath.Join(dir, "pr.json")
+	writeSnapshot(t, basePath, []Benchmark{
+		{Name: "Kept", Metrics: map[string]float64{"bytes/state": 10}},
+		{Name: "Renamed", Metrics: map[string]float64{"bytes/state": 20}},
+	})
+	writeSnapshot(t, prPath, []Benchmark{
+		{Name: "Kept", Metrics: map[string]float64{"bytes/state": 10}},
+	})
+	var out strings.Builder
+	if err := run([]string{"-diff", "-baseline", basePath, "-pr", prPath}, &out); err != nil {
+		t.Fatalf("missing baseline benchmark must not gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") || !strings.Contains(out.String(), "Renamed") {
+		t.Errorf("vanished baseline benchmark not listed:\n%s", out.String())
+	}
+}

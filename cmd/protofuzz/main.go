@@ -10,6 +10,8 @@
 //	protofuzz -seeds 0:200                    # the standard campaign
 //	protofuzz -seeds 0:50 -family FZ_MOSI     # one family only
 //	protofuzz -family FZ_MI_double_grant -shrink -corpus internal/fuzz/corpus
+//	protofuzz -seeds 0:200 -cache-dir .vcache # memoize verify results;
+//	                                          # rerunning re-verifies nothing
 //	protofuzz -list                           # families, boundaries, corpus
 //	protofuzz -replay                         # replay the committed corpus
 package main
@@ -46,6 +48,7 @@ func run(args []string, stdout io.Writer) error {
 		simSteps = fs.Int("sim-steps", 3000, "simulator SC-check steps (0 disables)")
 		parallel = fs.Int("parallel", 0, "campaign workers (0 = all cores)")
 		shrink   = fs.Bool("shrink", true, "shrink failing specs to minimal reproducers")
+		cacheDir = fs.String("cache-dir", "", "memoize verify results as JSONL under this directory, keyed by canonical spec + generation options + checker config; a rerun over the same seeds performs zero re-verifications (see docs/CACHING.md for the format and when to wipe it)")
 		corpus   = fs.String("corpus", "", "write minimized reproducers into this directory")
 		jsonOut  = fs.String("json", "", "write one JSON report line per spec to this file (- = stdout)")
 		list     = fs.Bool("list", false, "list families, boundary shapes and corpus entries")
@@ -69,6 +72,14 @@ func run(args []string, stdout io.Writer) error {
 	if *family != "" {
 		cfg.Families = strings.Split(*family, ",")
 	}
+	if *cacheDir != "" {
+		cache, err := protogen.OpenVerifyCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		defer cache.Close()
+		cfg.Cache = cache
+	}
 
 	if *replay {
 		return replayCorpus(stdout, cfg)
@@ -89,6 +100,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *jsonOut != "-" { // keep stdout pure JSONL when streaming there
 		fmt.Fprintf(stdout, "%s in %.1fs\n", rep.Summary(), time.Since(start).Seconds())
+		if cfg.Cache != nil {
+			fmt.Fprintf(stdout, "result cache: %d hits, %d re-verifications (%d entries in %s)\n",
+				rep.CachedChecks, rep.RanChecks, cfg.Cache.Len(), *cacheDir)
+		}
 	}
 	if rep.Fail > 0 {
 		return fmt.Errorf("%d of %d specs failed the differential campaign", rep.Fail, len(rep.Specs))

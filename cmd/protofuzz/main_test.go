@@ -108,3 +108,24 @@ func TestParseSeeds(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCampaignCacheDir: the acceptance gate at the CLI — a second
+// campaign over the same seed range with -cache-dir reports zero
+// re-verifications.
+func TestRunCampaignCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-seeds", "0:6", "-sim-steps", "300", "-cache-dir", dir}
+	var cold, warm strings.Builder
+	if err := run(args, &cold); err != nil {
+		t.Fatalf("cold run: %v\n%s", err, cold.String())
+	}
+	if !strings.Contains(cold.String(), "result cache:") || !strings.Contains(cold.String(), "0 hits") {
+		t.Errorf("cold run cache line wrong:\n%s", cold.String())
+	}
+	if err := run(args, &warm); err != nil {
+		t.Fatalf("warm run: %v\n%s", err, warm.String())
+	}
+	if !strings.Contains(warm.String(), "0 re-verifications") {
+		t.Errorf("warm run re-verified specs:\n%s", warm.String())
+	}
+}

@@ -7,6 +7,13 @@
 //	protoverify -protocol MSI -mode nonstalling -caches 2
 //	protoverify -protocol TSO_CC -no-swmr -no-values        # deadlock only
 //	protoverify -protocol MSI -max-violations 5 -trace      # all witnesses
+//	protoverify -protocol MSI -caches 4 -fingerprint        # hash-compacted visited set
+//	protoverify -protocol MOSI -caches 3 -cache-dir .vcache # memoize results
+//
+// -fingerprint switches the visited set to 64-bit state fingerprints
+// (~10x less memory; validate new protocols with -audit-collisions).
+// -cache-dir memoizes results keyed by canonical spec + generation
+// options + checker config; see docs/CACHING.md.
 package main
 
 import (
@@ -45,6 +52,9 @@ func run(args []string, stdout io.Writer) error {
 		noPrune  = fs.Bool("no-prune", false, "disable sharer pruning on stale Puts (ablation)")
 		parallel = fs.Int("parallel", 0, "exploration workers (0 = all cores, 1 = sequential)")
 		trace    = fs.Bool("trace", false, "print every violation's counterexample trace")
+		fpMode   = fs.Bool("fingerprint", false, "store 64-bit state fingerprints instead of full keys in the visited set (~10x less memory; false-merge odds ~n²/2⁶⁵)")
+		audit    = fs.Bool("audit-collisions", false, "with -fingerprint: retain full keys and report observed false merges (costs the memory fingerprinting saves)")
+		cacheDir = fs.String("cache-dir", "", "memoize verify results as JSONL under this directory, keyed by canonical spec + generation options + checker config (see docs/CACHING.md for the format and when to wipe it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,9 +81,12 @@ func run(args []string, stdout io.Writer) error {
 	if *noPrune {
 		opts.PruneSharerOnStalePut = false
 	}
-	p, err := protogen.GenerateSource(src, opts)
+	spec, err := protogen.Parse(src)
 	if err != nil {
 		return err
+	}
+	if *audit && !*fpMode {
+		return fmt.Errorf("-audit-collisions requires -fingerprint (exact mode never merges on fingerprints)")
 	}
 
 	cfg := protogen.DefaultVerifyConfig()
@@ -86,10 +99,47 @@ func run(args []string, stdout io.Writer) error {
 	cfg.CheckLiveness = !*noLive
 	cfg.Symmetry = !*noSym
 	cfg.Parallelism = *parallel
+	cfg.Fingerprint = *fpMode
+	cfg.CollisionAudit = *audit
+
+	var cache *protogen.VerifyResultCache
+	var key string
+	if *cacheDir != "" {
+		if cache, err = protogen.OpenVerifyCache(*cacheDir); err != nil {
+			return err
+		}
+		defer cache.Close()
+		key = protogen.VerifyCacheKey(spec, opts, cfg)
+	}
 
 	start := time.Now()
-	res := protogen.Verify(p, cfg)
-	fmt.Fprintf(stdout, "%s  (%.1fs)\n", res, time.Since(start).Seconds())
+	res, hit := (*protogen.VerifyResult)(nil), false
+	// An audit run must actually retain and compare keys, so it never
+	// reads the cache (whose key deliberately ignores CollisionAudit);
+	// its result is still written back for future non-audit runs.
+	if cache != nil && !cfg.CollisionAudit {
+		res, hit = cache.Get(key)
+	}
+	if hit {
+		fmt.Fprintf(stdout, "%s  (cached)\n", res)
+	} else {
+		p, err := protogen.Generate(spec, opts)
+		if err != nil {
+			return err
+		}
+		res = protogen.Verify(p, cfg)
+		if cache != nil {
+			if err := cache.Put(key, res); err != nil {
+				// Losing memoization must not discard a completed
+				// verification; the verdict stands.
+				fmt.Fprintf(stdout, "warning: %v\n", err)
+			}
+		}
+		fmt.Fprintf(stdout, "%s  (%.1fs)\n", res, time.Since(start).Seconds())
+	}
+	if cfg.CollisionAudit {
+		fmt.Fprintf(stdout, "collision audit: %d false merges over %d states\n", res.FalseMerges, res.States)
+	}
 	if !res.OK() {
 		for vi, v := range res.Violations {
 			fmt.Fprintf(stdout, "violation %d/%d — %s\n", vi+1, len(res.Violations), v)

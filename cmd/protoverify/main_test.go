@@ -70,3 +70,85 @@ func TestRunVerifyUnknownProtocol(t *testing.T) {
 		t.Error("unknown mode must error")
 	}
 }
+
+// TestRunVerifyFingerprint: -fingerprint explores the same space as the
+// exact run, and -audit-collisions reports a clean audit.
+func TestRunVerifyFingerprint(t *testing.T) {
+	var exact, fp strings.Builder
+	if err := run([]string{"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1"}, &exact); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1",
+		"-fingerprint", "-audit-collisions",
+	}, &fp)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, fp.String())
+	}
+	wantCounts := strings.SplitN(exact.String(), " (", 2)[0]
+	if !strings.Contains(fp.String(), wantCounts) {
+		t.Errorf("fingerprint run diverged from exact:\nexact: %s\nfp:    %s", exact.String(), fp.String())
+	}
+	if !strings.Contains(fp.String(), "collision audit: 0 false merges") {
+		t.Errorf("audit line missing or dirty:\n%s", fp.String())
+	}
+}
+
+// TestRunVerifyCacheDir: a second run with the same -cache-dir is served
+// from the result cache; a changed configuration is not.
+func TestRunVerifyCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1", "-cache-dir", dir}
+	var cold, warm, other strings.Builder
+	if err := run(base, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cold.String(), "(cached)") {
+		t.Fatalf("cold run claims a cache hit:\n%s", cold.String())
+	}
+	if err := run(base, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "(cached)") {
+		t.Errorf("warm run missed the cache:\n%s", warm.String())
+	}
+	wantCounts := strings.SplitN(cold.String(), " (", 2)[0]
+	if !strings.Contains(warm.String(), wantCounts) {
+		t.Errorf("cached result differs:\ncold: %s\nwarm: %s", cold.String(), warm.String())
+	}
+	// A different mode must not share the entry.
+	if err := run([]string{"-protocol", "MSI", "-mode", "nonstalling", "-caches", "2", "-parallel", "1", "-cache-dir", dir}, &other); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(other.String(), "(cached)") {
+		t.Errorf("different generation options hit the same cache entry:\n%s", other.String())
+	}
+}
+
+// TestRunVerifyAuditRequiresFingerprint: -audit-collisions without
+// -fingerprint is a vacuous always-zero audit; reject it. And an audit
+// run must never be served from the cache (whose key ignores the audit
+// flag) — it has to actually retain and compare keys.
+func TestRunVerifyAuditRequiresFingerprint(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-protocol", "MSI", "-caches", "2", "-audit-collisions"}, &out); err == nil {
+		t.Error("-audit-collisions without -fingerprint must error")
+	}
+	dir := t.TempDir()
+	warmArgs := []string{"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1",
+		"-fingerprint", "-cache-dir", dir}
+	out.Reset()
+	if err := run(warmArgs, &out); err != nil { // cold, no audit
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(append(warmArgs, "-audit-collisions"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "(cached)") {
+		t.Errorf("audit run served from cache — no keys were compared:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "collision audit: 0 false merges") {
+		t.Errorf("audit line missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,81 @@
+package protogen_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocComments enforces the repo's godoc floor with nothing
+// but the standard library (the no-new-deps stand-in for revive's
+// package-comments rule, run as a CI step): every package in the module
+// — internal/*, cmd/*, examples/*, and the root protogen package — must
+// carry a substantive package comment ("Package x ..." for libraries,
+// "Command x ..." for binaries) so `go doc` output is self-explanatory.
+func TestPackageDocComments(t *testing.T) {
+	const minDocLen = 60 // a sentence, not a placeholder
+	pkgDirs := map[string][]string{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "corpus") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			pkgDirs[dir] = append(pkgDirs[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgDirs) < 15 {
+		t.Fatalf("walk found only %d packages — test is miswired", len(pkgDirs))
+	}
+	fset := token.NewFileSet()
+	for dir, files := range pkgDirs {
+		var best string
+		pkgName := ""
+		for _, path := range files {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := parser.ParseFile(fset, path, src, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			pkgName = f.Name.Name
+			if f.Doc != nil && len(f.Doc.Text()) > len(best) {
+				best = f.Doc.Text()
+			}
+		}
+		switch {
+		case best == "":
+			t.Errorf("%s: package %s has no package comment in any file", dir, pkgName)
+		case len(best) < minDocLen:
+			t.Errorf("%s: package comment is a stub (%d chars, want ≥ %d): %q", dir, len(best), minDocLen, best)
+		case pkgName == "main" && !strings.HasPrefix(best, "Command "):
+			t.Errorf("%s: main-package comment must start with \"Command \": %q", dir, firstLine(best))
+		case pkgName != "main" && !strings.HasPrefix(best, "Package "+pkgName):
+			t.Errorf("%s: package comment must start with \"Package %s\": %q", dir, pkgName, firstLine(best))
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,4 +1,4 @@
-// MOSI renaming: reproduces the preprocessing example of paper Tables
+// Command mosi-renaming reproduces the preprocessing example of paper Tables
 // III/IV. The MOSI SSP is written the natural way — Fwd_GetS handled at
 // both M and O — and the generator renames the O copy so a cache can infer
 // the serialization order of racing transactions from the message name.

@@ -1,4 +1,4 @@
-// Quickstart: parse the textbook MSI SSP (paper Tables I/II), generate the
+// Command quickstart is the quickstart tour: parse the textbook MSI SSP (paper Tables I/II), generate the
 // complete non-stalling protocol (paper Table VI), print it, and verify it
 // with the built-in model checker.
 package main

@@ -1,4 +1,4 @@
-// Simulate: quantifies the paper's "reduce stalling" claim by running the
+// Command simulate quantifies the paper's "reduce stalling" claim by running the
 // stalling and non-stalling MSI protocols under identical contended
 // workloads and comparing blocked deliveries, hits and latencies.
 package main

@@ -1,4 +1,4 @@
-// TSO-CC (paper §VI-D): a consistency-directed protocol with no sharer
+// Command tsocc demonstrates TSO-CC (paper §VI-D): a consistency-directed protocol with no sharer
 // tracking — Shared copies go stale, which TSO permits until an acquire.
 // ProtoGen generates its concurrent form; litmus tests over randomized
 // schedules stand in for the Banks et al. TSO verification.

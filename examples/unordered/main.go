@@ -1,4 +1,4 @@
-// Unordered-network MSI (paper §VI-C): the SSP adds Unblock handshakes so
+// Command unordered demonstrates unordered-network MSI (paper §VI-C): the SSP adds Unblock handshakes so
 // the directory serializes conflicting transactions, which makes the
 // protocol correct without point-to-point ordering. ProtoGen generates the
 // concurrency; the model checker explores an unordered interconnect.

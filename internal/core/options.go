@@ -100,6 +100,18 @@ func OptionsForMode(mode string) (Options, error) {
 	return Options{}, fmt.Errorf("unknown mode %q (want nonstalling, stalling or deferred)", mode)
 }
 
+// KeyString renders every generation option deterministically for
+// verify result-cache keys (see verify.CacheKey and docs/CACHING.md).
+// Every Options field must appear here: an omitted field would let two
+// differently generated protocols share a cache entry. Changing the
+// rendering (or adding a field) invalidates previously cached entries,
+// which is the safe direction.
+func (o Options) KeyString() string {
+	return fmt.Sprintf("nonstalling=%t immediate=%t transient=%t limit=%d prune=%t stalefwd=%t",
+		o.NonStalling, o.ImmediateResponses, o.TransientAccess,
+		o.PendingLimit, o.PruneSharerOnStalePut, o.StaleFwd)
+}
+
 // Note renders the options for protocol reports.
 func (o Options) Note() string {
 	mode := "stalling"

@@ -319,8 +319,23 @@ func putU64(b []byte, w uint64) []byte {
 		byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
 }
 
-// FNV-1a over a binary key; the checker uses it to pick visited-set
-// shards.
+// Fingerprint hashes a canonical state encoding to a 64-bit state
+// fingerprint: FNV-1a over the bytes followed by a splitmix64-style
+// avalanche finalizer, so high and low bit ranges both mix well — the
+// fingerprint visited table derives its shard index from the top bits
+// and its slot index from the bottom bits of the same word.
+func Fingerprint(b []byte) uint64 {
+	h := Fnv1a(b)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// FNV-1a over a binary key — Fingerprint's input hash (the checker's
+// visited sets consume Fingerprint, not this, for shard and slot
+// selection).
 func Fnv1a(b []byte) uint64 {
 	const (
 		offset = 14695981039346656037

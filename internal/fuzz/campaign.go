@@ -42,6 +42,13 @@ type Config struct {
 	Parallelism int
 	// Shrink minimizes failing specs to reproducers in Report entries.
 	Shrink bool
+	// Cache memoizes per-mode verify results across campaign runs,
+	// keyed by canonical spec text + generation options + checker
+	// config (see verify.CacheKey and docs/CACHING.md). nil disables
+	// caching. With a warm cache, a rerun over an identical seed range
+	// performs zero re-verifications — only the (cheap) simulator
+	// cross-checks repeat.
+	Cache *verify.ResultCache
 }
 
 // DefaultConfig returns the standard campaign scale.
@@ -66,6 +73,19 @@ type ModeResult struct {
 	Complete  bool   `json:"complete"`
 	Violation string `json:"violation,omitempty"` // kind of the first violation
 	Detail    string `json:"detail,omitempty"`
+	// Cached marks a verdict served from the result cache instead of a
+	// fresh model check.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// fill copies a verify Result's observables into the mode result.
+func (mr *ModeResult) fill(res *verify.Result) {
+	mr.States, mr.Edges, mr.Depth = res.States, res.Edges, res.Depth
+	mr.OK, mr.Complete = res.OK(), res.Complete
+	if !res.OK() {
+		mr.Violation = res.Violations[0].Kind
+		mr.Detail = res.Violations[0].Detail
+	}
 }
 
 // Failure identifies what a spec's campaign run tripped over.
@@ -138,6 +158,11 @@ type Report struct {
 	Pass     int          `json:"pass"`
 	Fail     int          `json:"fail"`
 	Families []string     `json:"families"`
+	// RanChecks counts model checks actually explored this run —
+	// the re-verifications a warm result cache eliminates;
+	// CachedChecks counts verdicts served from the cache.
+	RanChecks    int `json:"ran_checks"`
+	CachedChecks int `json:"cached_checks,omitempty"`
 }
 
 // Summary is a one-line human rendering.
@@ -251,6 +276,17 @@ func Run(first, last uint64, cfg Config) (*Report, error) {
 		} else {
 			rep.Fail++
 		}
+		for _, mr := range r.Modes {
+			switch {
+			case mr.Cached:
+				rep.CachedChecks++
+			case mr.States > 0:
+				// A generate/mode failure appends a zero ModeResult
+				// before CheckSource returns — no exploration ran, so
+				// it counts as neither; every real check has ≥1 state.
+				rep.RanChecks++
+			}
+		}
 	}
 	for f := range fams {
 		rep.Families = append(rep.Families, f)
@@ -361,8 +397,10 @@ func CheckSource(src string, limit int, simSeed int64, cfg Config) SpecReport {
 	return r
 }
 
-// checkMode generates and model-checks one mode of one spec. The parsed
-// spec is shared across modes: Generate clones it internally.
+// checkMode generates and model-checks one mode of one spec, consulting
+// the result cache first when one is configured (a hit skips generation
+// too — the cache key needs only the spec and options). The parsed spec
+// is shared across modes: Generate clones it internally.
 func checkMode(spec *ir.Spec, mode string, limit int, cfg Config) (ModeResult, Failure) {
 	mr := ModeResult{Mode: mode}
 	opts, err := ModeOptions(mode)
@@ -370,23 +408,31 @@ func checkMode(spec *ir.Spec, mode string, limit int, cfg Config) (ModeResult, F
 		return mr, Failure{Class: "generate", Kind: "mode", Mode: mode, Detail: err.Error()}
 	}
 	opts.PendingLimit = limit
-	p, err := core.Generate(spec, opts)
-	if err != nil {
-		return mr, Failure{Class: "generate", Kind: "generate", Mode: mode, Detail: err.Error()}
-	}
 	vcfg := verify.Config{
 		Caches: cfg.Caches, Capacity: cfg.Capacity, Values: 2,
 		MaxStates: cfg.MaxStates, CheckSWMR: true, CheckValues: true,
 		CheckLiveness: true, Symmetry: true, MaxViolations: 1,
 		Parallelism: 1, // campaign workers provide the parallelism
 	}
-	res := verify.Check(p, vcfg)
-	mr.States, mr.Edges, mr.Depth = res.States, res.Edges, res.Depth
-	mr.OK, mr.Complete = res.OK(), res.Complete
-	if !res.OK() {
-		mr.Violation = res.Violations[0].Kind
-		mr.Detail = res.Violations[0].Detail
+	var key string
+	if cfg.Cache != nil {
+		key = verify.CacheKey(dsl.Format(spec), opts.KeyString(), vcfg)
+		if res, ok := cfg.Cache.Get(key); ok {
+			mr.fill(res)
+			mr.Cached = true
+			return mr, Failure{}
+		}
 	}
+	p, err := core.Generate(spec, opts)
+	if err != nil {
+		return mr, Failure{Class: "generate", Kind: "generate", Mode: mode, Detail: err.Error()}
+	}
+	res := verify.Check(p, vcfg)
+	if cfg.Cache != nil {
+		// A write failure only loses memoization; the verdict stands.
+		_ = cfg.Cache.Put(key, res)
+	}
+	mr.fill(res)
 	return mr, Failure{}
 }
 

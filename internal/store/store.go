@@ -1,0 +1,220 @@
+// Package store provides the model checker's memory-lean visited-set
+// storage: a sharded, lock-striped, power-of-two open-addressing hash
+// table over 64-bit state fingerprints.
+//
+// The exact visited set keeps every state's full canonical encoding
+// (~60-150 bytes each, plus Go map overhead) so membership answers are
+// certain. At millions of states that dominates the checker's memory.
+// Explicit-state tools for this domain (Murphi's hash compaction, the
+// visited sets in directory-protocol verification flows) instead retain
+// only a fixed-width hash of each state: two states are merged when
+// their fingerprints collide, which is unsound in principle but with
+// 64-bit fingerprints has expected false-merge count n²/2⁶⁵ — below
+// 10⁻⁶ even at ten million states. Table stores one 12-byte slot pair
+// (fingerprint + state index) per state at ≤75% load, roughly a tenth
+// of the exact set's footprint.
+//
+// Layout: fingerprints are distributed over 64 shards by their top six
+// bits; within a shard, linear probing over a power-of-two slot array
+// indexed by the low bits. Each shard carries its own RWMutex, so
+// concurrent readers (the checker's expansion workers) never contend
+// across shards. Resizing is incremental at shard granularity: a shard
+// doubles independently when it passes the load bound, so any single
+// insert rehashes at most 1/64th of the table.
+//
+// The opt-in collision-audit mode (NewAudited) additionally retains
+// each fingerprint's full canonical key in a side map and counts
+// lookups whose fingerprint matched a different key — measured
+// false-merge probability, for validating the fingerprint width on new
+// protocol families. Audit mode keeps the table's merge behavior
+// identical to plain fingerprint mode; it only observes.
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	shardBits  = 6
+	shardCount = 1 << shardBits
+	// minSlots is each shard's initial capacity (a power of two).
+	minSlots = 64
+	// maxLoadNum/maxLoadDen bound the per-shard load factor at 3/4.
+	maxLoadNum = 3
+	maxLoadDen = 4
+)
+
+// zeroSub replaces the fingerprint 0, which marks an empty slot. Any
+// state hashing to 0 is indistinguishable from a state hashing to this
+// constant — one more two-in-2⁶⁴ coincidence on top of ordinary
+// fingerprint collisions.
+const zeroSub = 0x9e3779b97f4a7c15
+
+// Table is a concurrent fingerprint → state-index table. Lookups may
+// run concurrently with each other; Insert must not run concurrently
+// with other operations on the same fingerprint's shard unless
+// externally ordered (the checker's level-synchronized BFS guarantees
+// this: workers only look up, the single-threaded merge inserts).
+type Table struct {
+	shards      [shardCount]shard
+	audit       bool
+	falseMerges atomic.Int64
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	fps  []uint64
+	idxs []int32
+	n    int
+	keys map[uint64]string // audit mode only: fingerprint → first key
+}
+
+// New returns an empty fingerprint table.
+func New() *Table { return newTable(false) }
+
+// NewAudited returns a table that retains full keys alongside the
+// fingerprints and counts false merges (fingerprint matches whose keys
+// differ). Membership behavior is identical to New; only the
+// measurement differs. Audit mode costs the full-key memory the plain
+// table exists to avoid — use it to validate, not to run.
+func NewAudited() *Table { return newTable(true) }
+
+func newTable(audit bool) *Table {
+	t := &Table{audit: audit}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.fps = make([]uint64, minSlots)
+		s.idxs = make([]int32, minSlots)
+		if audit {
+			s.keys = make(map[uint64]string)
+		}
+	}
+	return t
+}
+
+func (t *Table) shard(fp uint64) *shard {
+	return &t.shards[fp>>(64-shardBits)]
+}
+
+func normalize(fp uint64) uint64 {
+	if fp == 0 {
+		return zeroSub
+	}
+	return fp
+}
+
+// Lookup reports the state index recorded for fp. key is examined only
+// in audit mode, to detect false merges; pass nil otherwise.
+func (t *Table) Lookup(fp uint64, key []byte) (int32, bool) {
+	fp = normalize(fp)
+	s := t.shard(fp)
+	s.mu.RLock()
+	idx, ok := s.probe(fp)
+	if ok && t.audit {
+		if prev, have := s.keys[fp]; have && prev != string(key) {
+			t.falseMerges.Add(1)
+		}
+	}
+	s.mu.RUnlock()
+	return idx, ok
+}
+
+// probe scans the shard's slot array for fp; caller holds the lock.
+func (s *shard) probe(fp uint64) (int32, bool) {
+	mask := uint64(len(s.fps) - 1)
+	for i := fp & mask; ; i = (i + 1) & mask {
+		switch s.fps[i] {
+		case fp:
+			return s.idxs[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+// Insert records idx for fp. A fingerprint already present keeps its
+// first index (state indices are stable). key is retained only in
+// audit mode; pass "" otherwise.
+func (t *Table) Insert(fp uint64, key string, idx int32) {
+	fp = normalize(fp)
+	s := t.shard(fp)
+	s.mu.Lock()
+	if (s.n+1)*maxLoadDen > len(s.fps)*maxLoadNum {
+		s.grow()
+	}
+	mask := uint64(len(s.fps) - 1)
+	for i := fp & mask; ; i = (i + 1) & mask {
+		switch s.fps[i] {
+		case fp:
+			s.mu.Unlock()
+			return
+		case 0:
+			s.fps[i] = fp
+			s.idxs[i] = idx
+			s.n++
+			if t.audit {
+				s.keys[fp] = key
+			}
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+// grow doubles one shard's slot array and rehashes its entries; caller
+// holds the write lock. Growth touches only this shard — 1/64th of the
+// table — keeping any single insert's pause bounded.
+func (s *shard) grow() {
+	oldFps, oldIdxs := s.fps, s.idxs
+	s.fps = make([]uint64, 2*len(oldFps))
+	s.idxs = make([]int32, 2*len(oldIdxs))
+	mask := uint64(len(s.fps) - 1)
+	for j, fp := range oldFps {
+		if fp == 0 {
+			continue
+		}
+		i := fp & mask
+		for s.fps[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.fps[i] = fp
+		s.idxs[i] = oldIdxs[j]
+	}
+}
+
+// Len reports the number of distinct fingerprints stored.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += s.n
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Bytes reports the table's allocated slot-array footprint. Audit-mode
+// key retention is deliberately excluded: it measures the exact set's
+// cost, not the fingerprint table's.
+func (t *Table) Bytes() int64 {
+	var b int64
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		b += int64(cap(s.fps))*8 + int64(cap(s.idxs))*4
+		s.mu.RUnlock()
+	}
+	return b
+}
+
+// FalseMerges reports how many lookups matched a fingerprint whose
+// retained key differed from the probe's — always 0 outside audit mode.
+func (t *Table) FalseMerges() int {
+	return int(t.falseMerges.Load())
+}
+
+// Audited reports whether the table retains full keys for collision
+// auditing.
+func (t *Table) Audited() bool { return t.audit }

@@ -1,0 +1,152 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// splitmix64 generates well-dispersed deterministic test fingerprints.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func TestInsertLookup(t *testing.T) {
+	tbl := New()
+	const n = 50_000 // forces many per-shard resizes past minSlots
+	for i := 0; i < n; i++ {
+		fp := splitmix64(uint64(i))
+		if _, ok := tbl.Lookup(fp, nil); ok {
+			t.Fatalf("fp %d present before insert", i)
+		}
+		tbl.Insert(fp, "", int32(i))
+	}
+	if got := tbl.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		idx, ok := tbl.Lookup(splitmix64(uint64(i)), nil)
+		if !ok || idx != int32(i) {
+			t.Fatalf("fp %d: got (%d, %v), want (%d, true)", i, idx, ok, i)
+		}
+	}
+	for i := n; i < n+1000; i++ {
+		if _, ok := tbl.Lookup(splitmix64(uint64(i)), nil); ok {
+			t.Fatalf("uninserted fp %d reported present", i)
+		}
+	}
+}
+
+func TestDuplicateInsertKeepsFirstIndex(t *testing.T) {
+	tbl := New()
+	tbl.Insert(42, "", 7)
+	tbl.Insert(42, "", 99)
+	if idx, ok := tbl.Lookup(42, nil); !ok || idx != 7 {
+		t.Fatalf("got (%d, %v), want (7, true)", idx, ok)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestZeroFingerprint(t *testing.T) {
+	tbl := New()
+	if _, ok := tbl.Lookup(0, nil); ok {
+		t.Fatal("empty table reports fp 0 present")
+	}
+	tbl.Insert(0, "", 3)
+	if idx, ok := tbl.Lookup(0, nil); !ok || idx != 3 {
+		t.Fatalf("fp 0: got (%d, %v), want (3, true)", idx, ok)
+	}
+	// fp 0 aliases zeroSub by construction; both resolve to one entry.
+	if idx, ok := tbl.Lookup(zeroSub, nil); !ok || idx != 3 {
+		t.Fatalf("zeroSub: got (%d, %v), want (3, true)", idx, ok)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestCollisionAudit(t *testing.T) {
+	tbl := NewAudited()
+	if !tbl.Audited() {
+		t.Fatal("NewAudited not audited")
+	}
+	tbl.Insert(77, "state-A", 0)
+	if _, ok := tbl.Lookup(77, []byte("state-A")); !ok {
+		t.Fatal("state-A missing")
+	}
+	if tbl.FalseMerges() != 0 {
+		t.Fatalf("false merges after true match: %d", tbl.FalseMerges())
+	}
+	// A different state colliding on the same fingerprint is a false
+	// merge: the probe still reports "visited".
+	if _, ok := tbl.Lookup(77, []byte("state-B")); !ok {
+		t.Fatal("colliding lookup must still merge")
+	}
+	if tbl.FalseMerges() != 1 {
+		t.Fatalf("false merges = %d, want 1", tbl.FalseMerges())
+	}
+	// Plain mode never counts.
+	plain := New()
+	plain.Insert(77, "", 0)
+	plain.Lookup(77, []byte("state-B"))
+	if plain.FalseMerges() != 0 {
+		t.Fatalf("plain table counted a false merge")
+	}
+}
+
+func TestBytesGrowWithLoad(t *testing.T) {
+	tbl := New()
+	empty := tbl.Bytes()
+	if empty != shardCount*minSlots*12 {
+		t.Fatalf("empty Bytes = %d, want %d", empty, shardCount*minSlots*12)
+	}
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		tbl.Insert(splitmix64(uint64(i)), "", int32(i))
+	}
+	got := tbl.Bytes()
+	if got <= empty {
+		t.Fatalf("Bytes did not grow: %d", got)
+	}
+	// ≤75% load over 12-byte slots bounds the footprint at 32 B/state
+	// once the table is past its fixed minimum.
+	if perState := float64(got) / n; perState > 32 {
+		t.Fatalf("bytes/state = %.1f, want ≤ 32", perState)
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	tbl := New()
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tbl.Insert(splitmix64(uint64(i)), "", int32(i))
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				idx, ok := tbl.Lookup(splitmix64(uint64(i)), nil)
+				if !ok || idx != int32(i) {
+					select {
+					case errc <- fmt.Errorf("goroutine %d: fp %d got (%d, %v)", g, i, idx, ok):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}

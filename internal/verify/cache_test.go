@@ -1,0 +1,189 @@
+package verify
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"protogen/internal/core"
+	"protogen/internal/dsl"
+	"protogen/internal/protocols"
+)
+
+func msiCacheKey(t *testing.T, opts core.Options, cfg Config) string {
+	t.Helper()
+	spec, err := dsl.Parse(protocols.MSI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CacheKey(dsl.Format(spec), opts.KeyString(), cfg)
+}
+
+// TestCacheKeySensitivity: the key must change with the spec, the
+// generation options and any result-affecting checker field — and must
+// NOT change with Parallelism or CollisionAudit.
+func TestCacheKeySensitivity(t *testing.T) {
+	base := msiCacheKey(t, core.NonStallingOpts(), QuickConfig())
+
+	spec, err := dsl.Parse(protocols.MESI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := CacheKey(dsl.Format(spec), core.NonStallingOpts().KeyString(), QuickConfig()); k == base {
+		t.Error("different spec, same key")
+	}
+	if k := msiCacheKey(t, core.StallingOpts(), QuickConfig()); k == base {
+		t.Error("different generation options, same key")
+	}
+	for _, mut := range []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"caches", func(c *Config) { c.Caches++ }},
+		{"capacity", func(c *Config) { c.Capacity++ }},
+		{"values", func(c *Config) { c.Values++ }},
+		{"maxstates", func(c *Config) { c.MaxStates++ }},
+		{"swmr", func(c *Config) { c.CheckSWMR = !c.CheckSWMR }},
+		{"datavalue", func(c *Config) { c.CheckValues = !c.CheckValues }},
+		{"liveness", func(c *Config) { c.CheckLiveness = !c.CheckLiveness }},
+		{"symmetry", func(c *Config) { c.Symmetry = !c.Symmetry }},
+		{"maxviolations", func(c *Config) { c.MaxViolations++ }},
+		{"fingerprint", func(c *Config) { c.Fingerprint = !c.Fingerprint }},
+	} {
+		cfg := QuickConfig()
+		mut.mod(&cfg)
+		if k := msiCacheKey(t, core.NonStallingOpts(), cfg); k == base {
+			t.Errorf("config field %s not in cache key", mut.name)
+		}
+	}
+	for _, mut := range []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"parallelism", func(c *Config) { c.Parallelism = 7 }},
+		{"collision-audit", func(c *Config) { c.CollisionAudit = true }},
+	} {
+		cfg := QuickConfig()
+		mut.mod(&cfg)
+		if k := msiCacheKey(t, core.NonStallingOpts(), cfg); k != base {
+			t.Errorf("result-neutral field %s must not enter the cache key", mut.name)
+		}
+	}
+}
+
+// TestResultCacheRoundTrip: a stored Result — including a violation
+// with its witness trace — survives Put, Get, and a reopen from disk.
+func TestResultCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenResultCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := &Result{
+		Protocol: "MSI", States: 11963, Edges: 28281, Depth: 46,
+		Complete: true, Quiescent: 218, VisitedBytes: 12345,
+		Violations: []Violation{{Kind: "SWMR", Detail: "2 writers, 0 readers", Trace: []string{"a", "b"}}},
+	}
+	if err := c.Put("k1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k1")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.States != want.States || got.Violations[0].Trace[1] != "b" {
+		t.Fatalf("round trip mangled the result: %+v", got)
+	}
+	// Mutating the returned copy must not corrupt the cache.
+	got.Violations[0].Trace[0] = "mutated"
+	again, _ := c.Get("k1")
+	if again.Violations[0].Trace[0] != "a" {
+		t.Fatal("cache aliases caller memory")
+	}
+
+	re, err := OpenResultCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("reopened cache has %d entries, want 1", re.Len())
+	}
+	back, ok := re.Get("k1")
+	if !ok || back.Edges != want.Edges || len(back.Violations) != 1 {
+		t.Fatalf("persisted result lost: %+v, %v", back, ok)
+	}
+	hits, misses := re.Stats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("stats = %d/%d, want 1/0", hits, misses)
+	}
+}
+
+// TestResultCacheSkipsCorruptLines: a truncated tail (killed run) must
+// not take down the whole cache.
+func TestResultCacheSkipsCorruptLines(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenResultCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("good", &Result{Protocol: "MSI", States: 1, Complete: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendRaw(dir, `{"key":"trunc","result":{"Prot`); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenResultCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("entries = %d, want 1 (corrupt line skipped)", re.Len())
+	}
+	if _, ok := re.Get("good"); !ok {
+		t.Fatal("good entry lost")
+	}
+}
+
+// TestCachedVerifyEquivalence: verifying through the cache returns the
+// same observable result as verifying directly.
+func TestCachedVerifyEquivalence(t *testing.T) {
+	p := gen(t, protocols.MSI, core.NonStallingOpts())
+	cfg := QuickConfig()
+	cfg.Parallelism = 1
+	direct := Check(p, cfg)
+
+	dir := t.TempDir()
+	c, err := OpenResultCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := dsl.Parse(protocols.MSI)
+	key := CacheKey(dsl.Format(spec), core.NonStallingOpts().KeyString(), cfg)
+	if err := c.Put(key, direct); err != nil {
+		t.Fatal(err)
+	}
+	cached, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss")
+	}
+	if cached.String() != direct.String() {
+		t.Fatalf("cached render %q != direct %q", cached, direct)
+	}
+	if !strings.Contains(cached.String(), "PASS") {
+		t.Fatalf("unexpected verdict: %s", cached)
+	}
+}
+
+func appendRaw(dir, line string) error {
+	f, err := os.OpenFile(filepath.Join(dir, cacheFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(line + "\n")
+	return err
+}

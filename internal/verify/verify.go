@@ -22,6 +22,14 @@
 // and builds the next frontier in the exact order the classic FIFO BFS
 // would — so States, Edges, Depth, violations and witness traces are
 // identical for every Parallelism setting, including 1.
+//
+// The visited set has two backings (Config.Fingerprint): the exact set
+// keeps full canonical keys; fingerprint mode keeps only 64-bit state
+// fingerprints in internal/store's open-addressing table — about a
+// tenth of the memory, which is what bounds large cache counts. Verify
+// results can also be memoized across runs through ResultCache, keyed
+// by the canonical spec text plus generation and checker configuration
+// (see docs/CACHING.md).
 package verify
 
 import (
@@ -33,6 +41,7 @@ import (
 
 	"protogen/internal/engine"
 	"protogen/internal/ir"
+	"protogen/internal/store"
 )
 
 // Config tunes the exploration.
@@ -50,6 +59,19 @@ type Config struct {
 	// GOMAXPROCS, 1 runs everything inline (sequential). Results are
 	// identical at every setting.
 	Parallelism int
+	// Fingerprint switches the visited set from full canonical keys to
+	// 64-bit state fingerprints (hash compaction, as in Murphi's -b):
+	// ~10x less memory per state, at a false-merge probability of about
+	// n²/2⁶⁵ — negligible below tens of millions of states. States,
+	// Edges, Depth and traces match exact mode whenever no fingerprint
+	// collision occurs.
+	Fingerprint bool
+	// CollisionAudit (fingerprint mode only) retains every state's full
+	// key alongside its fingerprint and reports observed false merges in
+	// Result.FalseMerges. It spends the memory fingerprinting saves —
+	// use it to validate fingerprint mode on a new protocol, not to run
+	// at scale.
+	CollisionAudit bool
 }
 
 // DefaultConfig mirrors the paper's setup: 3 caches, with symmetry
@@ -90,6 +112,13 @@ type Result struct {
 	Complete   bool
 	Quiescent  int
 	Violations []Violation
+	// VisitedBytes is the visited set's retained footprint: exact for
+	// the fingerprint table (allocated slot arrays), a documented
+	// estimate for the exact set (key bytes + per-entry map overhead).
+	VisitedBytes int64
+	// FalseMerges counts fingerprint matches whose full keys differed —
+	// populated only under Config.CollisionAudit, 0 otherwise.
+	FalseMerges int
 }
 
 // OK reports whether the exploration finished with no violations.
@@ -109,38 +138,69 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// visitedShardBits fixes the shard count (64): enough to keep per-shard
-// lock contention negligible at any realistic GOMAXPROCS without bloating
-// small explorations.
+// visitedStore abstracts the visited table over its two backings: the
+// exact set (full canonical keys, certain membership) and the
+// fingerprint table (64-bit hash compaction, ~10x leaner). During a
+// level's expansion the workers only call lookup (earlier levels are
+// fully inserted before the level starts); the merge phase is the only
+// caller of lookupMerge and insert.
+type visitedStore interface {
+	// lookup probes a raw key during parallel expansion without
+	// copying it. hash is the key's engine.Fingerprint.
+	lookup(key []byte, hash uint64) (int32, bool)
+	// lookupMerge re-probes during the sequential merge (an earlier
+	// successor in the same level may have claimed the key). key is ""
+	// in fingerprint mode without audit.
+	lookupMerge(key string, hash uint64) (int32, bool)
+	// insert records a new state's index; merge phase only.
+	insert(key string, hash uint64, idx int32)
+	// count is the number of stored states; always equals the number
+	// of state records — the checker inserts exactly once per record.
+	count() int
+	// bytes is the store's retained footprint (see Result.VisitedBytes).
+	bytes() int64
+	// falseMerges reports audited fingerprint collisions (0 elsewhere).
+	falseMerges() int
+}
+
+// visitedShardBits fixes the exact set's shard count (64): enough to
+// keep per-shard lock contention negligible at any realistic GOMAXPROCS
+// without bloating small explorations.
 const visitedShardBits = 6
 
-// visitedSet is the concurrent visited table: binary canonical keys
-// sharded by FNV-1a hash, one RWMutex per shard. During a level's
-// expansion the workers only read (earlier levels are fully inserted
-// before the level starts); the merge phase is the only writer.
-type visitedSet struct {
-	shards [1 << visitedShardBits]visitedShard
+// exactMapOverhead estimates the per-entry cost of a Go
+// map[string]int32 beyond the key bytes themselves: the 16-byte string
+// header plus the entry's amortized share of hash buckets (tophash,
+// value, overflow pointers, sub-unity load factor) — roughly 32 bytes.
+// bytes() is an accounting estimate for exact mode, not a measurement;
+// the fingerprint table reports its allocation exactly.
+const exactMapOverhead = 48
+
+// exactSet is the exact visited table: binary canonical keys sharded by
+// fingerprint, one RWMutex per shard.
+type exactSet struct {
+	shards [1 << visitedShardBits]exactShard
 }
 
-type visitedShard struct {
-	mu sync.RWMutex
-	m  map[string]int32
+type exactShard struct {
+	mu       sync.RWMutex
+	m        map[string]int32
+	keyBytes int64
 }
 
-func newVisitedSet() *visitedSet {
-	v := &visitedSet{}
+func newExactSet() *exactSet {
+	v := &exactSet{}
 	for i := range v.shards {
 		v.shards[i].m = make(map[string]int32)
 	}
 	return v
 }
 
-func (v *visitedSet) shard(hash uint64) *visitedShard {
+func (v *exactSet) shard(hash uint64) *exactShard {
 	return &v.shards[hash&(1<<visitedShardBits-1)]
 }
 
-// lookup probes a raw key without copying it.
-func (v *visitedSet) lookup(key []byte, hash uint64) (int32, bool) {
+func (v *exactSet) lookup(key []byte, hash uint64) (int32, bool) {
 	s := v.shard(hash)
 	s.mu.RLock()
 	idx, ok := s.m[string(key)]
@@ -148,7 +208,7 @@ func (v *visitedSet) lookup(key []byte, hash uint64) (int32, bool) {
 	return idx, ok
 }
 
-func (v *visitedSet) lookupStr(key string, hash uint64) (int32, bool) {
+func (v *exactSet) lookupMerge(key string, hash uint64) (int32, bool) {
 	s := v.shard(hash)
 	s.mu.RLock()
 	idx, ok := s.m[key]
@@ -156,12 +216,70 @@ func (v *visitedSet) lookupStr(key string, hash uint64) (int32, bool) {
 	return idx, ok
 }
 
-func (v *visitedSet) insert(key string, hash uint64, idx int32) {
+func (v *exactSet) insert(key string, hash uint64, idx int32) {
 	s := v.shard(hash)
 	s.mu.Lock()
 	s.m[key] = idx
+	s.keyBytes += int64(len(key))
 	s.mu.Unlock()
 }
+
+func (v *exactSet) count() int {
+	n := 0
+	for i := range v.shards {
+		s := &v.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+func (v *exactSet) bytes() int64 {
+	var b int64
+	for i := range v.shards {
+		s := &v.shards[i]
+		s.mu.RLock()
+		b += s.keyBytes + int64(len(s.m))*exactMapOverhead
+		s.mu.RUnlock()
+	}
+	return b
+}
+
+func (v *exactSet) falseMerges() int { return 0 }
+
+// fpSet adapts store.Table to the visitedStore interface. Keys reach
+// the table only in audit mode (the plain table never sees them).
+type fpSet struct {
+	t *store.Table
+}
+
+func newFpSet(audit bool) *fpSet {
+	if audit {
+		return &fpSet{t: store.NewAudited()}
+	}
+	return &fpSet{t: store.New()}
+}
+
+func (v *fpSet) lookup(key []byte, hash uint64) (int32, bool) {
+	return v.t.Lookup(hash, key)
+}
+
+func (v *fpSet) lookupMerge(key string, hash uint64) (int32, bool) {
+	var k []byte
+	if v.t.Audited() {
+		k = []byte(key)
+	}
+	return v.t.Lookup(hash, k)
+}
+
+func (v *fpSet) insert(key string, hash uint64, idx int32) {
+	v.t.Insert(hash, key, idx)
+}
+
+func (v *fpSet) count() int       { return v.t.Len() }
+func (v *fpSet) bytes() int64     { return v.t.Bytes() }
+func (v *fpSet) falseMerges() int { return v.t.FalseMerges() }
 
 type stateRec struct {
 	parent int32
@@ -200,7 +318,12 @@ type checker struct {
 	cfg     Config
 	p       *ir.Protocol
 	res     *Result
-	visited *visitedSet
+	visited visitedStore
+	// needKey: workers must copy unseen states' canonical keys out for
+	// the merge — always in exact mode, in fingerprint mode only under
+	// collision audit. Skipping the copy is fingerprint mode's frontier
+	// memory win.
+	needKey bool
 	recs    []stateRec
 	edges   [][]int32 // successor lists (only when CheckLiveness)
 	quiet   []bool
@@ -216,11 +339,18 @@ func Check(p *ir.Protocol, cfg Config) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var visited visitedStore
+	if cfg.Fingerprint {
+		visited = newFpSet(cfg.CollisionAudit)
+	} else {
+		visited = newExactSet()
+	}
 	c := &checker{
 		cfg:     cfg,
 		p:       p,
 		res:     &Result{Protocol: p.Name, Complete: true},
-		visited: newVisitedSet(),
+		visited: visited,
+		needKey: !cfg.Fingerprint || cfg.CollisionAudit,
 		writer:  map[ir.StateName]bool{},
 		reader:  map[ir.StateName]bool{},
 		workers: workers,
@@ -234,7 +364,11 @@ func Check(p *ir.Protocol, cfg Config) *Result {
 		Caches: cfg.Caches, Capacity: cfg.Capacity, Values: cfg.Values,
 	})
 	key := engine.NewEncoder(p).Canonical(init, c.perms)
-	c.visited.insert(string(key), engine.Fnv1a(key), 0)
+	initKey := ""
+	if c.needKey {
+		initKey = string(key)
+	}
+	c.visited.insert(initKey, engine.Fingerprint(key), 0)
 	c.recs = append(c.recs, stateRec{parent: -1})
 	if cfg.CheckLiveness {
 		c.edges = append(c.edges, nil)
@@ -246,7 +380,12 @@ func Check(p *ir.Protocol, cfg Config) *Result {
 	for len(frontier) > 0 && len(c.res.Violations) < max(1, c.cfg.MaxViolations) && c.res.Complete {
 		frontier = c.merge(frontier, c.expand(frontier))
 	}
-	c.res.States = len(c.recs)
+	// States comes from the visited store, not the record slice, so
+	// exact and fingerprint modes report through the same authority
+	// (they agree by construction: one insert per record).
+	c.res.States = c.visited.count()
+	c.res.VisitedBytes = c.visited.bytes()
+	c.res.FalseMerges = c.visited.falseMerges()
 	if cfg.CheckLiveness && c.res.Complete && len(c.res.Violations) == 0 {
 		c.livenessCheck()
 	}
@@ -323,11 +462,13 @@ func (w *worker) expandItem(it frontierItem) expansion {
 			}
 		}
 		key := w.enc.Canonical(succ, w.c.perms)
-		so.hash = engine.Fnv1a(key)
+		so.hash = engine.Fingerprint(key)
 		if idx, ok := w.c.visited.lookup(key, so.hash); ok {
 			so.knownIdx = idx
 		} else {
-			so.key = string(key)
+			if w.c.needKey {
+				so.key = string(key)
+			}
 			so.sys = succ
 			if w.c.cfg.CheckLiveness {
 				so.quiet = quiescent(succ)
@@ -370,7 +511,7 @@ func (c *checker) merge(frontier []frontierItem, exps []expansion) []frontierIte
 			if idx < 0 {
 				// Unseen at expansion time, but an earlier successor of
 				// this same level may have claimed the key since.
-				if j, ok := c.visited.lookupStr(so.key, so.hash); ok {
+				if j, ok := c.visited.lookupMerge(so.key, so.hash); ok {
 					idx = j
 				}
 			}
@@ -456,8 +597,15 @@ func (c *checker) checkState(s *engine.System, idx int) {
 // livenessCheck verifies that quiescence is reachable from every state
 // (AG EF quiescent): reverse reachability from the quiescent set; any
 // unreached state is a stuck transaction (livelock or partial deadlock).
+// The state count comes from the visited store — the same authority in
+// exact and fingerprint modes — so the "N of M states" report is
+// consistent across modes (the quiet/edge slices are index-aligned with
+// the store's insertion order in both).
 func (c *checker) livenessCheck() {
 	n := len(c.recs)
+	if c.visited != nil { // nil only in direct test-harness construction
+		n = c.visited.count()
+	}
 	pred := make([][]int32, n)
 	for from, succs := range c.edges {
 		for _, to := range succs {

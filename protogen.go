@@ -67,6 +67,9 @@ type (
 	VerifyResult = verify.Result
 	// Violation is one invariant failure.
 	Violation = verify.Violation
+	// VerifyResultCache memoizes verify results across runs, persisted
+	// as JSONL under a cache directory (see docs/CACHING.md).
+	VerifyResultCache = verify.ResultCache
 )
 
 // Simulation.
@@ -191,6 +194,21 @@ func DefaultVerifyConfig() VerifyConfig { return verify.DefaultConfig() }
 
 // QuickVerifyConfig is a fast 2-cache configuration.
 func QuickVerifyConfig() VerifyConfig { return verify.QuickConfig() }
+
+// OpenVerifyCache opens (creating if needed) the verify result cache
+// persisted under dir. Structurally identical specs are then verified
+// once per (generation options, checker config) pair; see docs/CACHING.md
+// for the file format and invalidation rules.
+func OpenVerifyCache(dir string) (*VerifyResultCache, error) { return verify.OpenResultCache(dir) }
+
+// VerifyCacheKey derives the result-cache key for verifying spec
+// generated under o and checked under cfg: a hash of the canonical
+// (dsl.Format) spec text, every generation option, and every
+// result-affecting checker field — Parallelism and CollisionAudit are
+// excluded because they never change results.
+func VerifyCacheKey(s *Spec, o Options, cfg VerifyConfig) string {
+	return verify.CacheKey(dsl.Format(s), o.KeyString(), cfg)
+}
 
 // Simulate runs a workload under randomized scheduling.
 func Simulate(p *Protocol, cfg SimConfig) (SimStats, error) { return sim.Run(p, cfg) }
