@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -21,11 +22,12 @@ import (
 	"protogen"
 )
 
-// caches and parallel are shared by every experiment; run() sets them
-// from flags before dispatching.
+// caches and eng are shared by every experiment; run() sets them from
+// flags before dispatching. eng carries the -parallel setting so every
+// model check and campaign inherits it without per-experiment plumbing.
 var (
-	caches   = 2
-	parallel = 0
+	caches = 2
+	eng    = protogen.NewEngine()
 )
 
 type experiment struct {
@@ -52,7 +54,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	caches = *cachesFlag
-	parallel = *parFlag
+	eng = protogen.NewEngine(protogen.WithParallelism(*parFlag))
 	exps := []experiment{
 		{"table1", "Table I: atomic MSI cache SSP", table1},
 		{"table2", "Table II: atomic MSI directory SSP", table2},
@@ -96,11 +98,10 @@ func run(args []string, w io.Writer) error {
 func expFuzz(w io.Writer) error {
 	cfg := protogen.DefaultFuzzConfig()
 	cfg.Caches = caches
-	cfg.Parallelism = parallel
 	cfg.SimSteps = 1500
 	cfg.Shrink = false
 	start := time.Now()
-	rep, err := protogen.RunFuzzCampaign(0, 16, cfg)
+	rep, err := eng.Fuzz(context.Background(), protogen.FuzzJob{First: 0, Last: 16, Config: &cfg})
 	if err != nil {
 		return err
 	}
@@ -257,8 +258,17 @@ func table6(w io.Writer) error {
 func verifyCfg() protogen.VerifyConfig {
 	cfg := protogen.DefaultVerifyConfig()
 	cfg.Caches = caches
-	cfg.Parallelism = parallel
 	return cfg
+}
+
+// verifyP model-checks an already-generated protocol on the shared
+// engine (which carries -parallel).
+func verifyP(p *protogen.Protocol, cfg protogen.VerifyConfig) *protogen.VerifyResult {
+	res, err := eng.Verify(context.Background(), protogen.VerifyJob{Protocol: p, Config: &cfg})
+	if err != nil {
+		panic(err) // unreachable: a Protocol-subject job cannot fail to resolve
+	}
+	return res
 }
 
 func expA(w io.Writer) error {
@@ -271,7 +281,7 @@ func expA(w io.Writer) error {
 			fmt.Fprintf(w, "; primer diff: %d identical cells, %d diffs", r.SameCells, len(r.Diffs))
 		}
 		start := time.Now()
-		res := protogen.Verify(p, verifyCfg())
+		res := verifyP(p, verifyCfg())
 		fmt.Fprintf(w, "\n      verify: %s (%.1fs)\n", res, time.Since(start).Seconds())
 		if !res.OK() {
 			return fmt.Errorf("%s failed verification", name)
@@ -296,7 +306,7 @@ func expB(w io.Writer) error {
 		}
 		p := mustGen(name, "nonstalling")
 		start := time.Now()
-		res := protogen.Verify(p, verifyCfg())
+		res := verifyP(p, verifyCfg())
 		fmt.Fprintf(w, "      verify: %s (%.1fs)\n", res, time.Since(start).Seconds())
 		if !res.OK() {
 			return fmt.Errorf("%s failed verification", name)
@@ -319,7 +329,7 @@ func expC(w io.Writer) error {
 		}
 	}
 	start := time.Now()
-	res := protogen.Verify(p, verifyCfg())
+	res := verifyP(p, verifyCfg())
 	fmt.Fprintf(w, "verify on unordered network: %s (%.1fs)\n", res, time.Since(start).Seconds())
 	if !res.OK() {
 		return fmt.Errorf("unordered MSI failed verification")
@@ -335,7 +345,7 @@ func expD(w io.Writer) error {
 	cfg := verifyCfg()
 	cfg.CheckSWMR = false
 	cfg.CheckValues = false
-	res := protogen.Verify(p, cfg)
+	res := verifyP(p, cfg)
 	fmt.Fprintf(w, "deadlock freedom: %s\n\n", res)
 	if !res.OK() {
 		return fmt.Errorf("TSO-CC deadlocks")
@@ -422,8 +432,7 @@ func expX3(w io.Writer) error {
 			}
 			cfg := protogen.QuickVerifyConfig()
 			cfg.CheckLiveness = false
-			cfg.Parallelism = parallel
-			res := protogen.Verify(p, cfg)
+			res := verifyP(p, cfg)
 			fmt.Fprintf(w, "%-12s prune=%-5v: %s\n", mode, prune, res)
 		}
 	}

@@ -12,17 +12,24 @@
 //	protofuzz -family FZ_MI_double_grant -shrink -corpus internal/fuzz/corpus
 //	protofuzz -seeds 0:200 -cache-dir .vcache # memoize verify results;
 //	                                          # rerunning re-verifies nothing
+//	protofuzz -seeds 0:5000 -timeout 10m -v   # bounded campaign with progress
 //	protofuzz -list                           # families, boundaries, corpus
 //	protofuzz -replay                         # replay the committed corpus
+//
+// Ctrl-C (or -timeout expiry) drains the worker pool and reports the
+// seeds that completed — "canceled after N of M seeds" — instead of
+// dying silently.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -31,13 +38,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
 		fmt.Fprintln(os.Stderr, "protofuzz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("protofuzz", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
@@ -53,7 +62,8 @@ func run(args []string, stdout io.Writer) error {
 		jsonOut  = fs.String("json", "", "write one JSON report line per spec to this file (- = stdout)")
 		list     = fs.Bool("list", false, "list families, boundary shapes and corpus entries")
 		replay   = fs.Bool("replay", false, "replay the committed regression corpus")
-		verbose  = fs.Bool("v", false, "print every spec's outcome, not just failures")
+		verbose  = fs.Bool("v", false, "print every spec's outcome plus a progress line as seeds complete")
+		timeout  = fs.Duration("timeout", 0, "stop the campaign after this long and report completed seeds (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,27 +72,33 @@ func run(args []string, stdout io.Writer) error {
 	if *list {
 		return listEntries(stdout)
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cfg := protogen.DefaultFuzzConfig()
 	cfg.Caches = *caches
 	cfg.MaxStates = *maxSts
 	cfg.SimSteps = *simSteps
-	cfg.Parallelism = *parallel
 	cfg.Shrink = *shrink
 	if *family != "" {
 		cfg.Families = strings.Split(*family, ",")
 	}
-	if *cacheDir != "" {
-		cache, err := protogen.OpenVerifyCache(*cacheDir)
-		if err != nil {
-			return err
-		}
-		defer cache.Close()
-		cfg.Cache = cache
-	}
+
+	eng := protogen.NewEngine(
+		protogen.WithParallelism(*parallel),
+		protogen.WithCacheDir(*cacheDir),
+		protogen.WithWarnings(func(msg string) { fmt.Fprintf(stdout, "warning: %s\n", msg) }),
+	)
+	defer eng.Close()
 
 	if *replay {
-		return replayCorpus(stdout, cfg)
+		// Replay is a regression gate on the CURRENT binary: serving
+		// verdicts memoized by an older build would make it vacuous, so
+		// the result cache is deliberately not wired in here.
+		return replayCorpus(ctx, stdout, cfg)
 	}
 
 	first, last, err := parseSeeds(*seeds)
@@ -90,8 +106,13 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	job := protogen.FuzzJob{First: first, Last: last, Config: &cfg}
+	if *verbose && *jsonOut != "-" {
+		job.OnProgress = func(ev protogen.ProgressEvent) { fmt.Fprintln(stdout, ev) }
+	}
+
 	start := time.Now()
-	rep, err := protogen.RunFuzzCampaign(first, last, cfg)
+	rep, err := eng.Fuzz(ctx, job)
 	if err != nil {
 		return err
 	}
@@ -100,13 +121,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *jsonOut != "-" { // keep stdout pure JSONL when streaming there
 		fmt.Fprintf(stdout, "%s in %.1fs\n", rep.Summary(), time.Since(start).Seconds())
-		if cfg.Cache != nil {
+		if cache, _ := eng.Cache(); cache != nil {
 			fmt.Fprintf(stdout, "result cache: %d hits, %d re-verifications (%d entries in %s)\n",
-				rep.CachedChecks, rep.RanChecks, cfg.Cache.Len(), *cacheDir)
+				rep.CachedChecks, rep.RanChecks, cache.Len(), *cacheDir)
 		}
 	}
 	if rep.Fail > 0 {
 		return fmt.Errorf("%d of %d specs failed the differential campaign", rep.Fail, len(rep.Specs))
+	}
+	if rep.Canceled {
+		return fmt.Errorf("campaign canceled after %d of %d seeds (all completed seeds passed)",
+			len(rep.Specs), rep.SeedsTotal)
 	}
 	return nil
 }
@@ -225,14 +250,19 @@ func listEntries(stdout io.Writer) error {
 }
 
 // replayCorpus re-runs the oracle on every committed reproducer.
-func replayCorpus(stdout io.Writer, cfg protogen.FuzzConfig) error {
+// Ctrl-C (the SIGINT context) stops between entries — without the check
+// the installed signal handler would swallow the interrupt entirely.
+func replayCorpus(ctx context.Context, stdout io.Writer, cfg protogen.FuzzConfig) error {
 	entries, err := protogen.FuzzCorpus()
 	if err != nil {
 		return err
 	}
 	cfg.Shrink = false
 	bad := 0
-	for _, e := range entries {
+	for i, e := range entries {
+		if ctx.Err() != nil {
+			return fmt.Errorf("replay canceled after %d of %d corpus entries", i, len(entries))
+		}
 		r := protogen.FuzzCheckSource(e.Source, 1, e.ReplaySimSeed(), cfg)
 		status := "reproduced"
 		if r.OK() {

@@ -1,18 +1,72 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
+// runBG invokes run without cancellation, as the pre-context callers
+// did; cancellation-specific tests build their own context.
+func runBG(args []string, out io.Writer) error {
+	return run(context.Background(), args, out)
+}
+
+// TestRunCanceledCampaign: a canceled context yields a partial report
+// ("canceled after N of M seeds") and a non-zero outcome, not a silent
+// death or a bogus failure count.
+func TestRunCanceledCampaign(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, []string{"-seeds", "0:50", "-sim-steps", "200"}, &out)
+	if err == nil {
+		t.Fatalf("canceled campaign must report an error:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "canceled after") {
+		t.Errorf("error %q lacks partial-seed report", err)
+	}
+	if !strings.Contains(out.String(), "canceled after") || !strings.Contains(out.String(), "of 50 seeds") {
+		t.Errorf("summary lacks cancellation note:\n%s", out.String())
+	}
+}
+
+// TestReplayIgnoresResultCache: -replay is a regression gate on the
+// current binary; even with -cache-dir it must re-run every oracle (and
+// so never touch the cache file) rather than serve memoized verdicts
+// from an older build.
+func TestReplayIgnoresResultCache(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := runBG([]string{"-replay", "-cache-dir", dir}, &out); err != nil {
+		t.Fatalf("replay: %v\n%s", err, out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "verify-cache.jsonl")); !os.IsNotExist(err) {
+		t.Fatalf("replay touched the result cache (stat err %v) — it must re-run the oracle", err)
+	}
+}
+
+// TestRunCanceledReplay: Ctrl-C during -replay stops between corpus
+// entries instead of being swallowed by the signal handler.
+func TestRunCanceledReplay(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, []string{"-replay"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "replay canceled") {
+		t.Fatalf("canceled replay must error with a progress note, got %v", err)
+	}
+}
+
 // TestRunSmallCampaign: a short seed range over the shipped families is
 // clean — the CI smoke entry point.
 func TestRunSmallCampaign(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-seeds", "0:6", "-sim-steps", "1000", "-v"}, &out)
+	err := runBG([]string{"-seeds", "0:6", "-sim-steps", "1000", "-v"}, &out)
 	if err != nil {
 		t.Fatalf("campaign failed: %v\n%s", err, out.String())
 	}
@@ -26,7 +80,7 @@ func TestRunSmallCampaign(t *testing.T) {
 func TestRunBrokenFamilyCampaign(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder
-	err := run([]string{
+	err := runBG([]string{
 		"-seeds", "0:1", "-family", "FZ_MI_double_grant",
 		"-sim-steps", "0", "-corpus", dir, "-json", filepath.Join(dir, "report.jsonl"),
 	}, &out)
@@ -58,7 +112,7 @@ func TestRunBrokenFamilyCampaign(t *testing.T) {
 // works.
 func TestRunJSONToStdoutIsPure(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-seeds", "0:2", "-sim-steps", "500", "-json", "-", "-v"}, &out); err != nil {
+	if err := runBG([]string{"-seeds", "0:2", "-sim-steps", "500", "-json", "-", "-v"}, &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -76,7 +130,7 @@ func TestRunJSONToStdoutIsPure(t *testing.T) {
 // TestRunReplay: the committed corpus replays clean.
 func TestRunReplay(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-replay"}, &out); err != nil {
+	if err := runBG([]string{"-replay"}, &out); err != nil {
 		t.Fatalf("replay: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "corpus entries reproduced") {
@@ -87,7 +141,7 @@ func TestRunReplay(t *testing.T) {
 // TestRunList: families and corpus entries are listed via the registry.
 func TestRunList(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-list"}, &out); err != nil {
+	if err := runBG([]string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"FZ_MSI", "FZ_MI_double_grant", "corpus/FZ_MSI_miscounted_acks", "boundary"} {
@@ -116,13 +170,13 @@ func TestRunCampaignCacheDir(t *testing.T) {
 	dir := t.TempDir()
 	args := []string{"-seeds", "0:6", "-sim-steps", "300", "-cache-dir", dir}
 	var cold, warm strings.Builder
-	if err := run(args, &cold); err != nil {
+	if err := runBG(args, &cold); err != nil {
 		t.Fatalf("cold run: %v\n%s", err, cold.String())
 	}
 	if !strings.Contains(cold.String(), "result cache:") || !strings.Contains(cold.String(), "0 hits") {
 		t.Errorf("cold run cache line wrong:\n%s", cold.String())
 	}
-	if err := run(args, &warm); err != nil {
+	if err := runBG(args, &warm); err != nil {
 		t.Fatalf("warm run: %v\n%s", err, warm.String())
 	}
 	if !strings.Contains(warm.String(), "0 re-verifications") {

@@ -50,31 +50,19 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	src := ""
-	if *file != "" {
-		b, err := os.ReadFile(*file)
-		if err != nil {
-			return err
+	spec, err := protogen.LoadSpec(*name, *file)
+	if err != nil {
+		if *file == "" {
+			return fmt.Errorf("%v (try -list)", err)
 		}
-		src = string(b)
-	} else {
-		e, ok := protogen.LookupBuiltin(*name)
-		if !ok {
-			return fmt.Errorf("unknown protocol %q (try -list)", *name)
-		}
-		src = e.Source
+		return err
 	}
-
 	opts, err := protogen.OptionsForMode(*mode)
 	if err != nil {
 		return err
 	}
 	if *limit > 0 {
 		opts.PendingLimit = *limit
-	}
-	spec, err := protogen.Parse(src)
-	if err != nil {
-		return err
 	}
 	p, err := protogen.Generate(spec, opts)
 	if err != nil {

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke boots the server on an ephemeral port, submits a small
+// verify job through the real HTTP stack, waits for it, and shuts down
+// via context cancellation (the SIGINT path).
+func TestServeSmoke(t *testing.T) {
+	addrc := make(chan net.Addr, 1)
+	listenHook = func(a net.Addr) { addrc <- a }
+	defer func() { listenHook = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-cache-dir", t.TempDir()}, &out)
+	}()
+
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a.String()
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never started listening")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"kind":"verify","protocol":"MSI","mode":"nonstalling","caches":2}`
+	resp, err = http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sub.ID == "" {
+		t.Fatal("submit returned no job id")
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%s", base, sub.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if v.Status == "done" {
+			break
+		}
+		if v.Status == "failed" || v.Status == "canceled" {
+			t.Fatalf("job finished %s", v.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "protoserve listening on") {
+		t.Fatalf("missing banner in output: %q", out.String())
+	}
+}
+
+// TestRunBadFlags exercises the flag error path.
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

@@ -1,14 +1,26 @@
 package main
 
 import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"protogen"
 )
+
+// runBG invokes run without cancellation, as the pre-context callers
+// did; cancellation-specific tests build their own context.
+func runBG(args []string, out io.Writer) error {
+	return run(context.Background(), args, out)
+}
 
 // TestRunSimulateWorkload: one workload end to end through the CLI path.
 func TestRunSimulateWorkload(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-protocol", "MSI", "-workload", "contended", "-steps", "3000", "-caches", "2"}, &out)
+	err := runBG([]string{"-protocol", "MSI", "-workload", "contended", "-steps", "3000", "-caches", "2"}, &out)
 	if err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
@@ -17,16 +29,49 @@ func TestRunSimulateWorkload(t *testing.T) {
 	}
 }
 
+// TestRunSimulateFromFile: -file reads an SSP from disk, the glue the
+// CLIs now share through protogen.LoadSpec.
+func TestRunSimulateFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "msi.ssp")
+	if err := os.WriteFile(path, []byte(protogen.BuiltinMSI), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := runBG([]string{"-file", path, "-workload", "contended", "-steps", "2000", "-caches", "2"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "txns=") {
+		t.Errorf("output lacks stats: %s", out.String())
+	}
+}
+
+// TestRunSimulateCanceled: a canceled context prints the partial stats
+// flagged as interrupted, then exits non-zero — the same contract as
+// protoverify and protofuzz.
+func TestRunSimulateCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, []string{"-protocol", "MSI", "-workload", "contended", "-steps", "5000000", "-caches", "2"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "canceled after") {
+		t.Fatalf("canceled run must error with partial-step report, got %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "(interrupted; partial)") {
+		t.Errorf("partial flag missing: %s", out.String())
+	}
+}
+
 // TestRunSimErrors: bad flags come back as errors.
 func TestRunSimErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-protocol", "NoSuch"}, &out); err == nil {
+	if err := runBG([]string{"-protocol", "NoSuch"}, &out); err == nil {
 		t.Error("unknown protocol must error")
 	}
-	if err := run([]string{"-workload", "bogus"}, &out); err == nil {
+	if err := runBG([]string{"-workload", "bogus"}, &out); err == nil {
 		t.Error("unknown workload must error")
 	}
-	if err := run([]string{"-mode", "bogus"}, &out); err == nil {
+	if err := runBG([]string{"-mode", "bogus"}, &out); err == nil {
 		t.Error("unknown mode must error")
 	}
 }

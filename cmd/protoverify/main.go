@@ -9,32 +9,41 @@
 //	protoverify -protocol MSI -max-violations 5 -trace      # all witnesses
 //	protoverify -protocol MSI -caches 4 -fingerprint        # hash-compacted visited set
 //	protoverify -protocol MOSI -caches 3 -cache-dir .vcache # memoize results
+//	protoverify -protocol MSI -caches 4 -progress -timeout 5m
 //
 // -fingerprint switches the visited set to 64-bit state fingerprints
 // (~10x less memory; validate new protocols with -audit-collisions).
 // -cache-dir memoizes results keyed by canonical spec + generation
 // options + checker config; see docs/CACHING.md.
+//
+// Ctrl-C (or -timeout expiry) stops the exploration at the next BFS
+// level boundary and prints the partial counts explored so far instead
+// of dying silently; -progress streams per-level progress lines.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"protogen"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
 		fmt.Fprintln(os.Stderr, "protoverify:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("protoverify", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
@@ -55,24 +64,24 @@ func run(args []string, stdout io.Writer) error {
 		fpMode   = fs.Bool("fingerprint", false, "store 64-bit state fingerprints instead of full keys in the visited set (~10x less memory; false-merge odds ~n²/2⁶⁵)")
 		audit    = fs.Bool("audit-collisions", false, "with -fingerprint: retain full keys and report observed false merges (costs the memory fingerprinting saves)")
 		cacheDir = fs.String("cache-dir", "", "memoize verify results as JSONL under this directory, keyed by canonical spec + generation options + checker config (see docs/CACHING.md for the format and when to wipe it)")
+		progress = fs.Bool("progress", false, "print a progress line after each BFS level")
+		timeout  = fs.Duration("timeout", 0, "stop exploring after this long and report partial counts (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *audit && !*fpMode {
+		return fmt.Errorf("-audit-collisions requires -fingerprint (exact mode never merges on fingerprints)")
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
-	src := ""
-	if *file != "" {
-		b, err := os.ReadFile(*file)
-		if err != nil {
-			return err
-		}
-		src = string(b)
-	} else {
-		e, ok := protogen.LookupBuiltin(*name)
-		if !ok {
-			return fmt.Errorf("unknown protocol %q", *name)
-		}
-		src = e.Source
+	spec, err := protogen.LoadSpec(*name, *file)
+	if err != nil {
+		return err
 	}
 	opts, err := protogen.OptionsForMode(*mode)
 	if err != nil {
@@ -80,13 +89,6 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *noPrune {
 		opts.PruneSharerOnStalePut = false
-	}
-	spec, err := protogen.Parse(src)
-	if err != nil {
-		return err
-	}
-	if *audit && !*fpMode {
-		return fmt.Errorf("-audit-collisions requires -fingerprint (exact mode never merges on fingerprints)")
 	}
 
 	cfg := protogen.DefaultVerifyConfig()
@@ -98,46 +100,37 @@ func run(args []string, stdout io.Writer) error {
 	cfg.CheckValues = !*noVals
 	cfg.CheckLiveness = !*noLive
 	cfg.Symmetry = !*noSym
-	cfg.Parallelism = *parallel
-	cfg.Fingerprint = *fpMode
-	cfg.CollisionAudit = *audit
 
-	var cache *protogen.VerifyResultCache
-	var key string
-	if *cacheDir != "" {
-		if cache, err = protogen.OpenVerifyCache(*cacheDir); err != nil {
-			return err
-		}
-		defer cache.Close()
-		key = protogen.VerifyCacheKey(spec, opts, cfg)
+	eng := protogen.NewEngine(
+		protogen.WithParallelism(*parallel),
+		protogen.WithFingerprint(*fpMode),
+		protogen.WithCollisionAudit(*audit),
+		protogen.WithCacheDir(*cacheDir),
+		protogen.WithWarnings(func(msg string) { fmt.Fprintf(stdout, "warning: %s\n", msg) }),
+	)
+	defer eng.Close()
+
+	job := protogen.VerifyJob{Spec: spec, Options: &opts, Config: &cfg}
+	if *progress {
+		job.OnProgress = func(ev protogen.ProgressEvent) { fmt.Fprintln(stdout, ev) }
 	}
 
 	start := time.Now()
-	res, hit := (*protogen.VerifyResult)(nil), false
-	// An audit run must actually retain and compare keys, so it never
-	// reads the cache (whose key deliberately ignores CollisionAudit);
-	// its result is still written back for future non-audit runs.
-	if cache != nil && !cfg.CollisionAudit {
-		res, hit = cache.Get(key)
+	res, err := eng.Verify(ctx, job)
+	if err != nil {
+		return err
 	}
-	if hit {
+	switch {
+	case res.Cached:
 		fmt.Fprintf(stdout, "%s  (cached)\n", res)
-	} else {
-		p, err := protogen.Generate(spec, opts)
-		if err != nil {
-			return err
-		}
-		res = protogen.Verify(p, cfg)
-		if cache != nil {
-			if err := cache.Put(key, res); err != nil {
-				// Losing memoization must not discard a completed
-				// verification; the verdict stands.
-				fmt.Fprintf(stdout, "warning: %v\n", err)
-			}
-		}
+	case res.Canceled:
+		fmt.Fprintf(stdout, "%s  (%.1fs)\n", res, time.Since(start).Seconds())
+		fmt.Fprintf(stdout, "interrupted at depth %d: %d states and %d edges explored so far; verdict on the explored prefix only\n",
+			res.Depth, res.States, res.Edges)
+	default:
 		fmt.Fprintf(stdout, "%s  (%.1fs)\n", res, time.Since(start).Seconds())
 	}
-	if cfg.CollisionAudit {
+	if *audit {
 		fmt.Fprintf(stdout, "collision audit: %d false merges over %d states\n", res.FalseMerges, res.States)
 	}
 	if !res.OK() {
@@ -150,6 +143,9 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 		return fmt.Errorf("%d violation(s) found", len(res.Violations))
+	}
+	if res.Canceled {
+		return fmt.Errorf("exploration canceled before completion")
 	}
 	return nil
 }

@@ -1,15 +1,70 @@
 package main
 
 import (
+	"context"
+	"io"
 	"strings"
 	"testing"
+	"time"
 )
+
+// runBG invokes run without cancellation, as the pre-context callers
+// did; cancellation-specific tests build their own context.
+func runBG(args []string, out io.Writer) error {
+	return run(context.Background(), args, out)
+}
+
+// TestRunVerifyCanceledPartial: a context canceled mid-exploration (here
+// via an immediate -timeout-style deadline) yields partial counts, a
+// human-readable "interrupted" line, and a non-zero outcome — not a
+// silent death.
+func TestRunVerifyCanceledPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the first level boundary
+	var out strings.Builder
+	err := run(ctx, []string{"-protocol", "MSI", "-mode", "nonstalling", "-caches", "2", "-parallel", "1"}, &out)
+	if err == nil {
+		t.Fatalf("canceled run must report an error:\n%s", out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "(canceled)") || !strings.Contains(s, "interrupted at depth") {
+		t.Errorf("partial-result report missing:\n%s", s)
+	}
+}
+
+// TestRunVerifyTimeoutFlag: -timeout arms a deadline; a generous one
+// must not interfere with a quick run.
+func TestRunVerifyTimeoutFlag(t *testing.T) {
+	var out strings.Builder
+	start := time.Now()
+	err := runBG([]string{"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1", "-timeout", "5m"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if time.Since(start) > time.Minute {
+		t.Fatal("quick run took implausibly long under -timeout")
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("output lacks PASS: %s", out.String())
+	}
+}
+
+// TestRunVerifyProgressFlag: -progress streams per-level lines.
+func TestRunVerifyProgressFlag(t *testing.T) {
+	var out strings.Builder
+	if err := runBG([]string{"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1", "-progress"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if strings.Count(out.String(), "verify: ") < 2 {
+		t.Errorf("expected multiple progress lines:\n%s", out.String())
+	}
+}
 
 // TestRunVerifyMSI: the end-to-end smoke — generate and verify MSI at a
 // fast scale through the real CLI path.
 func TestRunVerifyMSI(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1"}, &out)
+	err := runBG([]string{"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1"}, &out)
 	if err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
@@ -23,7 +78,7 @@ func TestRunVerifyMSI(t *testing.T) {
 // mismatch.
 func TestRunVerifyDefaults(t *testing.T) {
 	var out strings.Builder
-	fsErr := run([]string{"-h"}, &out)
+	fsErr := runBG([]string{"-h"}, &out)
 	if fsErr == nil {
 		t.Fatal("-h must return flag.ErrHelp")
 	}
@@ -41,7 +96,7 @@ func TestRunVerifyDefaults(t *testing.T) {
 func TestRunVerifyBrokenPrintsAllTraces(t *testing.T) {
 	var out strings.Builder
 	// The no-prune ablation deadlocks the stalling design (§V-F finding).
-	err := run([]string{
+	err := runBG([]string{
 		"-protocol", "MSI", "-mode", "stalling", "-no-prune",
 		"-caches", "2", "-parallel", "1", "-max-violations", "2", "-trace",
 	}, &out)
@@ -63,10 +118,10 @@ func TestRunVerifyBrokenPrintsAllTraces(t *testing.T) {
 // TestRunVerifyUnknownProtocol: errors surface as errors, not exits.
 func TestRunVerifyUnknownProtocol(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-protocol", "NoSuch"}, &out); err == nil {
+	if err := runBG([]string{"-protocol", "NoSuch"}, &out); err == nil {
 		t.Error("unknown protocol must error")
 	}
-	if err := run([]string{"-protocol", "MSI", "-mode", "bogus"}, &out); err == nil {
+	if err := runBG([]string{"-protocol", "MSI", "-mode", "bogus"}, &out); err == nil {
 		t.Error("unknown mode must error")
 	}
 }
@@ -75,10 +130,10 @@ func TestRunVerifyUnknownProtocol(t *testing.T) {
 // exact run, and -audit-collisions reports a clean audit.
 func TestRunVerifyFingerprint(t *testing.T) {
 	var exact, fp strings.Builder
-	if err := run([]string{"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1"}, &exact); err != nil {
+	if err := runBG([]string{"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1"}, &exact); err != nil {
 		t.Fatal(err)
 	}
-	err := run([]string{
+	err := runBG([]string{
 		"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1",
 		"-fingerprint", "-audit-collisions",
 	}, &fp)
@@ -100,13 +155,13 @@ func TestRunVerifyCacheDir(t *testing.T) {
 	dir := t.TempDir()
 	base := []string{"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1", "-cache-dir", dir}
 	var cold, warm, other strings.Builder
-	if err := run(base, &cold); err != nil {
+	if err := runBG(base, &cold); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(cold.String(), "(cached)") {
 		t.Fatalf("cold run claims a cache hit:\n%s", cold.String())
 	}
-	if err := run(base, &warm); err != nil {
+	if err := runBG(base, &warm); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(warm.String(), "(cached)") {
@@ -117,7 +172,7 @@ func TestRunVerifyCacheDir(t *testing.T) {
 		t.Errorf("cached result differs:\ncold: %s\nwarm: %s", cold.String(), warm.String())
 	}
 	// A different mode must not share the entry.
-	if err := run([]string{"-protocol", "MSI", "-mode", "nonstalling", "-caches", "2", "-parallel", "1", "-cache-dir", dir}, &other); err != nil {
+	if err := runBG([]string{"-protocol", "MSI", "-mode", "nonstalling", "-caches", "2", "-parallel", "1", "-cache-dir", dir}, &other); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(other.String(), "(cached)") {
@@ -131,18 +186,18 @@ func TestRunVerifyCacheDir(t *testing.T) {
 // flag) — it has to actually retain and compare keys.
 func TestRunVerifyAuditRequiresFingerprint(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-protocol", "MSI", "-caches", "2", "-audit-collisions"}, &out); err == nil {
+	if err := runBG([]string{"-protocol", "MSI", "-caches", "2", "-audit-collisions"}, &out); err == nil {
 		t.Error("-audit-collisions without -fingerprint must error")
 	}
 	dir := t.TempDir()
 	warmArgs := []string{"-protocol", "MSI", "-mode", "stalling", "-caches", "2", "-parallel", "1",
 		"-fingerprint", "-cache-dir", dir}
 	out.Reset()
-	if err := run(warmArgs, &out); err != nil { // cold, no audit
+	if err := runBG(warmArgs, &out); err != nil { // cold, no audit
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run(append(warmArgs, "-audit-collisions"), &out); err != nil {
+	if err := runBG(append(warmArgs, "-audit-collisions"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "(cached)") {

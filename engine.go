@@ -1,0 +1,429 @@
+package protogen
+
+// This file is the job-oriented root API: a configurable Engine that
+// runs VerifyJob / SimulateJob / FuzzJob values under a context.Context,
+// emitting typed progress events and sharing one verify result cache.
+// The flat package functions in protogen.go delegate to DefaultEngine,
+// so both surfaces stay behaviorally identical; the service layer
+// (internal/service, cmd/protoserve) is built entirely on this API.
+// See docs/API.md for the design and migration notes.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+
+	"protogen/internal/core"
+	"protogen/internal/dsl"
+	"protogen/internal/fuzz"
+	"protogen/internal/protocols"
+	"protogen/internal/sim"
+	"protogen/internal/verify"
+)
+
+// ProgressEvent is one typed progress snapshot from a running job.
+// The concrete types are VerifyProgress (states/edges/depth/frontier,
+// one per BFS level), FuzzProgress (seeds completed/failed, checks run,
+// cache hits, one per seed) and SimProgress (steps/transactions, one
+// per stride); Kind returns "verify", "fuzz" or "simulate" accordingly.
+type ProgressEvent interface {
+	Kind() string
+	String() string
+}
+
+// Progress event payloads, one per job type.
+type (
+	// VerifyProgress is a level-boundary snapshot of an exploration.
+	VerifyProgress = verify.Progress
+	// FuzzProgress is a cumulative snapshot of a campaign.
+	FuzzProgress = fuzz.Progress
+	// SimProgress is a stride snapshot of a simulation run.
+	SimProgress = sim.Progress
+)
+
+// ProgressFunc receives progress events. Implementations must return
+// promptly: events are delivered synchronously from the job's own
+// goroutines (serialized per job, never concurrently with itself).
+type ProgressFunc func(ProgressEvent)
+
+// ChannelProgress adapts a channel into a ProgressFunc. Sends never
+// block the running job: when ch is full the event is dropped (each
+// event is a cumulative snapshot, so a newer one supersedes it).
+func ChannelProgress(ch chan<- ProgressEvent) ProgressFunc {
+	return func(ev ProgressEvent) {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Engine runs verification, simulation and fuzzing jobs under a shared
+// configuration: worker parallelism, visited-set representation, one
+// verify result cache, and a default progress sink. The zero-option
+// engine behaves exactly like the flat package functions (which
+// delegate to DefaultEngine); options layer defaults over what a job
+// leaves unset. An Engine is safe for concurrent use — the service's
+// worker pool runs many jobs on one Engine to share its cache.
+type Engine struct {
+	parallelism int
+	fingerprint bool
+	audit       bool
+	cacheDir    string
+	progress    ProgressFunc
+	warn        func(string)
+
+	mu        sync.Mutex
+	cache     *VerifyResultCache
+	ownsCache bool
+}
+
+// EngineOption configures an Engine at construction.
+type EngineOption func(*Engine)
+
+// WithParallelism sets the default worker count jobs run with when
+// their own config leaves Parallelism at 0 (which otherwise means all
+// cores).
+func WithParallelism(n int) EngineOption {
+	return func(e *Engine) { e.parallelism = n }
+}
+
+// WithFingerprint switches verification jobs to the hash-compacted
+// visited set by default (see VerifyConfig.Fingerprint). A job's
+// explicit VerifyConfig can also enable it; the engine default cannot
+// be overridden off per job.
+func WithFingerprint(enabled bool) EngineOption {
+	return func(e *Engine) { e.fingerprint = enabled }
+}
+
+// WithCollisionAudit enables fingerprint collision auditing by default
+// (see VerifyConfig.CollisionAudit). Audited runs bypass the result
+// cache: they must actually retain and compare keys.
+func WithCollisionAudit(enabled bool) EngineOption {
+	return func(e *Engine) { e.audit = enabled }
+}
+
+// WithCacheDir gives the engine a verify result cache persisted under
+// dir, opened lazily on first use and closed by Close. Verify jobs
+// resolve through it (unless VerifyJob.NoCache) and fuzz jobs inherit
+// it when their config carries no cache of its own.
+func WithCacheDir(dir string) EngineOption {
+	return func(e *Engine) { e.cacheDir = dir }
+}
+
+// WithCache gives the engine an already-open result cache. The caller
+// keeps ownership: Close will not close it.
+func WithCache(c *VerifyResultCache) EngineOption {
+	return func(e *Engine) { e.cache = c }
+}
+
+// WithProgress sets the engine's default progress sink, used by every
+// job that does not set its own OnProgress.
+func WithProgress(fn ProgressFunc) EngineOption {
+	return func(e *Engine) { e.progress = fn }
+}
+
+// WithWarnings sets a sink for non-fatal operational problems — today,
+// result-cache write failures (a full disk or read-only cache dir loses
+// memoization but never a verdict). Unset, such problems are silent.
+func WithWarnings(fn func(msg string)) EngineOption {
+	return func(e *Engine) { e.warn = fn }
+}
+
+// warnf reports a non-fatal problem to the warnings sink, if any.
+func (e *Engine) warnf(format string, args ...any) {
+	if e.warn != nil {
+		e.warn(fmt.Sprintf(format, args...))
+	}
+}
+
+// NewEngine builds an Engine. With no options it is indistinguishable
+// from the flat package functions.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// DefaultEngine is the zero-option engine behind the flat package
+// functions (Verify, Simulate, RunFuzzCampaign).
+var DefaultEngine = NewEngine()
+
+// Cache returns the engine's result cache, opening the WithCacheDir
+// directory on first call. It returns (nil, nil) when the engine has no
+// cache configured.
+func (e *Engine) Cache() (*VerifyResultCache, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cache != nil || e.cacheDir == "" {
+		return e.cache, nil
+	}
+	c, err := verify.OpenResultCache(e.cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	e.cache = c
+	e.ownsCache = true
+	return c, nil
+}
+
+// Close releases resources the engine owns (currently: a result cache
+// opened via WithCacheDir). Caches passed in with WithCache stay open.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cache == nil || !e.ownsCache {
+		return nil
+	}
+	err := e.cache.Close()
+	return err
+}
+
+// progressFunc resolves a job's sink: its own OnProgress, else the
+// engine default, else nil.
+func (e *Engine) progressFunc(job ProgressFunc) ProgressFunc {
+	if job != nil {
+		return job
+	}
+	return e.progress
+}
+
+// VerifyJob model-checks one protocol. Exactly one of Protocol, Spec or
+// Source selects the subject; Spec/Source jobs are generated under Mode
+// or Options and are eligible for the engine's result cache (Protocol
+// jobs are not: the cache key needs the canonical spec text).
+type VerifyJob struct {
+	// Protocol is an already-generated protocol (bypasses generation
+	// and the result cache).
+	Protocol *Protocol
+	// Spec is a parsed SSP to generate and check.
+	Spec *Spec
+	// Source is SSP DSL text to parse, generate and check.
+	Source string
+
+	// Mode names the generation mode (nonstalling, stalling, deferred);
+	// "" means nonstalling. Ignored when Options or Protocol is set.
+	Mode string
+	// Options are explicit generation options, overriding Mode.
+	Options *Options
+	// PendingLimit overrides the options' absorption limit L when > 0.
+	PendingLimit int
+
+	// Config tunes the checker; nil uses the engine's defaults
+	// (DefaultVerifyConfig plus the engine's fingerprint/audit options).
+	// The engine's parallelism fills in whenever Config.Parallelism is 0.
+	Config *VerifyConfig
+
+	// NoCache skips the engine's result cache for this job.
+	NoCache bool
+	// OnProgress overrides the engine's progress sink for this job.
+	OnProgress ProgressFunc
+}
+
+// SimulateJob runs one protocol under randomized scheduling. Subject
+// selection follows VerifyJob; Config.Workload is required.
+type SimulateJob struct {
+	Protocol *Protocol
+	Spec     *Spec
+	Source   string
+
+	Mode         string
+	Options      *Options
+	PendingLimit int
+
+	// Config tunes the run (Workload required).
+	Config SimConfig
+	// OnProgress overrides the engine's progress sink for this job.
+	OnProgress ProgressFunc
+}
+
+// FuzzJob runs a differential campaign over the half-open seed range
+// [First, Last).
+type FuzzJob struct {
+	First, Last uint64
+	// Config tunes the campaign; nil uses DefaultFuzzConfig. The
+	// engine's parallelism fills in when Config.Parallelism is 0, and
+	// the engine's result cache when Config.Cache is nil.
+	Config *FuzzConfig
+	// OnProgress overrides the engine's progress sink for this job.
+	OnProgress ProgressFunc
+}
+
+// resolveSubject turns a job's subject fields into a parsed spec and/or
+// generated protocol plus the generation options used.
+func resolveSubject(proto *Protocol, spec *Spec, source, mode string, explicit *Options, limit int) (*Spec, *Protocol, Options, error) {
+	var opts Options
+	set := 0
+	for _, ok := range []bool{proto != nil, spec != nil, source != ""} {
+		if ok {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, nil, opts, fmt.Errorf("job needs exactly one of Protocol, Spec or Source (got %d)", set)
+	}
+	if proto != nil {
+		return nil, proto, opts, nil
+	}
+	if source != "" {
+		var err error
+		spec, err = dsl.Parse(source)
+		if err != nil {
+			return nil, nil, opts, err
+		}
+	}
+	if explicit != nil {
+		opts = *explicit
+	} else {
+		if mode == "" {
+			mode = "nonstalling"
+		}
+		var err error
+		opts, err = core.OptionsForMode(mode)
+		if err != nil {
+			return nil, nil, opts, err
+		}
+	}
+	if limit > 0 {
+		opts.PendingLimit = limit
+	}
+	return spec, nil, opts, nil
+}
+
+// verifyConfig layers engine defaults over a job's checker config.
+func (e *Engine) verifyConfig(c *VerifyConfig) VerifyConfig {
+	var cfg VerifyConfig
+	if c != nil {
+		cfg = *c
+	} else {
+		cfg = verify.DefaultConfig()
+	}
+	cfg.Fingerprint = cfg.Fingerprint || e.fingerprint
+	cfg.CollisionAudit = cfg.CollisionAudit || e.audit
+	if cfg.Parallelism == 0 && e.parallelism > 0 {
+		cfg.Parallelism = e.parallelism
+	}
+	return cfg
+}
+
+// Verify runs a verification job under ctx. Cancellation is observed at
+// BFS level boundaries; the partial result comes back with
+// Result.Canceled set and a nil error (cancellation is an outcome, not
+// a failure — errors are reserved for bad jobs and generation
+// failures). Cache-served results carry Result.Cached.
+func (e *Engine) Verify(ctx context.Context, job VerifyJob) (*VerifyResult, error) {
+	spec, proto, opts, err := resolveSubject(job.Protocol, job.Spec, job.Source, job.Mode, job.Options, job.PendingLimit)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.verifyConfig(job.Config)
+	if fn := e.progressFunc(job.OnProgress); fn != nil {
+		cfg.Progress = func(p verify.Progress) { fn(p) }
+	}
+
+	// An audit run must actually retain and compare keys, so it never
+	// consults the cache (whose key deliberately ignores CollisionAudit);
+	// its result is still written back for future non-audit runs.
+	var cache *VerifyResultCache
+	var key string
+	if spec != nil && !job.NoCache {
+		if cache, err = e.Cache(); err != nil {
+			return nil, err
+		}
+		if cache != nil {
+			key = verify.CacheKey(dsl.Format(spec), opts.KeyString(), cfg)
+			if !cfg.CollisionAudit {
+				if res, ok := cache.Get(key); ok {
+					res.Cached = true
+					return res, nil
+				}
+			}
+		}
+	}
+
+	if proto == nil {
+		if proto, err = core.Generate(spec, opts); err != nil {
+			return nil, err
+		}
+	}
+	res := verify.CheckCtx(ctx, proto, cfg)
+	if cache != nil {
+		// A write failure only loses memoization; the verdict stands.
+		// (Put itself refuses canceled partial results.)
+		if err := cache.Put(key, res); err != nil {
+			e.warnf("result cache write failed (rerun will re-verify): %v", err)
+		}
+	}
+	return res, nil
+}
+
+// Simulate runs a simulation job under ctx. Cancellation is observed on
+// the scheduler step loop; the partial Stats come back with
+// Stats.Canceled set and a nil error.
+func (e *Engine) Simulate(ctx context.Context, job SimulateJob) (SimStats, error) {
+	spec, proto, opts, err := resolveSubject(job.Protocol, job.Spec, job.Source, job.Mode, job.Options, job.PendingLimit)
+	if err != nil {
+		return SimStats{}, err
+	}
+	if proto == nil {
+		if proto, err = core.Generate(spec, opts); err != nil {
+			return SimStats{}, err
+		}
+	}
+	cfg := job.Config
+	if cfg.Workload == nil {
+		return SimStats{}, fmt.Errorf("simulate job needs Config.Workload")
+	}
+	if fn := e.progressFunc(job.OnProgress); fn != nil {
+		cfg.Progress = func(p sim.Progress) { fn(p) }
+	}
+	return sim.RunCtx(ctx, proto, cfg)
+}
+
+// Fuzz runs a campaign job under ctx. Workers observe cancellation
+// before claiming each seed (and inside each seed's model checks at
+// level boundaries); the partial Report comes back with Report.Canceled
+// set, covering only the seeds that completed.
+func (e *Engine) Fuzz(ctx context.Context, job FuzzJob) (*FuzzReport, error) {
+	var cfg FuzzConfig
+	if job.Config != nil {
+		cfg = *job.Config
+	} else {
+		cfg = fuzz.DefaultConfig()
+	}
+	if cfg.Parallelism == 0 && e.parallelism > 0 {
+		cfg.Parallelism = e.parallelism
+	}
+	if cfg.Cache == nil {
+		cache, err := e.Cache()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Cache = cache
+	}
+	if fn := e.progressFunc(job.OnProgress); fn != nil {
+		cfg.Progress = func(p fuzz.Progress) { fn(p) }
+	}
+	return fuzz.RunCtx(ctx, job.First, job.Last, cfg)
+}
+
+// LoadSpec resolves an SSP from a file path (when file is non-empty) or
+// a registry name, and parses it — the shared front half of every CLI's
+// -protocol/-file flag pair.
+func LoadSpec(name, file string) (*Spec, error) {
+	if file != "" {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return dsl.Parse(string(b))
+	}
+	e, ok := protocols.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+	return dsl.Parse(e.Source)
+}

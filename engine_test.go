@@ -1,0 +1,281 @@
+package protogen_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"protogen"
+)
+
+// engineGolden pins the exact exploration numbers (recorded from the
+// seed's sequential string-keyed checker, same table as
+// internal/verify/parallel_test.go) that the registry protocols must
+// reproduce through the job API at 2-cache QuickVerifyConfig scale.
+var engineGolden = []struct {
+	protocol, mode       string
+	states, edges, depth int
+}{
+	{"MSI", "stalling", 8180, 19064, 43},
+	{"MSI", "nonstalling", 11963, 28281, 46},
+	{"MESI", "stalling", 8452, 19637, 48},
+	{"MESI", "nonstalling", 11762, 27701, 48},
+	{"MOSI", "stalling", 12362, 28602, 45},
+	{"MOSI", "nonstalling", 15575, 36549, 46},
+	{"MSI_Upgrade", "stalling", 8540, 19904, 43},
+	{"MSI_Upgrade", "nonstalling", 12371, 29187, 46},
+	{"MSI_Unordered", "stalling", 9436, 22304, 51},
+	{"MSI_Unordered", "nonstalling", 16466, 40340, 51},
+}
+
+// TestEngineGoldenNumbersEveryParallelism is the api_redesign acceptance
+// gate: every registry protocol reproduces its exact States/Edges/Depth
+// through Engine.Verify at every parallelism, identical to the flat
+// Verify path.
+func TestEngineGoldenNumbersEveryParallelism(t *testing.T) {
+	for _, g := range engineGolden {
+		e, ok := protogen.LookupBuiltin(g.protocol)
+		if !ok {
+			t.Fatalf("unknown builtin %s", g.protocol)
+		}
+		for _, par := range []int{1, 2, 4} {
+			eng := protogen.NewEngine(protogen.WithParallelism(par))
+			cfg := protogen.QuickVerifyConfig()
+			res, err := eng.Verify(context.Background(), protogen.VerifyJob{
+				Source: e.Source,
+				Mode:   g.mode,
+				Config: &cfg,
+			})
+			if err != nil {
+				t.Fatalf("%s %s P=%d: %v", g.protocol, g.mode, par, err)
+			}
+			if !res.OK() || !res.Complete || res.Canceled {
+				t.Fatalf("%s %s P=%d: %v", g.protocol, g.mode, par, res)
+			}
+			if res.States != g.states || res.Edges != g.edges || res.Depth != g.depth {
+				t.Errorf("%s %s P=%d: states/edges/depth = %d/%d/%d, want %d/%d/%d",
+					g.protocol, g.mode, par, res.States, res.Edges, res.Depth,
+					g.states, g.edges, g.depth)
+			}
+		}
+	}
+}
+
+// TestFlatWrapperMatchesEngine: the flat Verify facade and an explicit
+// engine job agree exactly (they share one implementation now).
+func TestFlatWrapperMatchesEngine(t *testing.T) {
+	p, err := protogen.GenerateSource(protogen.BuiltinMSI, protogen.NonStalling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := protogen.QuickVerifyConfig()
+	cfg.Parallelism = 2
+	flat := protogen.Verify(p, cfg)
+	job, err := protogen.NewEngine().Verify(context.Background(), protogen.VerifyJob{Protocol: p, Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.States != job.States || flat.Edges != job.Edges || flat.Depth != job.Depth ||
+		flat.Quiescent != job.Quiescent || flat.OK() != job.OK() {
+		t.Fatalf("flat %v vs engine %v", flat, job)
+	}
+}
+
+// TestEngineVerifyCacheFlow: cold run computes, warm run serves the
+// Cached copy with identical counts, canceled runs never pollute the
+// cache.
+func TestEngineVerifyCacheFlow(t *testing.T) {
+	eng := protogen.NewEngine(protogen.WithCacheDir(t.TempDir()), protogen.WithParallelism(1))
+	defer eng.Close()
+	cfg := protogen.QuickVerifyConfig()
+	job := protogen.VerifyJob{Source: protogen.BuiltinMSI, Mode: "stalling", Config: &cfg}
+
+	// A canceled run must not seed the cache.
+	canceledCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := eng.Verify(canceledCtx, job)
+	if err != nil || !res.Canceled {
+		t.Fatalf("canceled run: res=%v err=%v", res, err)
+	}
+
+	cold, err := eng.Verify(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached || cold.Canceled || !cold.Complete {
+		t.Fatalf("cold run served from cache or partial: %v (cached=%v)", cold, cold.Cached)
+	}
+	warm, err := eng.Verify(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatalf("warm run missed the cache: %v", warm)
+	}
+	if warm.States != cold.States || warm.Edges != cold.Edges || warm.Depth != cold.Depth {
+		t.Fatalf("cached result drifted: %v vs %v", warm, cold)
+	}
+	// NoCache opts out per job.
+	fresh, err := eng.Verify(context.Background(), protogen.VerifyJob{
+		Source: protogen.BuiltinMSI, Mode: "stalling", Config: &cfg, NoCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cached {
+		t.Fatal("NoCache job served from cache")
+	}
+}
+
+// TestEngineCacheWriteWarning: a failing result-cache write loses only
+// memoization — the verdict comes back clean — but surfaces through the
+// WithWarnings sink instead of vanishing silently.
+func TestEngineCacheWriteWarning(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c, err := protogen.OpenVerifyCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := os.RemoveAll(dir); err != nil { // yank the directory from under Put
+		t.Fatal(err)
+	}
+	var warns []string
+	eng := protogen.NewEngine(
+		protogen.WithCache(c),
+		protogen.WithParallelism(1),
+		protogen.WithWarnings(func(msg string) { warns = append(warns, msg) }),
+	)
+	cfg := protogen.QuickVerifyConfig()
+	res, err := eng.Verify(context.Background(), protogen.VerifyJob{
+		Source: protogen.BuiltinMSI, Mode: "stalling", Config: &cfg,
+	})
+	if err != nil || !res.OK() {
+		t.Fatalf("verdict must survive a cache write failure: %v %v", res, err)
+	}
+	if len(warns) != 1 {
+		t.Fatalf("want exactly one cache-write warning, got %q", warns)
+	}
+}
+
+// TestEngineFingerprintOption: WithFingerprint applies to jobs without
+// an explicit config and overlays onto explicit configs, reproducing
+// exact-mode numbers either way.
+func TestEngineFingerprintOption(t *testing.T) {
+	eng := protogen.NewEngine(protogen.WithFingerprint(true), protogen.WithParallelism(2))
+	cfg := protogen.QuickVerifyConfig()
+	res, err := eng.Verify(context.Background(), protogen.VerifyJob{
+		Source: protogen.BuiltinMSI, Mode: "nonstalling", Config: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 11963 || res.Edges != 28281 || res.Depth != 46 {
+		t.Fatalf("fingerprint engine diverged from golden: %v", res)
+	}
+}
+
+// TestEngineJobValidation: malformed jobs error instead of panicking.
+func TestEngineJobValidation(t *testing.T) {
+	eng := protogen.NewEngine()
+	ctx := context.Background()
+	if _, err := eng.Verify(ctx, protogen.VerifyJob{}); err == nil {
+		t.Error("subject-less job must error")
+	}
+	spec, _ := protogen.Parse(protogen.BuiltinMSI)
+	if _, err := eng.Verify(ctx, protogen.VerifyJob{Spec: spec, Source: "x"}); err == nil {
+		t.Error("double-subject job must error")
+	}
+	if _, err := eng.Verify(ctx, protogen.VerifyJob{Source: protogen.BuiltinMSI, Mode: "bogus"}); err == nil {
+		t.Error("unknown mode must error")
+	}
+	if _, err := eng.Simulate(ctx, protogen.SimulateJob{Source: protogen.BuiltinMSI}); err == nil {
+		t.Error("workload-less simulate job must error")
+	}
+}
+
+// TestChannelProgress: events flow over a channel without ever blocking
+// the job, and a full channel drops rather than stalls.
+func TestChannelProgress(t *testing.T) {
+	ch := make(chan protogen.ProgressEvent, 256)
+	eng := protogen.NewEngine(protogen.WithParallelism(1))
+	cfg := protogen.QuickVerifyConfig()
+	res, err := eng.Verify(context.Background(), protogen.VerifyJob{
+		Source:     protogen.BuiltinMSI,
+		Mode:       "stalling",
+		Config:     &cfg,
+		OnProgress: protogen.ChannelProgress(ch),
+	})
+	if err != nil || !res.OK() {
+		t.Fatalf("verify: %v %v", res, err)
+	}
+	close(ch)
+	n := 0
+	for ev := range ch {
+		if ev.Kind() != "verify" {
+			t.Fatalf("event kind %q", ev.Kind())
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no events reached the channel")
+	}
+	// A zero-capacity channel must drop, not deadlock.
+	res, err = eng.Verify(context.Background(), protogen.VerifyJob{
+		Source:     protogen.BuiltinMSI,
+		Mode:       "stalling",
+		Config:     &cfg,
+		OnProgress: protogen.ChannelProgress(make(chan protogen.ProgressEvent)),
+	})
+	if err != nil || !res.OK() {
+		t.Fatalf("verify with full channel: %v %v", res, err)
+	}
+}
+
+// TestEngineSimulateAndFuzzJobs: the other two job types run end to end
+// with engine defaults.
+func TestEngineSimulateAndFuzzJobs(t *testing.T) {
+	eng := protogen.NewEngine(protogen.WithParallelism(2))
+	st, err := eng.Simulate(context.Background(), protogen.SimulateJob{
+		Source: protogen.BuiltinMSI,
+		Config: protogen.SimConfig{Caches: 2, Steps: 3000, Seed: 1, Workload: protogen.StandardWorkloads()[0]},
+	})
+	if err != nil || st.Canceled || st.SCViolations > 0 {
+		t.Fatalf("simulate: %+v %v", st, err)
+	}
+	fcfg := protogen.DefaultFuzzConfig()
+	fcfg.SimSteps = 300
+	fcfg.Shrink = false
+	rep, err := eng.Fuzz(context.Background(), protogen.FuzzJob{First: 0, Last: 3, Config: &fcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Canceled || rep.Pass+rep.Fail != 3 {
+		t.Fatalf("fuzz: %+v", rep)
+	}
+}
+
+// TestLoadSpec covers the shared CLI spec-resolution helper.
+func TestLoadSpec(t *testing.T) {
+	if _, err := protogen.LoadSpec("MSI", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := protogen.LoadSpec("NoSuch", ""); err == nil {
+		t.Error("unknown registry name must error")
+	}
+	path := filepath.Join(t.TempDir(), "msi.ssp")
+	if err := os.WriteFile(path, []byte(protogen.BuiltinMESI), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := protogen.LoadSpec("ignored-when-file-set", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "MESI" {
+		t.Errorf("file spec parsed as %q", spec.Name)
+	}
+	if _, err := protogen.LoadSpec("", filepath.Join(t.TempDir(), "absent.ssp")); err == nil {
+		t.Error("missing file must error")
+	}
+}

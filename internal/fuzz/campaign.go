@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -49,6 +50,28 @@ type Config struct {
 	// performs zero re-verifications — only the (cheap) simulator
 	// cross-checks repeat.
 	Cache *verify.ResultCache
+	// Progress, when non-nil, is called after each seed's oracle run
+	// completes with cumulative campaign counters. Calls are serialized
+	// under an internal mutex (workers finish seeds concurrently) and
+	// must return promptly; nil costs one pointer check per seed.
+	Progress func(Progress)
+}
+
+// Progress is one cumulative snapshot of a running campaign.
+type Progress struct {
+	SeedsDone  int // seeds whose oracle run has completed
+	SeedsTotal int // seeds in the configured range
+	Fail       int // failing seeds so far
+	RanChecks  int // model checks actually explored so far
+	CacheHits  int // verdicts served from the result cache so far
+}
+
+// Kind identifies the job a progress event belongs to.
+func (Progress) Kind() string { return "fuzz" }
+
+func (p Progress) String() string {
+	return fmt.Sprintf("fuzz: %d/%d seeds, %d fail, %d checks run, %d cache hits",
+		p.SeedsDone, p.SeedsTotal, p.Fail, p.RanChecks, p.CacheHits)
 }
 
 // DefaultConfig returns the standard campaign scale.
@@ -163,12 +186,22 @@ type Report struct {
 	// CachedChecks counts verdicts served from the cache.
 	RanChecks    int `json:"ran_checks"`
 	CachedChecks int `json:"cached_checks,omitempty"`
+	// Canceled marks a partial campaign: the context given to RunCtx
+	// was canceled before every seed completed. Specs then holds only
+	// the completed seeds, still in seed order; SeedsTotal records the
+	// configured range so callers can report "N of M".
+	Canceled   bool `json:"canceled,omitempty"`
+	SeedsTotal int  `json:"seeds_total"`
 }
 
 // Summary is a one-line human rendering.
 func (r *Report) Summary() string {
-	return fmt.Sprintf("%d specs: %d pass, %d fail (%d families)",
+	s := fmt.Sprintf("%d specs: %d pass, %d fail (%d families)",
 		len(r.Specs), r.Pass, r.Fail, len(r.Families))
+	if r.Canceled {
+		s += fmt.Sprintf(" — canceled after %d of %d seeds", len(r.Specs), r.SeedsTotal)
+	}
+	return s
 }
 
 // splitmix64 is the seed scrambler (Steele et al.); good dispersion from
@@ -215,8 +248,20 @@ func (cfg Config) pool() ([]Params, error) {
 // checked in each, the verdicts cross-checked, and the simulator's SC
 // checker run on the non-stalling protocol. Failing specs are shrunk to
 // minimal reproducers when cfg.Shrink is set. Reports come back in seed
-// order regardless of parallelism.
+// order regardless of parallelism. It is RunCtx without cancellation.
 func Run(first, last uint64, cfg Config) (*Report, error) {
+	return RunCtx(context.Background(), first, last, cfg)
+}
+
+// RunCtx executes the campaign under ctx. Workers observe cancellation
+// before claiming each seed (and the model checker inside a claimed
+// seed observes it at BFS level boundaries), so the pool drains within
+// one level's worth of work. The report then covers only the seeds that
+// completed — still in seed order — with Report.Canceled set.
+func RunCtx(ctx context.Context, first, last uint64, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pool, err := cfg.pool()
 	if err != nil {
 		return nil, err
@@ -229,7 +274,9 @@ func Run(first, last uint64, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("seed range [%d, %d) spans %d seeds, max %d per campaign", first, last, last-first, maxSeeds)
 	}
 	n := int(last - first)
-	rep := &Report{Specs: make([]SpecReport, n)}
+	specs := make([]SpecReport, n)
+	done := make([]bool, n)
+	rep := &Report{SeedsTotal: n}
 	workers := cfg.Parallelism
 	if workers <= 0 {
 		workers = defaultParallelism()
@@ -237,22 +284,38 @@ func Run(first, last uint64, cfg Config) (*Report, error) {
 	workers = min(workers, n)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	progress := Progress{SeedsTotal: n}
 	for g := 0; g < max(workers, 1); g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				r := CheckSeed(first+uint64(i), pool, cfg)
+				r := checkSeedCtx(ctx, first+uint64(i), pool, cfg)
+				if r.Failure.Class == "canceled" {
+					// The claimed seed was interrupted mid-oracle (the
+					// oracle marks those explicitly); its report is a
+					// nondeterministic partial run, not a verdict. Drop
+					// it rather than let it masquerade as a completed
+					// seed. A verdict that completed just before ctx
+					// fired is NOT dropped — completed work stands.
+					return
+				}
 				// Shrinking happens in the worker so failing campaigns
 				// minimize in parallel too (each shrink is sequential by
 				// design; the pool provides the concurrency). Capped runs
 				// are inconclusive, not reproducers — never shrink them.
+				// shrinkCtx aborts mid-minimization on cancel: the seed's
+				// completed verdict is kept, only Minimized stays empty.
 				if !r.OK() && cfg.Shrink && r.Failure.Class != "capped" {
-					if minSrc, err := Shrink(r.Source, r.Failure, r.SimSeed, cfg); err == nil {
+					if minSrc, err := shrinkCtx(ctx, r.Source, r.Failure, r.SimSeed, cfg); err == nil {
 						r.Minimized = minSrc
 					}
 				}
@@ -262,14 +325,47 @@ func Run(first, last uint64, cfg Config) (*Report, error) {
 					// campaign.
 					r.Source = ""
 				}
-				rep.Specs[i] = r
+				specs[i] = r
+				done[i] = true
+				if cfg.Progress != nil {
+					progressMu.Lock()
+					progress.SeedsDone++
+					if !r.OK() {
+						progress.Fail++
+					}
+					for _, mr := range r.Modes {
+						switch {
+						case mr.Cached:
+							progress.CacheHits++
+						case mr.States > 0:
+							progress.RanChecks++
+						}
+					}
+					cfg.Progress(progress)
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	doneCount := 0
+	for _, d := range done {
+		if d {
+			doneCount++
+		}
+	}
+	// Canceled means seeds were actually left unfinished. A context that
+	// fires after the last seed completes changes nothing — workers only
+	// skip or drop seeds when they observe cancellation, so a full
+	// report is a full campaign regardless of ctx's final state.
+	rep.Canceled = doneCount < n
 	fams := map[string]bool{}
-	for i := range rep.Specs {
-		r := &rep.Specs[i]
+	for i := range specs {
+		if !done[i] {
+			continue
+		}
+		r := specs[i]
+		rep.Specs = append(rep.Specs, r)
 		fams[r.Family] = true
 		if r.OK() {
 			rep.Pass++
@@ -297,8 +393,12 @@ func Run(first, last uint64, cfg Config) (*Report, error) {
 
 // CheckSeed runs the full differential oracle for one campaign seed.
 func CheckSeed(seed uint64, pool []Params, cfg Config) SpecReport {
+	return checkSeedCtx(context.Background(), seed, pool, cfg)
+}
+
+func checkSeedCtx(ctx context.Context, seed uint64, pool []Params, cfg Config) SpecReport {
 	shape, limit, simSeed := SpecForSeed(seed, pool)
-	r := CheckSource(shape.Source(), limit, simSeed, cfg)
+	r := checkSourceCtx(ctx, shape.Source(), limit, simSeed, cfg)
 	r.Seed = seed
 	r.Family = shape.Name()
 	return r
@@ -310,6 +410,13 @@ func CheckSeed(seed uint64, pool []Params, cfg Config) SpecReport {
 // non-stalling protocol. It is the single oracle shared by the campaign,
 // the shrinker and the corpus replay test.
 func CheckSource(src string, limit int, simSeed int64, cfg Config) SpecReport {
+	return checkSourceCtx(context.Background(), src, limit, simSeed, cfg)
+}
+
+// checkSourceCtx is CheckSource under a context. A report interrupted
+// mid-oracle carries a "canceled" failure class; the campaign discards
+// such reports (they are partial, not verdicts).
+func checkSourceCtx(ctx context.Context, src string, limit int, simSeed int64, cfg Config) SpecReport {
 	start := time.Now()
 	r := SpecReport{PendingLimit: limit, SimSeed: simSeed, Source: src}
 	defer func() { r.ElapsedMS = time.Since(start).Milliseconds() }()
@@ -322,8 +429,12 @@ func CheckSource(src string, limit int, simSeed int64, cfg Config) SpecReport {
 	r.Family = spec.Name
 
 	for _, mode := range Modes {
-		mr, failure := checkMode(spec, mode, limit, cfg)
+		mr, failure := checkMode(ctx, spec, mode, limit, cfg)
 		r.Modes = append(r.Modes, mr)
+		if ctx.Err() != nil {
+			r.Failure = Failure{Class: "canceled", Kind: "context", Detail: ctx.Err().Error()}
+			return r
+		}
 		if failure.Class == "generate" {
 			r.Failure = failure
 			return r
@@ -376,12 +487,16 @@ func CheckSource(src string, limit int, simSeed int64, cfg Config) SpecReport {
 			return r
 		}
 		for _, w := range []sim.Workload{sim.Contended{}, sim.Migratory{}} {
-			st, err := sim.Run(p, sim.Config{
+			st, err := sim.RunCtx(ctx, p, sim.Config{
 				Caches: max(cfg.Caches, 2), Steps: cfg.SimSteps,
 				Seed: simSeed, Workload: w,
 			})
 			if err != nil {
 				r.Failure = Failure{Class: "sim", Kind: "sim-deadlock", Mode: "nonstalling", Detail: err.Error()}
+				return r
+			}
+			if st.Canceled {
+				r.Failure = Failure{Class: "canceled", Kind: "context"}
 				return r
 			}
 			if st.SCViolations > 0 {
@@ -401,7 +516,7 @@ func CheckSource(src string, limit int, simSeed int64, cfg Config) SpecReport {
 // the result cache first when one is configured (a hit skips generation
 // too — the cache key needs only the spec and options). The parsed spec
 // is shared across modes: Generate clones it internally.
-func checkMode(spec *ir.Spec, mode string, limit int, cfg Config) (ModeResult, Failure) {
+func checkMode(ctx context.Context, spec *ir.Spec, mode string, limit int, cfg Config) (ModeResult, Failure) {
 	mr := ModeResult{Mode: mode}
 	opts, err := ModeOptions(mode)
 	if err != nil {
@@ -427,9 +542,10 @@ func checkMode(spec *ir.Spec, mode string, limit int, cfg Config) (ModeResult, F
 	if err != nil {
 		return mr, Failure{Class: "generate", Kind: "generate", Mode: mode, Detail: err.Error()}
 	}
-	res := verify.Check(p, vcfg)
+	res := verify.CheckCtx(ctx, p, vcfg)
 	if cfg.Cache != nil {
 		// A write failure only loses memoization; the verdict stands.
+		// (Put itself refuses canceled partial results.)
 		_ = cfg.Cache.Put(key, res)
 	}
 	mr.fill(res)

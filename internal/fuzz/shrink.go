@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 
 	"protogen/internal/dsl"
@@ -22,8 +23,18 @@ import (
 // simSeed must be the simulator seed that witnessed the failure (from
 // the SpecReport): sim-class failures are schedule-dependent, and
 // replaying a different schedule would fail the initial reproduction
-// gate. Verifier-class failures ignore it.
+// gate. Verifier-class failures ignore it. It is shrinkCtx without
+// cancellation.
 func Shrink(src string, failure Failure, simSeed int64, cfg Config) (string, error) {
+	return shrinkCtx(context.Background(), src, failure, simSeed, cfg)
+}
+
+// shrinkCtx is Shrink under a context: the fixpoint loop re-runs the
+// oracle dozens of times, so campaign cancellation must reach into it —
+// it aborts between candidate checks (and each in-flight check itself
+// stops at its model checker's next level boundary), returning ctx's
+// error so callers drop the unfinished minimization.
+func shrinkCtx(ctx context.Context, src string, failure Failure, simSeed int64, cfg Config) (string, error) {
 	if failure.IsZero() {
 		return "", fmt.Errorf("shrink: spec does not fail")
 	}
@@ -46,10 +57,13 @@ func Shrink(src string, failure Failure, simSeed int64, cfg Config) (string, err
 	// planted bug class still manifests.
 	const shrinkLimit = 1
 	reproduces := func(s *ir.Spec) bool {
-		if ir.ValidateSpec(s) != nil {
+		if ctx.Err() != nil || ir.ValidateSpec(s) != nil {
 			return false
 		}
-		r := CheckSource(dsl.Format(s), shrinkLimit, simSeed, cfg)
+		// An interrupted oracle reports class "canceled", which never
+		// matches the target class — a canceled check can neither accept
+		// nor reject a candidate.
+		r := checkSourceCtx(ctx, dsl.Format(s), shrinkLimit, simSeed, cfg)
 		return r.Failure.Class == failure.Class
 	}
 	if !reproduces(spec) {
@@ -77,6 +91,9 @@ func Shrink(src string, failure Failure, simSeed int64, cfg Config) (string, err
 		return nil, false
 	}
 	for changed := true; changed; {
+		if ctx.Err() != nil {
+			return "", fmt.Errorf("shrink: %w", ctx.Err())
+		}
 		changed = false
 		for _, kind := range []ir.MachineKind{ir.KindCache, ir.KindDirectory} {
 			for i := 0; i < len(spec.Machine(kind).Txns); i++ {
@@ -125,6 +142,9 @@ func Shrink(src string, failure Failure, simSeed int64, cfg Config) (string, err
 			}
 		}
 	}
+	if ctx.Err() != nil {
+		return "", fmt.Errorf("shrink: %w", ctx.Err())
+	}
 	pruneUnused(spec)
 	if err := ir.ValidateSpec(spec); err != nil {
 		return "", fmt.Errorf("shrink: pruned spec invalid: %v", err)
@@ -132,7 +152,7 @@ func Shrink(src string, failure Failure, simSeed int64, cfg Config) (string, err
 	out := dsl.Format(spec)
 	// The pruned spec must still reproduce (pruning only removed
 	// unreferenced declarations, but verify end-to-end to be safe).
-	r := CheckSource(out, shrinkLimit, simSeed, cfg)
+	r := checkSourceCtx(ctx, out, shrinkLimit, simSeed, cfg)
 	if r.Failure.Class != failure.Class {
 		return "", fmt.Errorf("shrink: pruning lost the failure (%s became %s)", failure.Class, r.Failure)
 	}

@@ -1,0 +1,752 @@
+// Package service is the long-running verification service the ROADMAP
+// names as the production-scale path: an HTTP/JSON job queue over the
+// public Engine API. Clients submit verify / fuzz / simulate jobs
+// (spec + configuration), poll status with live typed progress, fetch
+// the full result when done, and cancel mid-flight; a bounded worker
+// pool runs the jobs on one shared Engine, so every job resolves
+// through the same verify result cache (a structurally identical
+// resubmit is served in microseconds) and failing fuzz campaigns sink
+// their minimized reproducers into a corpus directory. The package is
+// deliberately built only on the root protogen package — it is the
+// first consumer of the job-oriented API, not a fourth subsystem.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"protogen"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the job worker pool size (default 2). Each worker runs
+	// one job at a time; a job's own model-checker parallelism is set by
+	// Parallelism.
+	Workers int
+	// QueueDepth bounds the submitted-but-unstarted queue (default 64);
+	// submits beyond it are rejected with 503 rather than buffered
+	// without bound.
+	QueueDepth int
+	// MaxJobs bounds the retained job records (default 1024). When a
+	// submit would exceed it, the oldest *finished* jobs — and the
+	// results they hold — are evicted; queued and running jobs are
+	// never evicted. Clients can also free a finished job explicitly
+	// with DELETE.
+	MaxJobs int
+	// Parallelism is the per-job exploration worker default passed to
+	// the Engine (0 = all cores).
+	Parallelism int
+	// CacheDir persists the shared verify result cache; "" disables
+	// caching.
+	CacheDir string
+	// CorpusDir is the corpus sink: minimized reproducers from failing
+	// fuzz jobs are written here. "" disables the sink.
+	CorpusDir string
+	// Engine overrides the engine built from the fields above (tests,
+	// embedding). The caller keeps ownership.
+	Engine *protogen.Engine
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Request is the submit body. Kind selects the job; the subject is a
+// registry protocol name or inline DSL source (verify/simulate), or a
+// seed range (fuzz). Zero-valued tuning fields inherit the library
+// defaults.
+type Request struct {
+	Kind string `json:"kind"` // verify | fuzz | simulate
+
+	// Subject (verify, simulate).
+	Protocol string `json:"protocol,omitempty"` // registry name
+	Source   string `json:"source,omitempty"`   // inline SSP DSL
+	Mode     string `json:"mode,omitempty"`     // nonstalling (default), stalling, deferred
+	Limit    int    `json:"limit,omitempty"`    // pending-transaction limit L
+
+	// Checker tuning (verify; Caches and MaxStates also scale fuzz).
+	Caches      int  `json:"caches,omitempty"`
+	MaxStates   int  `json:"max_states,omitempty"`
+	Fingerprint bool `json:"fingerprint,omitempty"`
+	NoCache     bool `json:"no_cache,omitempty"`
+
+	// Campaign range and tuning (fuzz).
+	First    uint64   `json:"first,omitempty"`
+	Last     uint64   `json:"last,omitempty"`
+	Families []string `json:"families,omitempty"`
+	SimSteps *int     `json:"sim_steps,omitempty"`
+	Shrink   *bool    `json:"shrink,omitempty"`
+
+	// Run tuning (simulate).
+	Workload string `json:"workload,omitempty"`
+	Steps    int    `json:"steps,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+}
+
+// validate rejects malformed submissions before they enter the queue.
+func (r *Request) validate() error {
+	switch r.Kind {
+	case "verify":
+		if r.Protocol == "" && r.Source == "" {
+			return fmt.Errorf("verify job needs protocol or source")
+		}
+	case "fuzz":
+		if r.Last <= r.First {
+			return fmt.Errorf("fuzz job needs a non-empty seed range first < last")
+		}
+	case "simulate":
+		if r.Protocol == "" && r.Source == "" {
+			return fmt.Errorf("simulate job needs protocol or source")
+		}
+		if r.Workload == "" {
+			return fmt.Errorf("simulate job needs a workload")
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q (want verify, fuzz or simulate)", r.Kind)
+	}
+	if r.Protocol != "" && r.Source != "" {
+		return fmt.Errorf("protocol and source are mutually exclusive")
+	}
+	return nil
+}
+
+// ProgressView is the wire form of the latest typed progress event,
+// flattened so pollers need no type switch: Kind says which fields are
+// live.
+type ProgressView struct {
+	Kind    string    `json:"kind"`
+	Detail  string    `json:"detail"`
+	Updated time.Time `json:"updated"`
+
+	// verify
+	States   int `json:"states,omitempty"`
+	Edges    int `json:"edges,omitempty"`
+	Depth    int `json:"depth,omitempty"`
+	Frontier int `json:"frontier,omitempty"`
+	// fuzz
+	SeedsDone  int `json:"seeds_done,omitempty"`
+	SeedsTotal int `json:"seeds_total,omitempty"`
+	Fail       int `json:"fail,omitempty"`
+	RanChecks  int `json:"ran_checks,omitempty"`
+	CacheHits  int `json:"cache_hits,omitempty"`
+	// simulate
+	Steps        int `json:"steps,omitempty"`
+	TotalSteps   int `json:"total_steps,omitempty"`
+	Transactions int `json:"transactions,omitempty"`
+}
+
+// viewOf flattens a typed event into the wire form.
+func viewOf(ev protogen.ProgressEvent, now time.Time) *ProgressView {
+	v := &ProgressView{Kind: ev.Kind(), Detail: ev.String(), Updated: now}
+	switch p := ev.(type) {
+	case protogen.VerifyProgress:
+		v.States, v.Edges, v.Depth, v.Frontier = p.States, p.Edges, p.Depth, p.Frontier
+	case protogen.FuzzProgress:
+		v.SeedsDone, v.SeedsTotal, v.Fail = p.SeedsDone, p.SeedsTotal, p.Fail
+		v.RanChecks, v.CacheHits = p.RanChecks, p.CacheHits
+	case protogen.SimProgress:
+		v.Steps, v.TotalSteps, v.Transactions = p.Steps, p.TotalSteps, p.Transactions
+	}
+	return v
+}
+
+// JobView is the wire form of a job's status.
+type JobView struct {
+	ID        string        `json:"id"`
+	Kind      string        `json:"kind"`
+	Status    Status        `json:"status"`
+	Submitted time.Time     `json:"submitted"`
+	Started   *time.Time    `json:"started,omitempty"`
+	Finished  *time.Time    `json:"finished,omitempty"`
+	Progress  *ProgressView `json:"progress,omitempty"`
+	// Summary is the result's one-line rendering once the job finished.
+	Summary string `json:"summary,omitempty"`
+	// Cached marks a verify result served from the shared result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Canceled marks a partial result (job canceled mid-run).
+	Canceled bool `json:"canceled,omitempty"`
+	// OK reports the verdict once done: verification passed / campaign
+	// all-pass / simulation SC-clean.
+	OK *bool `json:"ok,omitempty"`
+	// Error carries the failure message of a failed job.
+	Error string `json:"error,omitempty"`
+	// CorpusFiles lists reproducers this job sank into the corpus dir.
+	CorpusFiles []string `json:"corpus_files,omitempty"`
+}
+
+// job is one tracked submission.
+type job struct {
+	mu     sync.Mutex
+	view   JobView
+	req    Request
+	cancel context.CancelFunc // non-nil while running
+
+	verifyResult *protogen.VerifyResult
+	fuzzReport   *protogen.FuzzReport
+	simStats     *protogen.SimStats
+}
+
+// snapshot copies the wire view under the job lock.
+func (j *job) snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := j.view
+	if j.view.Progress != nil {
+		p := *j.view.Progress
+		v.Progress = &p
+	}
+	v.CorpusFiles = append([]string(nil), j.view.CorpusFiles...)
+	return v
+}
+
+// Server is the HTTP job queue. Create with New, wire into an
+// http.Server via ServeHTTP (it is an http.Handler), stop with
+// Shutdown.
+type Server struct {
+	cfg   Config
+	eng   *protogen.Engine
+	mux   *http.ServeMux
+	queue chan *job
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // insertion order for listing
+	nextID int
+	closed bool
+}
+
+// New builds and starts a Server: the worker pool is live on return.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		opts := []protogen.EngineOption{
+			protogen.WithParallelism(cfg.Parallelism),
+			protogen.WithWarnings(func(msg string) { log.Printf("protoserve: %s", msg) }),
+		}
+		if cfg.CacheDir != "" {
+			opts = append(opts, protogen.WithCacheDir(cfg.CacheDir))
+		}
+		eng = protogen.NewEngine(opts...)
+		// Open the cache eagerly so a bad directory fails the boot, not
+		// the first job.
+		if _, err := eng.Cache(); err != nil {
+			return nil, err
+		}
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		eng:     eng,
+		queue:   make(chan *job, cfg.QueueDepth),
+		baseCtx: ctx,
+		stop:    stop,
+		jobs:    map[string]*job{},
+	}
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Shutdown cancels running jobs, drains the pool, and closes the engine
+// if the server built it. Queued jobs are marked canceled. Respects
+// ctx's deadline while waiting for workers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.stop() // running jobs observe this at their next boundary
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if s.cfg.Engine == nil {
+		return s.eng.Close()
+	}
+	return nil
+}
+
+// ServeHTTP makes Server an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /corpus", s.handleCorpus)
+}
+
+// writeJSON is the single response serializer.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	s.nextID++
+	j := &job{req: req, view: JobView{
+		ID:        fmt.Sprintf("job-%d", s.nextID),
+		Kind:      req.Kind,
+		Status:    StatusQueued,
+		Submitted: time.Now(),
+	}}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", cap(s.queue))
+		return
+	}
+	s.jobs[j.view.ID] = j
+	s.order = append(s.order, j.view.ID)
+	s.evictLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// evictLocked (s.mu held) drops the oldest finished jobs while the
+// record count exceeds MaxJobs. Queued and running jobs are never
+// evicted (workers hold their own pointers, so an eviction could never
+// dangle anyway — this only bounds what the server remembers).
+func (s *Server) evictLocked() {
+	if len(s.jobs) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		terminal := j.view.Status == StatusDone || j.view.Status == StatusFailed || j.view.Status == StatusCanceled
+		j.mu.Unlock()
+		if terminal && len(s.jobs) > s.cfg.MaxJobs {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].snapshot())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.verifyResult != nil:
+		writeJSON(w, http.StatusOK, j.verifyResult)
+	case j.fuzzReport != nil:
+		writeJSON(w, http.StatusOK, j.fuzzReport)
+	case j.simStats != nil:
+		writeJSON(w, http.StatusOK, j.simStats)
+	case j.view.Status == StatusFailed:
+		writeJSON(w, http.StatusOK, map[string]string{"error": j.view.Error})
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s; no result yet", j.view.ID, j.view.Status)
+	}
+}
+
+// handleCancel is DELETE /jobs/{id}: a queued job is marked canceled, a
+// running job's context is canceled (it stops at its next cancellation
+// boundary), and a finished job is removed — freeing its retained
+// result — so long-lived clients can bound the server's memory
+// themselves.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	switch j.view.Status {
+	case StatusQueued:
+		// The worker will see the status and skip it when dequeued.
+		j.view.Status = StatusCanceled
+		now := time.Now()
+		j.view.Finished = &now
+	case StatusRunning:
+		if j.cancel != nil {
+			j.cancel() // observed at the job's next cancellation boundary
+		}
+	case StatusDone, StatusFailed, StatusCanceled:
+		id := j.view.ID
+		v := j.view
+		j.mu.Unlock()
+		s.mu.Lock()
+		delete(s.jobs, id)
+		for i, o := range s.order {
+			if o == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": true, "job": v})
+		return
+	}
+	v := j.view
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	counts := map[Status]int{}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		counts[j.view.Status]++
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	health := map[string]any{
+		"status":  "ok",
+		"workers": s.cfg.Workers,
+		"jobs":    counts,
+	}
+	if cache, err := s.eng.Cache(); err == nil && cache != nil {
+		hits, misses := cache.Stats()
+		health["cache"] = map[string]any{"entries": cache.Len(), "hits": hits, "misses": misses}
+	}
+	writeJSON(w, http.StatusOK, health)
+}
+
+// handleCorpus lists the reproducers in the corpus sink directory.
+func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.CorpusDir == "" {
+		writeJSON(w, http.StatusOK, map[string]any{"corpus_dir": "", "entries": []string{}})
+		return
+	}
+	entries := []string{}
+	dirents, err := os.ReadDir(s.cfg.CorpusDir)
+	if err != nil && !os.IsNotExist(err) {
+		writeError(w, http.StatusInternalServerError, "corpus dir: %v", err)
+		return
+	}
+	for _, d := range dirents {
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".ssp") {
+			entries = append(entries, d.Name())
+		}
+	}
+	sort.Strings(entries)
+	writeJSON(w, http.StatusOK, map[string]any{"corpus_dir": s.cfg.CorpusDir, "entries": entries})
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		j.mu.Lock()
+		if j.view.Status != StatusQueued {
+			j.mu.Unlock() // canceled while queued
+			continue
+		}
+		if s.baseCtx.Err() != nil {
+			j.view.Status = StatusCanceled
+			now := time.Now()
+			j.view.Finished = &now
+			j.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		now := time.Now()
+		j.view.Status = StatusRunning
+		j.view.Started = &now
+		j.cancel = cancel
+		j.mu.Unlock()
+		s.runJob(ctx, j)
+		cancel()
+	}
+}
+
+// onProgress returns the job's progress sink: each event replaces the
+// snapshot pollers read.
+func (j *job) onProgress(ev protogen.ProgressEvent) {
+	v := viewOf(ev, time.Now())
+	j.mu.Lock()
+	j.view.Progress = v
+	j.mu.Unlock()
+}
+
+// finish records a job's terminal state.
+func (j *job) finish(status Status, summary string, ok *bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	now := time.Now()
+	j.view.Finished = &now
+	j.view.Status = status
+	j.view.Summary = summary
+	j.view.OK = ok
+	j.cancel = nil
+	if err != nil {
+		j.view.Error = err.Error()
+	}
+}
+
+// subjectSpec resolves the request's subject: a registry name or inline
+// source.
+func subjectSpec(req Request) (*protogen.Spec, error) {
+	if req.Source != "" {
+		return protogen.Parse(req.Source)
+	}
+	return protogen.LoadSpec(req.Protocol, "")
+}
+
+// runJob executes one job on the shared engine and records its outcome.
+func (s *Server) runJob(ctx context.Context, j *job) {
+	req := j.req
+	switch req.Kind {
+	case "verify":
+		spec, err := subjectSpec(req)
+		if err != nil {
+			j.finish(StatusFailed, "", nil, err)
+			return
+		}
+		res, err := s.eng.Verify(ctx, protogen.VerifyJob{
+			Spec:         spec,
+			Mode:         req.Mode,
+			PendingLimit: req.Limit,
+			Config:       verifyConfigFor(req),
+			NoCache:      req.NoCache,
+			OnProgress:   j.onProgress,
+		})
+		if err == nil && res == nil {
+			err = fmt.Errorf("verify returned no result")
+		}
+		if err != nil {
+			j.finish(StatusFailed, "", nil, err)
+			return
+		}
+		j.mu.Lock()
+		j.verifyResult = res
+		j.view.Cached = res.Cached
+		j.view.Canceled = res.Canceled
+		j.mu.Unlock()
+		ok := res.OK() && !res.Canceled
+		status := StatusDone
+		if res.Canceled {
+			status = StatusCanceled
+		}
+		j.finish(status, res.String(), &ok, nil)
+
+	case "fuzz":
+		cfg := protogen.DefaultFuzzConfig()
+		cfg.Families = req.Families
+		if req.Caches > 0 {
+			cfg.Caches = req.Caches
+		}
+		if req.MaxStates > 0 {
+			cfg.MaxStates = req.MaxStates
+		}
+		if req.SimSteps != nil {
+			cfg.SimSteps = *req.SimSteps
+		}
+		if req.Shrink != nil {
+			cfg.Shrink = *req.Shrink
+		}
+		rep, err := s.eng.Fuzz(ctx, protogen.FuzzJob{
+			First: req.First, Last: req.Last,
+			Config:     &cfg,
+			OnProgress: j.onProgress,
+		})
+		if err != nil {
+			j.finish(StatusFailed, "", nil, err)
+			return
+		}
+		files := s.sinkCorpus(rep)
+		j.mu.Lock()
+		j.fuzzReport = rep
+		j.view.Canceled = rep.Canceled
+		j.view.CorpusFiles = files
+		j.mu.Unlock()
+		ok := rep.Fail == 0 && !rep.Canceled
+		status := StatusDone
+		if rep.Canceled {
+			status = StatusCanceled
+		}
+		j.finish(status, rep.Summary(), &ok, nil)
+
+	case "simulate":
+		var wl protogen.Workload
+		for _, cand := range protogen.StandardWorkloads() {
+			if cand.Name() == req.Workload {
+				wl = cand
+			}
+		}
+		if wl == nil {
+			j.finish(StatusFailed, "", nil, fmt.Errorf("unknown workload %q", req.Workload))
+			return
+		}
+		caches := req.Caches
+		if caches <= 0 {
+			caches = 3
+		}
+		steps := req.Steps
+		if steps <= 0 {
+			steps = 50_000
+		}
+		spec, err := subjectSpec(req)
+		if err != nil {
+			j.finish(StatusFailed, "", nil, err)
+			return
+		}
+		st, err := s.eng.Simulate(ctx, protogen.SimulateJob{
+			Spec:         spec,
+			Mode:         req.Mode,
+			PendingLimit: req.Limit,
+			Config: protogen.SimConfig{
+				Caches: caches, Steps: steps, Seed: req.Seed, Workload: wl,
+			},
+			OnProgress: j.onProgress,
+		})
+		if err != nil {
+			j.finish(StatusFailed, "", nil, err)
+			return
+		}
+		j.mu.Lock()
+		j.simStats = &st
+		j.view.Canceled = st.Canceled
+		j.mu.Unlock()
+		ok := st.SCViolations == 0 && !st.Canceled
+		status := StatusDone
+		if st.Canceled {
+			status = StatusCanceled
+		}
+		j.finish(status, st.String(), &ok, nil)
+	}
+}
+
+// verifyConfigFor maps request tuning onto a checker config, leaving
+// nil when the request carries no overrides so the engine's defaults
+// apply untouched.
+func verifyConfigFor(req Request) *protogen.VerifyConfig {
+	if req.Caches == 0 && req.MaxStates == 0 && !req.Fingerprint {
+		return nil
+	}
+	cfg := protogen.DefaultVerifyConfig()
+	if req.Caches > 0 {
+		cfg.Caches = req.Caches
+	}
+	if req.MaxStates > 0 {
+		cfg.MaxStates = req.MaxStates
+	}
+	cfg.Fingerprint = req.Fingerprint
+	return &cfg
+}
+
+// sinkCorpus writes a failing campaign's minimized reproducers into the
+// corpus directory, returning the files written.
+func (s *Server) sinkCorpus(rep *protogen.FuzzReport) []string {
+	if s.cfg.CorpusDir == "" {
+		return nil
+	}
+	var files []string
+	for i := range rep.Specs {
+		r := &rep.Specs[i]
+		if r.Minimized == "" {
+			continue
+		}
+		txns, _ := protogen.FuzzTxnCount(r.Minimized)
+		path, err := protogen.WriteFuzzCorpusEntry(s.cfg.CorpusDir, protogen.FuzzCorpusEntry{
+			Family: r.Family, Seed: r.Seed, SimSeed: r.SimSeed,
+			Expect: r.Failure, Txns: txns, Source: r.Minimized,
+		})
+		if err != nil {
+			continue // the report still carries the reproducer inline
+		}
+		files = append(files, path)
+	}
+	return files
+}

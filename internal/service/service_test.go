@@ -1,0 +1,346 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer boots a service and an httptest front end; both are
+// torn down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+// postJSON submits a body and decodes the response into out.
+func postJSON(t *testing.T, url string, body string, wantCode int, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollUntil polls the job until pred holds or the deadline passes.
+func pollUntil(t *testing.T, url string, deadline time.Duration, pred func(JobView) bool) JobView {
+	t.Helper()
+	var v JobView
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		if code := getJSON(t, url, &v); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, code)
+		}
+		if pred(v) {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job never reached wanted state; last: %+v", v)
+	return v
+}
+
+func isTerminal(v JobView) bool {
+	switch v.Status {
+	case StatusDone, StatusFailed, StatusCanceled:
+		return true
+	}
+	return false
+}
+
+// TestVerifyJobLifecycle is the acceptance path from the issue: submit a
+// QuickConfig-scale MSI verify job, poll status with live progress,
+// fetch the result, then resubmit the identical job and require a warm
+// cache hit.
+func TestVerifyJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, CacheDir: t.TempDir()})
+	const body = `{"kind":"verify","protocol":"MSI","mode":"nonstalling","caches":2}`
+
+	var sub JobView
+	postJSON(t, ts.URL+"/jobs", body, http.StatusAccepted, &sub)
+	if sub.ID == "" || sub.Status != StatusQueued || sub.Kind != "verify" {
+		t.Fatalf("submit view: %+v", sub)
+	}
+
+	v := pollUntil(t, ts.URL+"/jobs/"+sub.ID, 60*time.Second, isTerminal)
+	if v.Status != StatusDone {
+		t.Fatalf("job finished %s (error %q), want done", v.Status, v.Error)
+	}
+	if v.OK == nil || !*v.OK {
+		t.Fatalf("verify verdict not OK: %+v", v)
+	}
+	if v.Cached {
+		t.Fatal("first run must not be cache-served")
+	}
+	if v.Progress == nil || v.Progress.Kind != "verify" || v.Progress.States == 0 {
+		t.Fatalf("missing live progress snapshot: %+v", v.Progress)
+	}
+	if !strings.Contains(v.Summary, "PASS") {
+		t.Fatalf("summary %q lacks verdict", v.Summary)
+	}
+
+	// Full result: the verify Result JSON with real exploration counts.
+	var res struct {
+		States, Edges, Depth int
+		Complete             bool
+	}
+	if code := getJSON(t, ts.URL+"/jobs/"+sub.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	if res.States == 0 || res.Edges == 0 || !res.Complete {
+		t.Fatalf("result looks empty: %+v", res)
+	}
+
+	// Warm-cache resubmit: identical spec + config must be served from
+	// the shared result cache with the same counts.
+	var sub2 JobView
+	postJSON(t, ts.URL+"/jobs", body, http.StatusAccepted, &sub2)
+	v2 := pollUntil(t, ts.URL+"/jobs/"+sub2.ID, 30*time.Second, isTerminal)
+	if v2.Status != StatusDone || !v2.Cached {
+		t.Fatalf("resubmit not cache-served: %+v", v2)
+	}
+	var res2 struct{ States, Edges, Depth int }
+	getJSON(t, ts.URL+"/jobs/"+sub2.ID+"/result", &res2)
+	if res2.States != res.States || res2.Edges != res.Edges || res2.Depth != res.Depth {
+		t.Fatalf("cached result drifted: %+v vs %+v", res2, res)
+	}
+
+	// Health reflects the shared cache.
+	var health struct {
+		Status string `json:"status"`
+		Cache  struct {
+			Entries int `json:"entries"`
+			Hits    int `json:"hits"`
+		} `json:"cache"`
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "ok" || health.Cache.Entries == 0 || health.Cache.Hits == 0 {
+		t.Fatalf("health: %+v", health)
+	}
+}
+
+// TestFuzzJobProgress runs a small campaign and checks the cumulative
+// fuzz progress snapshot and report wiring.
+func TestFuzzJobProgress(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var sub JobView
+	postJSON(t, ts.URL+"/jobs", `{"kind":"fuzz","first":0,"last":4,"sim_steps":300,"shrink":false}`,
+		http.StatusAccepted, &sub)
+	v := pollUntil(t, ts.URL+"/jobs/"+sub.ID, 120*time.Second, isTerminal)
+	if v.Status != StatusDone {
+		t.Fatalf("fuzz job finished %s (error %q)", v.Status, v.Error)
+	}
+	if v.Progress == nil || v.Progress.Kind != "fuzz" || v.Progress.SeedsDone != 4 {
+		t.Fatalf("fuzz progress: %+v", v.Progress)
+	}
+	var rep struct {
+		Pass       int  `json:"pass"`
+		Fail       int  `json:"fail"`
+		SeedsTotal int  `json:"seeds_total"`
+		Canceled   bool `json:"canceled"`
+	}
+	getJSON(t, ts.URL+"/jobs/"+sub.ID+"/result", &rep)
+	if rep.Pass != 4 || rep.Fail != 0 || rep.SeedsTotal != 4 || rep.Canceled {
+		t.Fatalf("fuzz report: %+v", rep)
+	}
+}
+
+// TestCancelRunningJob cancels a large verification mid-flight and
+// requires a prompt canceled status with a partial result.
+func TestCancelRunningJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var sub JobView
+	// 3-cache MSI at full depth runs long enough to catch mid-flight.
+	postJSON(t, ts.URL+"/jobs", `{"kind":"verify","protocol":"MSI","mode":"nonstalling","caches":3}`,
+		http.StatusAccepted, &sub)
+	pollUntil(t, ts.URL+"/jobs/"+sub.ID, 30*time.Second, func(v JobView) bool {
+		return v.Status == StatusRunning && v.Progress != nil
+	})
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+sub.ID, nil)
+	if _, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	v := pollUntil(t, ts.URL+"/jobs/"+sub.ID, 30*time.Second, isTerminal)
+	if v.Status != StatusCanceled || !v.Canceled {
+		t.Fatalf("cancel outcome: %+v", v)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("cancellation took %v — not observed at a level boundary?", elapsed)
+	}
+	var res struct {
+		States   int
+		Canceled bool
+	}
+	getJSON(t, ts.URL+"/jobs/"+sub.ID+"/result", &res)
+	if !res.Canceled || res.States == 0 {
+		t.Fatalf("partial result: %+v", res)
+	}
+}
+
+// TestCancelQueuedJob cancels a job before any worker picks it up.
+func TestCancelQueuedJob(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	// Occupy the single worker so the second job stays queued.
+	var blocker, queued JobView
+	postJSON(t, ts.URL+"/jobs", `{"kind":"verify","protocol":"MOSI","mode":"nonstalling","caches":3}`,
+		http.StatusAccepted, &blocker)
+	postJSON(t, ts.URL+"/jobs", `{"kind":"verify","protocol":"MSI","caches":2}`,
+		http.StatusAccepted, &queued)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+queued.ID, nil)
+	var after JobView
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if after.Status != StatusCanceled {
+		t.Fatalf("queued cancel: %+v", after)
+	}
+	// Unblock the worker promptly.
+	req2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+blocker.ID, nil)
+	if _, err := http.DefaultClient.Do(req2); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv
+}
+
+// TestDeleteFinishedJobFreesRecord: DELETE on a terminal job removes it
+// (and its retained result) — the client-driven half of the retention
+// policy.
+func TestDeleteFinishedJobFreesRecord(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var sub JobView
+	postJSON(t, ts.URL+"/jobs", `{"kind":"verify","protocol":"MSI","caches":2}`, http.StatusAccepted, &sub)
+	pollUntil(t, ts.URL+"/jobs/"+sub.ID, 60*time.Second, isTerminal)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+sub.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	if code := getJSON(t, ts.URL+"/jobs/"+sub.ID, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted job still present: status %d", code)
+	}
+}
+
+// TestFinishedJobEviction: the MaxJobs cap evicts the oldest finished
+// jobs on submit, bounding the server's memory over a long life.
+func TestFinishedJobEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxJobs: 2})
+	ids := make([]string, 4)
+	for i := range ids {
+		var sub JobView
+		postJSON(t, ts.URL+"/jobs", `{"kind":"verify","protocol":"MSI","caches":2,"mode":"stalling"}`,
+			http.StatusAccepted, &sub)
+		ids[i] = sub.ID
+		pollUntil(t, ts.URL+"/jobs/"+sub.ID, 60*time.Second, isTerminal)
+	}
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/jobs", &list)
+	if len(list.Jobs) > 2 {
+		t.Fatalf("retained %d job records, cap is 2", len(list.Jobs))
+	}
+	// The newest job survives; the oldest was evicted.
+	if code := getJSON(t, ts.URL+"/jobs/"+ids[len(ids)-1], nil); code != http.StatusOK {
+		t.Errorf("newest job evicted: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/jobs/"+ids[0], nil); code != http.StatusNotFound {
+		t.Errorf("oldest finished job not evicted: status %d", code)
+	}
+}
+
+// TestSubmitValidation rejects malformed jobs with 400s.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, body := range []string{
+		`{"kind":"nope"}`,
+		`{"kind":"verify"}`,
+		`{"kind":"fuzz","first":5,"last":5}`,
+		`{"kind":"simulate","protocol":"MSI"}`,
+		`{"kind":"verify","protocol":"MSI","source":"protocol X {}"}`,
+		`{"kind":"verify","protocol":"MSI","bogus_field":1}`,
+		`not json`,
+	} {
+		postJSON(t, ts.URL+"/jobs", body, http.StatusBadRequest, nil)
+	}
+	if code := getJSON(t, ts.URL+"/jobs/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", code)
+	}
+}
+
+// TestListAndCorpusEndpoints smoke-tests the remaining read endpoints.
+func TestListAndCorpusEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, CorpusDir: t.TempDir()})
+	var sub JobView
+	postJSON(t, ts.URL+"/jobs", `{"kind":"simulate","protocol":"MSI","workload":"contended","steps":2000,"caches":2}`,
+		http.StatusAccepted, &sub)
+	v := pollUntil(t, ts.URL+"/jobs/"+sub.ID, 60*time.Second, isTerminal)
+	if v.Status != StatusDone || v.OK == nil || !*v.OK {
+		t.Fatalf("simulate job: %+v", v)
+	}
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/jobs", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != sub.ID {
+		t.Fatalf("list: %+v", list)
+	}
+	var corpus struct {
+		Entries []string `json:"entries"`
+	}
+	getJSON(t, ts.URL+"/corpus", &corpus)
+	if corpus.Entries == nil {
+		t.Fatal("corpus listing absent")
+	}
+}

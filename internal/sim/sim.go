@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -23,6 +24,10 @@ type Stats struct {
 	TotalLatency int // sum of transaction latencies (in steps)
 	MaxLatency   int
 	SCViolations int
+	// Canceled marks a partial run: the context given to RunCtx was
+	// canceled before the step budget was spent. The stats cover the
+	// steps that did run.
+	Canceled bool
 }
 
 // AvgLatency is the mean transaction latency in scheduler steps.
@@ -45,13 +50,55 @@ type Config struct {
 	Seed     int64
 	Capacity int
 	Workload Workload
+	// Progress, when non-nil, is called every ProgressEvery steps with a
+	// snapshot of the run so far. It runs on the scheduler goroutine and
+	// must return promptly; nil costs nothing on the step loop's hot
+	// path beyond the cancellation stride check.
+	Progress func(Progress)
+	// ProgressEvery is the step stride between Progress calls
+	// (default 10000).
+	ProgressEvery int
 }
 
+// Progress is one snapshot of a running simulation.
+type Progress struct {
+	Steps        int // scheduler steps executed
+	TotalSteps   int // configured step budget
+	Transactions int // coherence transactions completed so far
+}
+
+// Kind identifies the job a progress event belongs to.
+func (Progress) Kind() string { return "simulate" }
+
+func (p Progress) String() string {
+	return fmt.Sprintf("simulate: step %d/%d, %d transactions", p.Steps, p.TotalSteps, p.Transactions)
+}
+
+// cancelStride is how many scheduler steps run between context checks:
+// coarse enough to keep ctx.Err() off the per-step profile, fine enough
+// that cancellation lands in microseconds.
+const cancelStride = 256
+
 // Run drives one protocol under a workload for cfg.Steps scheduler steps.
-// The per-location SC checker observes every load and store.
+// The per-location SC checker observes every load and store. It is
+// RunCtx without cancellation.
 func Run(p *ir.Protocol, cfg Config) (Stats, error) {
+	return RunCtx(context.Background(), p, cfg)
+}
+
+// RunCtx drives one protocol under ctx. Cancellation is observed every
+// cancelStride steps of the scheduler loop; a canceled run returns the
+// partial Stats accumulated so far with Stats.Canceled set and a nil
+// error (cancellation is an outcome, not a failure).
+func RunCtx(ctx context.Context, p *ir.Protocol, cfg Config) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Capacity == 0 {
 		cfg.Capacity = 8
+	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = 10_000
 	}
 	sys := engine.NewSystem(p, engine.Config{
 		Caches:   cfg.Caches,
@@ -69,6 +116,13 @@ func Run(p *ir.Protocol, cfg Config) (Stats, error) {
 	}
 
 	for step := 0; step < cfg.Steps; step++ {
+		if step%cancelStride == 0 && ctx.Err() != nil {
+			st.Canceled = true
+			return st, nil
+		}
+		if cfg.Progress != nil && step > 0 && step%cfg.ProgressEvery == 0 {
+			cfg.Progress(Progress{Steps: step, TotalSteps: cfg.Steps, Transactions: st.Transactions})
+		}
 		st.Steps++
 		// Count blocked deliveries: messages whose head-of-queue target
 		// stalls them this step.

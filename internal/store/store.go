@@ -23,16 +23,17 @@
 // insert rehashes at most 1/64th of the table.
 //
 // The opt-in collision-audit mode (NewAudited) additionally retains
-// each fingerprint's full canonical key in a side map and counts
-// lookups whose fingerprint matched a different key — measured
-// false-merge probability, for validating the fingerprint width on new
-// protocol families. Audit mode keeps the table's merge behavior
-// identical to plain fingerprint mode; it only observes.
+// each fingerprint's full canonical key in a side map and counts the
+// distinct states whose fingerprint matched a different stored key —
+// measured false merges, for validating the fingerprint width on new
+// protocol families. Counting is per merged state, not per lookup: a
+// falsely merged state probed once per incoming edge still counts one
+// false merge. Audit mode keeps the table's merge behavior identical to
+// plain fingerprint mode; it only observes.
 package store
 
 import (
 	"sync"
-	"sync/atomic"
 )
 
 const (
@@ -57,9 +58,13 @@ const zeroSub = 0x9e3779b97f4a7c15
 // externally ordered (the checker's level-synchronized BFS guarantees
 // this: workers only look up, the single-threaded merge inserts).
 type Table struct {
-	shards      [shardCount]shard
-	audit       bool
-	falseMerges atomic.Int64
+	shards [shardCount]shard
+	audit  bool
+	// merged records the distinct probe keys observed falsely merged
+	// (audit mode only). Guarded by auditMu, touched only on a detected
+	// collision — never on the clean lookup path.
+	auditMu sync.Mutex
+	merged  map[string]bool
 }
 
 type shard struct {
@@ -82,6 +87,9 @@ func NewAudited() *Table { return newTable(true) }
 
 func newTable(audit bool) *Table {
 	t := &Table{audit: audit}
+	if audit {
+		t.merged = make(map[string]bool)
+	}
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.fps = make([]uint64, minSlots)
@@ -111,12 +119,20 @@ func (t *Table) Lookup(fp uint64, key []byte) (int32, bool) {
 	s := t.shard(fp)
 	s.mu.RLock()
 	idx, ok := s.probe(fp)
+	collided := false
 	if ok && t.audit {
 		if prev, have := s.keys[fp]; have && prev != string(key) {
-			t.falseMerges.Add(1)
+			collided = true
 		}
 	}
 	s.mu.RUnlock()
+	if collided {
+		// Dedup by the probing state's key: a merged state is looked up
+		// once per incoming edge, but it is one false merge.
+		t.auditMu.Lock()
+		t.merged[string(key)] = true
+		t.auditMu.Unlock()
+	}
 	return idx, ok
 }
 
@@ -209,10 +225,16 @@ func (t *Table) Bytes() int64 {
 	return b
 }
 
-// FalseMerges reports how many lookups matched a fingerprint whose
-// retained key differed from the probe's — always 0 outside audit mode.
+// FalseMerges reports how many distinct states were observed merged
+// onto a fingerprint whose retained key differed from theirs — always 0
+// outside audit mode.
 func (t *Table) FalseMerges() int {
-	return int(t.falseMerges.Load())
+	if !t.audit {
+		return 0
+	}
+	t.auditMu.Lock()
+	defer t.auditMu.Unlock()
+	return len(t.merged)
 }
 
 // Audited reports whether the table retains full keys for collision

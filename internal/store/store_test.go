@@ -90,6 +90,18 @@ func TestCollisionAudit(t *testing.T) {
 	if tbl.FalseMerges() != 1 {
 		t.Fatalf("false merges = %d, want 1", tbl.FalseMerges())
 	}
+	// Re-probing the same merged state (once per incoming edge in the
+	// checker) must not inflate the count: one merged state, one merge.
+	tbl.Lookup(77, []byte("state-B"))
+	tbl.Lookup(77, []byte("state-B"))
+	if tbl.FalseMerges() != 1 {
+		t.Fatalf("repeated lookups inflated false merges to %d", tbl.FalseMerges())
+	}
+	// A second distinct colliding state is a second false merge.
+	tbl.Lookup(77, []byte("state-C"))
+	if tbl.FalseMerges() != 2 {
+		t.Fatalf("false merges = %d, want 2", tbl.FalseMerges())
+	}
 	// Plain mode never counts.
 	plain := New()
 	plain.Insert(77, "", 0)

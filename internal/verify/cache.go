@@ -45,6 +45,8 @@ func CacheKey(canonicalSpec, genOptions string, cfg Config) string {
 // keyString renders every result-affecting Config field. Any field
 // added to Config must be appended here unless it provably cannot
 // change results (then document its exclusion in CacheKey).
+// Config.Progress is excluded like Parallelism: a pure observer of the
+// exploration, never an input to it.
 func (cfg Config) keyString() string {
 	return fmt.Sprintf("caches=%d capacity=%d values=%d maxstates=%d swmr=%t datavalue=%t liveness=%t symmetry=%t maxviolations=%d fingerprint=%t",
 		cfg.Caches, cfg.Capacity, cfg.Values, cfg.MaxStates,
@@ -133,8 +135,19 @@ func (c *ResultCache) Get(key string) (*Result, bool) {
 // Put records key's Result in memory and appends it to the cache file.
 // The append handle is opened on first use and reused — campaign workers
 // serialize only on the write itself, not on per-entry open/close.
+// Canceled (partial) results are silently dropped: where a run was
+// interrupted is nondeterministic, so memoizing it would serve an
+// arbitrary prefix as if it were the configured exploration.
 func (c *ResultCache) Put(key string, r *Result) error {
+	if r.Canceled {
+		return nil
+	}
 	stored := cloneResult(r)
+	stored.Cached = false // Cached describes how a copy was served, not the result
+	// The cache key deliberately ignores CollisionAudit, so an audit
+	// run's entry will be served to non-audit runs; strip its audit
+	// measurement to honor FalseMerges' "0 unless you audited" contract.
+	stored.FalseMerges = 0
 	line, err := json.Marshal(cacheEntry{Key: key, Result: stored})
 	if err != nil {
 		return fmt.Errorf("result cache: %w", err)

@@ -33,6 +33,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -72,6 +73,28 @@ type Config struct {
 	// use it to validate fingerprint mode on a new protocol, not to run
 	// at scale.
 	CollisionAudit bool
+	// Progress, when non-nil, is called after each completed BFS depth
+	// level with a snapshot of the exploration. It runs on the merge
+	// goroutine (never concurrently with itself) and must return
+	// promptly; nil costs one pointer check per level. Progress never
+	// affects results and is excluded from result-cache keys.
+	Progress func(Progress)
+}
+
+// Progress is one level-boundary snapshot of a running exploration.
+type Progress struct {
+	States   int // states discovered so far
+	Edges    int // edges recorded so far
+	Depth    int // deepest level completed
+	Frontier int // states awaiting expansion at the next level
+}
+
+// Kind identifies the job a progress event belongs to.
+func (Progress) Kind() string { return "verify" }
+
+func (p Progress) String() string {
+	return fmt.Sprintf("verify: %d states, %d edges, depth %d, frontier %d",
+		p.States, p.Edges, p.Depth, p.Frontier)
 }
 
 // DefaultConfig mirrors the paper's setup: 3 caches, with symmetry
@@ -112,6 +135,14 @@ type Result struct {
 	Complete   bool
 	Quiescent  int
 	Violations []Violation
+	// Canceled marks a partial result: the context given to CheckCtx was
+	// canceled at a level boundary before exploration finished. Canceled
+	// implies !Complete; canceled results are never cached.
+	Canceled bool
+	// Cached marks a result served from a ResultCache rather than a
+	// fresh exploration. Never persisted: the cache strips it on Put and
+	// the serving layer sets it on the returned copy.
+	Cached bool `json:"Cached,omitempty"`
 	// VisitedBytes is the visited set's retained footprint: exact for
 	// the fingerprint table (allocated slot arrays), a documented
 	// estimate for the exact set (key bytes + per-entry map overhead).
@@ -127,7 +158,9 @@ func (r *Result) OK() bool { return len(r.Violations) == 0 }
 func (r *Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %d states, %d edges, depth %d", r.Protocol, r.States, r.Edges, r.Depth)
-	if !r.Complete {
+	if r.Canceled {
+		b.WriteString(" (canceled)")
+	} else if !r.Complete {
 		b.WriteString(" (capped)")
 	}
 	if r.OK() {
@@ -334,7 +367,21 @@ type checker struct {
 }
 
 // Check explores the protocol's state space and returns the result.
+// It is CheckCtx without cancellation.
 func Check(p *ir.Protocol, cfg Config) *Result {
+	return CheckCtx(context.Background(), p, cfg)
+}
+
+// CheckCtx explores the protocol's state space under ctx. Cancellation
+// is observed at BFS level boundaries — the natural synchronization
+// point of the level-parallel exploration — so a canceled check returns
+// within one level's worth of work, with the partial counts explored so
+// far and Result.Canceled set (verdicts on the explored prefix stand;
+// the liveness pass, which needs the complete graph, is skipped).
+func CheckCtx(ctx context.Context, p *ir.Protocol, cfg Config) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -378,7 +425,20 @@ func Check(p *ir.Protocol, cfg Config) *Result {
 
 	frontier := []frontierItem{{sys: init, idx: 0}}
 	for len(frontier) > 0 && len(c.res.Violations) < max(1, c.cfg.MaxViolations) && c.res.Complete {
+		if ctx.Err() != nil {
+			c.res.Canceled = true
+			c.res.Complete = false
+			break
+		}
 		frontier = c.merge(frontier, c.expand(frontier))
+		if cfg.Progress != nil {
+			cfg.Progress(Progress{
+				States:   len(c.recs),
+				Edges:    c.res.Edges,
+				Depth:    c.res.Depth,
+				Frontier: len(frontier),
+			})
+		}
 	}
 	// States comes from the visited store, not the record slice, so
 	// exact and fingerprint modes report through the same authority

@@ -15,9 +15,16 @@
 //	fmt.Println(protogen.RenderTable(p.Cache, protogen.TableOptions{ShowGuards: true}))
 //	res := protogen.Verify(p, protogen.QuickVerifyConfig())
 //	fmt.Println(res)
+//
+// For long-running work, the job-oriented Engine API (engine.go) runs
+// the same operations under a context.Context with typed progress
+// events and a shared result cache; the flat functions above delegate
+// to DefaultEngine. See docs/API.md.
 package protogen
 
 import (
+	"context"
+
 	"protogen/internal/compare"
 	"protogen/internal/core"
 	"protogen/internal/dsl"
@@ -187,7 +194,17 @@ func Deferred() Options { return core.DeferredOpts() }
 // Verify model-checks a generated protocol (the paper's Murphi role).
 // Exploration runs on VerifyConfig.Parallelism workers (0 = all cores);
 // States, Edges, Depth and witness traces are identical at every setting.
-func Verify(p *Protocol, cfg VerifyConfig) *VerifyResult { return verify.Check(p, cfg) }
+// It is a thin wrapper over DefaultEngine; use Engine.Verify for
+// context cancellation, progress events and result caching.
+func Verify(p *Protocol, cfg VerifyConfig) *VerifyResult {
+	res, err := DefaultEngine.Verify(context.Background(), VerifyJob{Protocol: p, Config: &cfg})
+	if err != nil {
+		// Unreachable with a Protocol subject and no engine cache; keep
+		// the legacy signature honest rather than swallow a future bug.
+		panic(err)
+	}
+	return res
+}
 
 // DefaultVerifyConfig is the paper's 3-cache setup with symmetry reduction.
 func DefaultVerifyConfig() VerifyConfig { return verify.DefaultConfig() }
@@ -210,8 +227,12 @@ func VerifyCacheKey(s *Spec, o Options, cfg VerifyConfig) string {
 	return verify.CacheKey(dsl.Format(s), o.KeyString(), cfg)
 }
 
-// Simulate runs a workload under randomized scheduling.
-func Simulate(p *Protocol, cfg SimConfig) (SimStats, error) { return sim.Run(p, cfg) }
+// Simulate runs a workload under randomized scheduling. It is a thin
+// wrapper over DefaultEngine; use Engine.Simulate for context
+// cancellation and progress events.
+func Simulate(p *Protocol, cfg SimConfig) (SimStats, error) {
+	return DefaultEngine.Simulate(context.Background(), SimulateJob{Protocol: p, Config: cfg})
+}
 
 // StandardWorkloads returns the contended / producer-consumer /
 // read-mostly / migratory suite.
@@ -248,9 +269,11 @@ func DefaultFuzzConfig() FuzzConfig { return fuzz.DefaultConfig() }
 
 // RunFuzzCampaign executes the differential campaign over [first, last):
 // every seed's spec is generated in all three modes, model-checked in
-// each, verdict-cross-checked, and SC-checked in the simulator.
+// each, verdict-cross-checked, and SC-checked in the simulator. It is a
+// thin wrapper over DefaultEngine; use Engine.Fuzz for context
+// cancellation and progress events.
 func RunFuzzCampaign(first, last uint64, cfg FuzzConfig) (*FuzzReport, error) {
-	return fuzz.Run(first, last, cfg)
+	return DefaultEngine.Fuzz(context.Background(), FuzzJob{First: first, Last: last, Config: &cfg})
 }
 
 // FuzzCheckSource runs the differential oracle on one spec source.
