@@ -6,6 +6,7 @@
 package protogen_test
 
 import (
+	"runtime"
 	"testing"
 
 	"protogen"
@@ -162,27 +163,76 @@ func BenchmarkExpB_VerifyNonStallingMSI(b *testing.B) {
 	}
 }
 
-// BenchmarkVerifyParallelism: the checker's worker-pool sweep — the same
-// non-stalling MSI exploration at 1, 2, 4 and all-cores workers. Every
+// verifyThroughput runs one exploration inside a benchmark iteration and
+// accumulates the checker-throughput metrics: explored states (for
+// states/sec) and heap allocations (for allocs/state), plus the Result
+// for benchmark-specific metrics (canonicalization counters).
+func verifyThroughput(b *testing.B, p *protogen.Protocol, cfg protogen.VerifyConfig, wantStates int) (states, allocs uint64, res *protogen.VerifyResult) {
+	b.Helper()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res = protogen.Verify(p, cfg)
+	runtime.ReadMemStats(&m1)
+	if !res.OK() || res.States != wantStates {
+		b.Fatal(res)
+	}
+	return uint64(res.States), m1.Mallocs - m0.Mallocs, res
+}
+
+// BenchmarkVerifyParallelism: the checker's worker-pool sweep — the
+// paper-setup 3-cache non-stalling MSI exploration (capped at 150k
+// states to bound CI time) at 1, 2, 4 and all-cores workers. Every
 // variant must report the identical state space; only wall time moves.
+// states/sec and allocs/state are the hot-path throughput gates diffed
+// by cmd/benchdiff against BENCH_baseline.json.
 func BenchmarkVerifyParallelism(b *testing.B) {
+	const stateCap = 150_000
 	p := mustGen(b, protogen.BuiltinMSI, protogen.NonStalling())
 	for _, par := range []struct {
 		name string
 		n    int
 	}{{"P1", 1}, {"P2", 2}, {"P4", 4}, {"Pauto", 0}} {
 		b.Run(par.name, func(b *testing.B) {
+			var states, allocs uint64
 			for i := 0; i < b.N; i++ {
-				cfg := protogen.QuickVerifyConfig()
+				cfg := protogen.DefaultVerifyConfig()
+				cfg.MaxStates = stateCap
 				cfg.Parallelism = par.n
-				res := protogen.Verify(p, cfg)
-				if !res.OK() {
-					b.Fatal(res)
-				}
-				b.ReportMetric(float64(res.States), "states")
+				s, a, _ := verifyThroughput(b, p, cfg, stateCap)
+				states, allocs = states+s, allocs+a
 			}
+			b.ReportMetric(float64(stateCap), "states")
+			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/sec")
+			b.ReportMetric(float64(allocs)/float64(states), "allocs/state")
 		})
 	}
+}
+
+// BenchmarkVerify4CacheMSI: the cache count the factorial-free symmetry
+// canonicalization unlocks — 4 caches means 24 permutations, so the old
+// brute-force canonicalization paid 24 encodes per state where the
+// signature sort pays one (plus tie-group suffix encodes and the
+// occasional impure-state fallback, both reported as metrics). Runs in
+// fingerprint mode, the configuration big explorations use.
+func BenchmarkVerify4CacheMSI(b *testing.B) {
+	const stateCap = 100_000
+	p := mustGen(b, protogen.BuiltinMSI, protogen.NonStalling())
+	var states, allocs, fallbacks, ties uint64
+	for i := 0; i < b.N; i++ {
+		cfg := protogen.DefaultVerifyConfig()
+		cfg.Caches = 4
+		cfg.MaxStates = stateCap
+		cfg.Parallelism = 1
+		cfg.Fingerprint = true
+		s, a, res := verifyThroughput(b, p, cfg, stateCap)
+		states, allocs = states+s, allocs+a
+		fallbacks += uint64(res.CanonFallbacks)
+		ties += uint64(res.CanonTieStates)
+	}
+	b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/sec")
+	b.ReportMetric(float64(allocs)/float64(states), "allocs/state")
+	b.ReportMetric(float64(fallbacks)/float64(b.N), "canon-fallbacks")
+	b.ReportMetric(float64(ties)/float64(b.N), "canon-tie-states")
 }
 
 // BenchmarkExpC_UnorderedMSI: §VI-C — generate and model-check the

@@ -1,17 +1,21 @@
 // Command benchdiff records and compares benchmark snapshots. It parses
 // raw `go test -bench` output — including custom b.ReportMetric columns
-// like the visited set's bytes/state — into the repo's BENCH JSON
-// schema, and diffs a per-PR snapshot against the committed baseline,
-// failing when a watched metric regresses past a tolerance. CI uses it
-// to keep the fingerprint visited set honest: a >10% bytes/state
-// regression against BENCH_baseline.json fails the build.
+// like the visited set's bytes/state or the checker's states/sec — into
+// the repo's BENCH JSON schema, and diffs a per-PR snapshot against the
+// committed baseline, failing when a watched metric regresses past a
+// tolerance. CI uses it to keep the checker hot path honest: bytes/state
+// and allocs/state may not grow more than their tolerance, and
+// states/sec (a higher-is-better metric, -direction higher) may not
+// drop, against BENCH_baseline.json.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchtime=1x ./... | tee bench_raw.txt
+//	go test -run '^$' -bench . -benchtime=1x -benchmem ./... | tee bench_raw.txt
 //	benchdiff -record bench_raw.txt -out BENCH_pr.json
 //	benchdiff -diff -baseline BENCH_baseline.json -pr BENCH_pr.json \
 //	          -metric bytes/state -max-regress 0.10
+//	benchdiff -diff -metric allocs/state -max-regress 0.15
+//	benchdiff -diff -metric states/sec -direction higher -max-regress 0.50
 package main
 
 import (
@@ -61,16 +65,20 @@ func run(args []string, stdout io.Writer) error {
 		baseline   = fs.String("baseline", "BENCH_baseline.json", "committed baseline snapshot")
 		pr         = fs.String("pr", "BENCH_pr.json", "freshly recorded snapshot")
 		metric     = fs.String("metric", "bytes/state", "metric to compare (a ReportMetric unit, or ns_per_op)")
-		maxRegress = fs.Float64("max-regress", 0.10, "fail when the metric exceeds baseline by more than this fraction")
+		maxRegress = fs.Float64("max-regress", 0.10, "fail when the metric regresses by more than this fraction of baseline")
+		direction  = fs.String("direction", "lower", "which way is better for the metric: lower (bytes/state, allocs/state, ns_per_op) or higher (states/sec)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *direction != "lower" && *direction != "higher" {
+		return fmt.Errorf("-direction must be lower or higher, got %q", *direction)
 	}
 	switch {
 	case *record != "":
 		return recordSnapshot(stdout, *record, *out, *note)
 	case *diff:
-		return diffSnapshots(stdout, *baseline, *pr, *metric, *maxRegress)
+		return diffSnapshots(stdout, *baseline, *pr, *metric, *maxRegress, *direction == "higher")
 	}
 	fs.Usage()
 	return errors.New("nothing to do: pass -record or -diff")
@@ -167,8 +175,10 @@ func metricOf(b Benchmark, metric string) (float64, bool) {
 // BOTH snapshots. Benchmarks present on only one side are listed (NEW /
 // MISSING) but never fail the diff (renames and new benchmarks need a
 // baseline refresh, not a red build) — the MISSING lines are what keeps
-// a silent rename from invisibly disabling the gate.
-func diffSnapshots(stdout io.Writer, basePath, prPath, metric string, maxRegress float64) error {
+// a silent rename from invisibly disabling the gate. For lower-is-better
+// metrics a regression is growth past the tolerance; with higherIsBetter
+// (states/sec) it is a drop below baseline by more than the tolerance.
+func diffSnapshots(stdout io.Writer, basePath, prPath, metric string, maxRegress float64, higherIsBetter bool) error {
 	base, err := loadSnapshot(basePath)
 	if err != nil {
 		return err
@@ -203,8 +213,12 @@ func diffSnapshots(stdout io.Writer, basePath, prPath, metric string, maxRegress
 		}
 		compared++
 		delta := (pv - bv) / bv
+		worse := delta
+		if higherIsBetter {
+			worse = -delta
+		}
 		status := "ok"
-		if delta > maxRegress {
+		if worse > maxRegress {
 			status = "REGRESSED"
 			regressed++
 		}

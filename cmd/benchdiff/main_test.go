@@ -103,6 +103,49 @@ func TestDiffFailsOnRegression(t *testing.T) {
 	}
 }
 
+// TestDiffHigherIsBetter: with -direction higher (states/sec), a drop
+// past the tolerance fails, growth never does, and an invalid direction
+// is rejected.
+func TestDiffHigherIsBetter(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	prPath := filepath.Join(dir, "pr.json")
+	writeSnapshot(t, basePath, []Benchmark{
+		{Name: "BenchmarkVerifyParallelism/P1", Metrics: map[string]float64{"states/sec": 30000}},
+	})
+	writeSnapshot(t, prPath, []Benchmark{
+		{Name: "BenchmarkVerifyParallelism/P1", Metrics: map[string]float64{"states/sec": 10000}},
+	})
+	var out strings.Builder
+	err := run([]string{"-diff", "-baseline", basePath, "-pr", prPath,
+		"-metric", "states/sec", "-direction", "higher", "-max-regress", "0.50"}, &out)
+	if err == nil {
+		t.Fatalf("a 66%% throughput drop must fail the diff:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("throughput drop not flagged:\n%s", out.String())
+	}
+	// The same numbers pass under the default lower-is-better reading —
+	// which is exactly why states/sec needs -direction higher.
+	out.Reset()
+	if err := run([]string{"-diff", "-baseline", basePath, "-pr", prPath,
+		"-metric", "states/sec", "-max-regress", "0.50"}, &out); err != nil {
+		t.Fatalf("direction default changed unexpectedly: %v", err)
+	}
+	// Growth never fails with -direction higher.
+	writeSnapshot(t, prPath, []Benchmark{
+		{Name: "BenchmarkVerifyParallelism/P1", Metrics: map[string]float64{"states/sec": 90000}},
+	})
+	out.Reset()
+	if err := run([]string{"-diff", "-baseline", basePath, "-pr", prPath,
+		"-metric", "states/sec", "-direction", "higher", "-max-regress", "0.50"}, &out); err != nil {
+		t.Fatalf("throughput improvement failed the diff: %v\n%s", err, out.String())
+	}
+	if err := run([]string{"-diff", "-direction", "sideways"}, &out); err == nil {
+		t.Error("invalid -direction must be rejected")
+	}
+}
+
 func TestDiffErrorsWithoutComparableMetric(t *testing.T) {
 	dir := t.TempDir()
 	basePath := filepath.Join(dir, "base.json")

@@ -22,6 +22,11 @@
 //
 // SIGINT/SIGTERM shut down gracefully: running jobs are canceled at
 // their next cancellation boundary and recorded as canceled.
+//
+// -debug-addr (opt-in, keep it loopback) serves net/http/pprof on a
+// separate listener, so a live service can be CPU- and heap-profiled
+// without redeploying: protoserve -addr :8080 -debug-addr 127.0.0.1:6060
+// then `go tool pprof http://127.0.0.1:6060/debug/pprof/profile`.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -64,6 +70,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		parallel = fs.Int("parallel", 0, "per-job exploration workers (0 = all cores)")
 		cacheDir = fs.String("cache-dir", "", "shared verify result cache directory (\"\" disables; see docs/CACHING.md)")
 		corpus   = fs.String("corpus", "", "corpus sink: minimized reproducers from failing fuzz jobs land here")
+		debug    = fs.String("debug-addr", "", "serve net/http/pprof on this address (opt-in; bind loopback, the endpoints are unauthenticated)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +91,24 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+
+	var debugSrv *http.Server
+	if *debug != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			return fmt.Errorf("debug-addr: %w", err)
+		}
+		debugSrv = &http.Server{Handler: dmux}
+		go func() { _ = debugSrv.Serve(dln) }()
+		fmt.Fprintf(stdout, "protoserve debug/pprof on http://%s/debug/pprof/\n", dln.Addr())
+		defer debugSrv.Close()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

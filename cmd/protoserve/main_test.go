@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -97,6 +98,93 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "protoserve listening on") {
 		t.Fatalf("missing banner in output: %q", out.String())
+	}
+}
+
+// syncBuffer guards a bytes.Buffer for tests that read server output
+// while the serving goroutine is still writing it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestDebugMux: -debug-addr serves net/http/pprof on its own listener,
+// and the pprof endpoints never leak onto the main API mux.
+func TestDebugMux(t *testing.T) {
+	addrc := make(chan net.Addr, 1)
+	listenHook = func(a net.Addr) { addrc <- a }
+	defer func() { listenHook = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-debug-addr", "127.0.0.1:0"}, &out)
+	}()
+
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a.String()
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never started listening")
+	}
+	// The banner carries the resolved debug address.
+	var debugBase string
+	deadline := time.Now().Add(5 * time.Second)
+	for debugBase == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("debug banner never appeared: %q", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "protoserve debug/pprof on "); ok {
+				debugBase = strings.TrimSuffix(rest, "/debug/pprof/")
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(debugBase + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug heap profile: %d", resp.StatusCode)
+	}
+	// The main mux must NOT serve pprof.
+	resp, err = http.Get(base + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof leaked onto the main API listener")
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
 	}
 }
 

@@ -16,6 +16,10 @@
 // -cache-dir memoizes results keyed by canonical spec + generation
 // options + checker config; see docs/CACHING.md.
 //
+// -cpuprofile and -memprofile write pprof profiles of the exploration
+// (see docs/PERFORMANCE.md for how to read them), so checker perf work
+// starts from data: protoverify -protocol MSI -caches 4 -cpuprofile cpu.out
+//
 // Ctrl-C (or -timeout expiry) stops the exploration at the next BFS
 // level boundary and prints the partial counts explored so far instead
 // of dying silently; -progress streams per-level progress lines.
@@ -29,6 +33,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"protogen"
@@ -66,12 +72,38 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		cacheDir = fs.String("cache-dir", "", "memoize verify results as JSONL under this directory, keyed by canonical spec + generation options + checker config (see docs/CACHING.md for the format and when to wipe it)")
 		progress = fs.Bool("progress", false, "print a progress line after each BFS level")
 		timeout  = fs.Duration("timeout", 0, "stop exploring after this long and report partial counts (0 = no limit)")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the exploration to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile (taken after the exploration) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *audit && !*fpMode {
 		return fmt.Errorf("-audit-collisions requires -fingerprint (exact mode never merges on fingerprints)")
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stdout, "warning: memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc

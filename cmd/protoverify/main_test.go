@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"io"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -29,6 +30,28 @@ func TestRunVerifyCanceledPartial(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "(canceled)") || !strings.Contains(s, "interrupted at depth") {
 		t.Errorf("partial-result report missing:\n%s", s)
+	}
+}
+
+// TestRunVerifyProfiles: -cpuprofile/-memprofile write non-empty pprof
+// files alongside a normal PASS run.
+func TestRunVerifyProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.out", dir+"/mem.out"
+	var out strings.Builder
+	err := runBG([]string{"-protocol", "MSI", "-mode", "stalling", "-caches", "2",
+		"-parallel", "1", "-cpuprofile", cpu, "-memprofile", mem}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
 	}
 }
 

@@ -9,9 +9,12 @@ import (
 
 // Ctrl is the mutable state of one controller instance.
 type Ctrl struct {
-	ID     int
-	L      *Layout
-	State  ir.StateName
+	ID    int
+	L     *Layout
+	State ir.StateName
+	// StIdx caches L.StateIdx[State]; maintained by every State write so
+	// the encoder and matcher index arrays instead of hashing the name.
+	StIdx  int
 	Ints   []int    // VInt/VID/VData slots
 	Masks  []uint32 // VIDSet slots
 	Pend   ir.AccessType
@@ -20,7 +23,7 @@ type Ctrl struct {
 
 // NewCtrl instantiates a controller in its initial state.
 func NewCtrl(id int, l *Layout) *Ctrl {
-	c := &Ctrl{ID: id, L: l, State: l.M.Init}
+	c := &Ctrl{ID: id, L: l, State: l.M.Init, StIdx: l.StateIdx[l.M.Init]}
 	c.Ints = append([]int(nil), l.IntInit...)
 	c.Masks = make([]uint32, len(l.SetVars))
 	return c
@@ -33,6 +36,20 @@ func (c *Ctrl) Clone() *Ctrl {
 	n.Masks = append([]uint32(nil), c.Masks...)
 	n.DeferQ = append([]Msg(nil), c.DeferQ...)
 	return &n
+}
+
+// CloneInto deep-copies c's state into dst, reusing dst's backing arrays
+// where capacity allows. dst must be a controller of the same layout
+// (typically a recycled Clone of the same machine).
+func (c *Ctrl) CloneInto(dst *Ctrl) {
+	dst.ID = c.ID
+	dst.L = c.L
+	dst.State = c.State
+	dst.StIdx = c.StIdx
+	dst.Pend = c.Pend
+	dst.Ints = append(dst.Ints[:0], c.Ints...)
+	dst.Masks = append(dst.Masks[:0], c.Masks...)
+	dst.DeferQ = append(dst.DeferQ[:0], c.DeferQ...)
 }
 
 // Data returns the controller's data block value (0 if it has no data var).
@@ -162,8 +179,19 @@ func b2i(b bool) int {
 // match selects the unique transition for (state, ev) whose guard holds.
 // found=false means the event has no enabled transition at all.
 func (c *Ctrl) match(ev ir.Event, m *Msg) (*ir.Transition, bool, error) {
+	return c.matchEv(c.L.EvIndex(ev.String()), m)
+}
+
+// matchEv is match with the event pre-resolved to its dense index
+// (Layout.EvIndex) — the hot-path form: an array walk instead of a
+// (state, event) hash probe. evi < 0 means the machine never fires on
+// the event, so no transition matches.
+func (c *Ctrl) matchEv(evi int, m *Msg) (*ir.Transition, bool, error) {
+	if evi < 0 || c.StIdx < 0 {
+		return nil, false, nil
+	}
 	var hit *ir.Transition
-	ts := c.L.Transitions(c.State, ev)
+	ts := c.L.transAt[c.StIdx][evi]
 	for _, t := range ts {
 		if t.Guard != nil {
 			v, err := c.eval(t.Guard, m)
@@ -175,7 +203,7 @@ func (c *Ctrl) match(ev ir.Event, m *Msg) (*ir.Transition, bool, error) {
 			}
 		}
 		if hit != nil {
-			return nil, false, fmt.Errorf("%s in %s: ambiguous guards for %s", c.L.M.Name, c.State, ev)
+			return nil, false, fmt.Errorf("%s in %s: ambiguous guards for %s", c.L.M.Name, c.State, t.Ev)
 		}
 		hit = t
 	}

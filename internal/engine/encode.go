@@ -48,7 +48,46 @@ type Encoder struct {
 	best    []byte   // minimal encoding seen so far (Canonical)
 	bag     []uint64 // unordered-network sort scratch
 	inv     []int    // inverse permutation scratch
+	secs    [][]byte // per-cache section scratch (signature sort)
+	order   []int    // cache indices in sorted-section order
+	perm    []int    // candidate permutation scratch (perm[old] = new)
+	rest    []byte   // dir+net suffix under the candidate permutation
+	restMin []byte   // minimal suffix over tie-group candidates
+	stats   CanonStats
 }
+
+// CanonStats counts which canonicalization strategy each Canonical call
+// took. Fast + TieStates + Fallbacks equals the number of symmetry-reduced
+// Canonical calls; TieEncodes is the extra work ties cost.
+type CanonStats struct {
+	// Fast counts states canonicalized with a single full encoding:
+	// every cache section pure and all section signatures distinct.
+	Fast uint64
+	// TieStates counts states with at least one group of caches whose
+	// sections were byte-identical; the canonical suffix was found by
+	// enumerating orderings within those groups only.
+	TieStates uint64
+	// TieEncodes counts candidate orderings tried across all tie states
+	// (each costs one directory+network suffix encoding, not a full
+	// state encoding).
+	TieEncodes uint64
+	// Fallbacks counts states where some cache section embeds a
+	// remappable cache id (a VID variable, sharer-mask bit or deferred
+	// message naming another cache), forcing the full n!-permutation
+	// search for exactness.
+	Fallbacks uint64
+}
+
+// Add accumulates o into s (for summing per-worker encoder stats).
+func (s *CanonStats) Add(o CanonStats) {
+	s.Fast += o.Fast
+	s.TieStates += o.TieStates
+	s.TieEncodes += o.TieEncodes
+	s.Fallbacks += o.Fallbacks
+}
+
+// Stats returns the canonicalization counters accumulated so far.
+func (e *Encoder) Stats() CanonStats { return e.stats }
 
 // NewEncoder builds an encoder for systems instantiated from p.
 func NewEncoder(p *ir.Protocol) *Encoder {
@@ -72,7 +111,175 @@ func (e *Encoder) Key(s *System) []byte {
 // key (caches are interchangeable; the directory is not permuted). Passing
 // nil or only the identity gives the plain key. The returned slice aliases
 // encoder scratch and is valid until the next Key/Canonical call.
+//
+// The result is bit-identical to CanonicalBrute's minimum over all perms,
+// but the common case costs one encoding instead of n!. The argument:
+// a cache section is "pure" when it embeds no remappable cache id (no VID
+// variable holding a cache, no low sharer-mask bit, no deferred message
+// naming a cache), so its bytes are the same under every permutation; and
+// sections are prefix-free (same self-delimiting field sequence, so two
+// distinct sections differ at a byte both possess). The minimal full
+// encoding therefore places pure sections in sorted byte order — any
+// unsorted adjacent pair could be swapped for a strictly smaller encoding,
+// with the first difference landing inside the swapped section, before the
+// directory/network suffix can matter. Freedom remains only inside groups
+// of byte-identical sections, where the directory+network suffix decides:
+// those orderings (the product of tie-group factorials, usually 1) are
+// enumerated. Any impure section voids the argument, so such states take
+// the full brute-force search (CanonStats.Fallbacks counts them).
+//
+// The sorting argument minimizes over the FULL symmetric group, so the
+// fast path engages only when perms has all n! permutations (what
+// Permutations(n) produces — the checker's only configuration); a
+// proper subset would define a coarser equivalence that sorting must
+// not widen, so it takes CanonicalBrute over exactly the given perms.
 func (e *Encoder) Canonical(s *System, perms [][]int) []byte {
+	n := len(s.Caches)
+	if len(perms) <= 1 || n <= 1 {
+		return e.Key(s)
+	}
+	if len(perms) != factorial(n) {
+		return e.CanonicalBrute(s, perms)
+	}
+	for _, c := range s.Caches {
+		if !sectionPure(c, n) {
+			e.stats.Fallbacks++
+			return e.CanonicalBrute(s, perms)
+		}
+	}
+	// Encode each cache's section once: pure sections encode identically
+	// under every permutation, so the identity rendering is THE section.
+	if cap(e.secs) < n {
+		e.secs = make([][]byte, n)
+	}
+	e.secs = e.secs[:n]
+	for i, c := range s.Caches {
+		e.secs[i] = e.encodeCtrl(e.secs[i][:0], c, nil)
+	}
+	e.order = e.order[:0]
+	for i := 0; i < n; i++ {
+		e.order = append(e.order, i)
+	}
+	slices.SortStableFunc(e.order, func(a, b int) int {
+		return bytes.Compare(e.secs[a], e.secs[b])
+	})
+	// The canonical cache prefix is fixed now; build it in e.buf.
+	b := e.buf[:0]
+	for _, old := range e.order {
+		b = append(b, e.secs[old]...)
+	}
+	e.buf = b
+	if cap(e.perm) < n {
+		e.perm = make([]int, n)
+	}
+	e.perm = e.perm[:n]
+	for pos, old := range e.order {
+		e.perm[old] = pos
+	}
+	ties := false
+	for j := 1; j < n; j++ {
+		if bytes.Equal(e.secs[e.order[j]], e.secs[e.order[j-1]]) {
+			ties = true
+			break
+		}
+	}
+	if !ties {
+		e.stats.Fast++
+		e.setInv(e.perm)
+		e.buf = e.encodeRest(e.buf, s, e.perm)
+		return e.buf
+	}
+	// Tie groups: identical sections make the prefix insensitive to their
+	// internal order, so enumerate orderings within each group and keep
+	// the minimal directory+network suffix.
+	e.stats.TieStates++
+	prefix := len(e.buf)
+	e.restMin = e.restMin[:0]
+	e.tieGroups(s, 0)
+	e.buf = append(e.buf[:prefix], e.restMin...)
+	return e.buf
+}
+
+// tieGroups recurses over runs of byte-identical sections starting at
+// sorted position from, permuting e.order within each run; at each leaf
+// the full candidate permutation's suffix is encoded and the minimum kept.
+func (e *Encoder) tieGroups(s *System, from int) {
+	n := len(e.order)
+	if from >= n {
+		e.stats.TieEncodes++
+		for pos, old := range e.order {
+			e.perm[old] = pos
+		}
+		e.setInv(e.perm)
+		e.rest = e.encodeRest(e.rest[:0], s, e.perm)
+		if len(e.restMin) == 0 || bytes.Compare(e.rest, e.restMin) < 0 {
+			e.rest, e.restMin = e.restMin, e.rest
+		}
+		return
+	}
+	end := from + 1
+	for end < n && bytes.Equal(e.secs[e.order[end]], e.secs[e.order[from]]) {
+		end++
+	}
+	if end-from == 1 {
+		e.tieGroups(s, end)
+		return
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == end {
+			e.tieGroups(s, end)
+			return
+		}
+		for i := k; i < end; i++ {
+			e.order[k], e.order[i] = e.order[i], e.order[k]
+			rec(k + 1)
+			e.order[k], e.order[i] = e.order[i], e.order[k]
+		}
+	}
+	rec(from)
+}
+
+// factorial(n) for the cache counts a model checker can face; saturates
+// far above any realistic permutation-list length.
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n && f < 1<<40; i++ {
+		f *= i
+	}
+	return f
+}
+
+// sectionPure reports whether cache c's encoded section is independent of
+// the cache-identity permutation: no VID variable holding a cache id, no
+// sharer-mask bit below n, and no deferred message whose src/dst/req names
+// a cache (the directory id and NoID pass every permutation unchanged).
+func sectionPure(c *Ctrl, n int) bool {
+	for i, v := range c.Ints {
+		if c.L.IntIsVID[i] && v >= 0 && v < n {
+			return false
+		}
+	}
+	low := uint32(1)<<uint(n) - 1
+	for _, m := range c.Masks {
+		if m&low != 0 {
+			return false
+		}
+	}
+	for _, d := range c.DeferQ {
+		if (d.Src >= 0 && d.Src < n) || (d.Dst >= 0 && d.Dst < n) || (d.Req >= 0 && d.Req < n) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalBrute is the reference canonicalization: encode the state under
+// every permutation and keep the lexicographic minimum. O(n!) per state —
+// Canonical's impure-state fallback and the differential-test oracle that
+// pins Canonical's output bit-for-bit. The returned slice aliases encoder
+// scratch and is valid until the next Key/Canonical call.
+func (e *Encoder) CanonicalBrute(s *System, perms [][]int) []byte {
 	if len(perms) <= 1 {
 		return e.Key(s)
 	}
@@ -97,31 +304,42 @@ func (e *Encoder) encodeSys(s *System, perm []int) {
 			b = e.encodeCtrl(b, c, nil)
 		}
 	} else {
+		e.setInv(perm)
 		// Position j holds the cache whose renumbered id is j.
-		e.inv = e.inv[:0]
-		for range perm {
-			e.inv = append(e.inv, 0)
-		}
-		for old, new := range perm {
-			e.inv[new] = old
-		}
 		for j := 0; j < len(perm); j++ {
 			b = e.encodeCtrl(b, s.Caches[e.inv[j]], perm)
 		}
 	}
+	e.buf = e.encodeRest(b, s, perm)
+}
+
+// encodeRest appends everything after the cache sections: the directory,
+// the last-write value and the interconnect. e.inv must already invert
+// perm (setInv) when perm is non-nil.
+func (e *Encoder) encodeRest(b []byte, s *System, perm []int) []byte {
 	b = e.encodeCtrl(b, s.Dir, perm)
 	b = putInt(b, s.LastWrite)
-	b = e.encodeNet(b, s.Net, perm)
-	e.buf = b
+	return e.encodeNet(b, s.Net, perm)
+}
+
+// setInv fills e.inv with perm's inverse (inv[new] = old).
+func (e *Encoder) setInv(perm []int) {
+	e.inv = e.inv[:0]
+	for range perm {
+		e.inv = append(e.inv, 0)
+	}
+	for old, new := range perm {
+		e.inv[new] = old
+	}
 }
 
 // encodeCtrl appends one controller: state index, int slots (VID slots
 // remapped), set masks, pending access, then the length-prefixed defer
 // queue.
 func (e *Encoder) encodeCtrl(b []byte, c *Ctrl, perm []int) []byte {
-	b = putInt(b, c.L.StateIdx[c.State])
+	b = putInt(b, c.StIdx)
 	for i, v := range c.Ints {
-		if perm != nil && c.L.VarType[c.L.IntVars[i]] == ir.VID {
+		if perm != nil && c.L.IntIsVID[i] {
 			v = permID(perm, v)
 		}
 		b = putInt(b, v)
@@ -152,12 +370,15 @@ func (e *Encoder) encodeNet(b []byte, n *Network, perm []int) []byte {
 		}
 		return b
 	}
+	nodes := n.Nodes
 	for class := 0; class < NumClasses; class++ {
-		for src := 0; src < n.Nodes; src++ {
-			for dst := 0; dst < n.Nodes; dst++ {
-				// The queue that renumbers to (src, dst) sits at the
-				// pre-image coordinates.
-				q := n.queues[n.qidx(class, e.preImage(src, perm), e.preImage(dst, perm))]
+		base := class * nodes * nodes
+		for src := 0; src < nodes; src++ {
+			// The queue that renumbers to (src, dst) sits at the
+			// pre-image coordinates.
+			srcBase := base + e.preImage(src, perm)*nodes
+			for dst := 0; dst < nodes; dst++ {
+				q := n.queues[srcBase+e.preImage(dst, perm)]
 				b = putInt(b, len(q))
 				for _, m := range q {
 					b = e.appendMsg(b, m, perm)
@@ -221,7 +442,7 @@ func (e *Encoder) appendMsg(b []byte, m Msg, perm []int) []byte {
 		return putU64(b, w)
 	}
 	b = append(b, msgEscaped)
-	b = putInt(b, e.typeIndex(m.Type))
+	b = putInt(b, e.typeIndex(m))
 	b = putInt(b, permID(perm, m.Src))
 	b = putInt(b, permID(perm, m.Dst))
 	req := m.Req
@@ -245,7 +466,7 @@ func (e *Encoder) tryMsgWord(m Msg, perm []int) (uint64, bool) {
 	if req != NoID {
 		req = permID(perm, req)
 	}
-	fields := [6]int{e.typeIndex(m.Type), permID(perm, m.Src), permID(perm, m.Dst), req, m.Acks, m.Data}
+	fields := [6]int{e.typeIndex(m), permID(perm, m.Src), permID(perm, m.Dst), req, m.Acks, m.Data}
 	var w uint64
 	for _, v := range fields {
 		if v < -1 || v > 254 {
@@ -260,10 +481,13 @@ func (e *Encoder) tryMsgWord(m Msg, perm []int) (uint64, bool) {
 	return w, true
 }
 
-func (e *Encoder) typeIndex(t string) int {
-	ti, ok := e.typeIdx[t]
+func (e *Encoder) typeIndex(m Msg) int {
+	if m.tIdx > 0 {
+		return m.tIdx - 1
+	}
+	ti, ok := e.typeIdx[m.Type]
 	if !ok {
-		panic(fmt.Sprintf("engine: encoding undeclared message type %q", t))
+		panic(fmt.Sprintf("engine: encoding undeclared message type %q", m.Type))
 	}
 	return ti
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 )
 
 // Msg is one in-flight coherence message.
@@ -14,20 +15,41 @@ type Msg struct {
 	Data    int // carried data value
 	HasData bool
 	Class   int // virtual channel class
+	// tIdx caches the protocol's message-type index plus one (0 means
+	// unstamped). System.execSend stamps every message it sends, letting
+	// the encoder skip its type-name map probe; hand-built messages
+	// (tests) fall back to the probe.
+	tIdx int
 }
 
+// String renders the message for rule names and traces. Built with
+// strconv appends rather than fmt: the checker materializes one rule
+// string per discovered state, so this sits on the exploration hot path.
 func (m Msg) String() string {
-	s := fmt.Sprintf("%s %d->%d", m.Type, m.Src, m.Dst)
+	return string(m.appendString(make([]byte, 0, 48)))
+}
+
+// appendString appends the String rendering to b (shared with
+// Rule.String so a deliver rule costs one allocation).
+func (m Msg) appendString(b []byte) []byte {
+	b = append(b, m.Type...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(m.Src), 10)
+	b = append(b, '-', '>')
+	b = strconv.AppendInt(b, int64(m.Dst), 10)
 	if m.Req != NoID {
-		s += fmt.Sprintf(" req=%d", m.Req)
+		b = append(b, " req="...)
+		b = strconv.AppendInt(b, int64(m.Req), 10)
 	}
 	if m.Acks != 0 {
-		s += fmt.Sprintf(" acks=%d", m.Acks)
+		b = append(b, " acks="...)
+		b = strconv.AppendInt(b, int64(m.Acks), 10)
 	}
 	if m.HasData {
-		s += fmt.Sprintf(" data=%d", m.Data)
+		b = append(b, " data="...)
+		b = strconv.AppendInt(b, int64(m.Data), 10)
 	}
-	return s
+	return b
 }
 
 // NumClasses is the number of virtual channels (request, forward, response).
@@ -87,26 +109,35 @@ type Deliverable struct {
 
 // Deliverables lists the candidate deliveries in deterministic order.
 func (n *Network) Deliverables() []Deliverable {
-	var out []Deliverable
+	return n.AppendDeliverables(nil)
+}
+
+// AppendDeliverables appends the candidate deliveries to buf in the same
+// deterministic order as Deliverables, reusing buf's backing array — the
+// allocation-free form for hot loops (checker workers, simulator steps).
+func (n *Network) AppendDeliverables(buf []Deliverable) []Deliverable {
 	for qi, q := range n.queues {
 		if len(q) == 0 {
 			continue
 		}
 		if n.Ordered {
-			out = append(out, Deliverable{Queue: qi, Pos: 0, Msg: q[0]})
+			buf = append(buf, Deliverable{Queue: qi, Pos: 0, Msg: q[0]})
 			continue
 		}
 		for pos, m := range q {
-			out = append(out, Deliverable{Queue: qi, Pos: pos, Msg: m})
+			buf = append(buf, Deliverable{Queue: qi, Pos: pos, Msg: m})
 		}
 	}
-	return out
+	return buf
 }
 
-// Remove takes a previously enumerated deliverable out of the network.
+// Remove takes a previously enumerated deliverable out of the network,
+// shifting the tail in place (queue arrays are uniquely owned by their
+// System, so no other state can observe the mutation).
 func (n *Network) Remove(d Deliverable) {
 	q := n.queues[d.Queue]
-	n.queues[d.Queue] = append(q[:d.Pos:d.Pos], q[d.Pos+1:]...)
+	copy(q[d.Pos:], q[d.Pos+1:])
+	n.queues[d.Queue] = q[:len(q)-1]
 }
 
 // InFlight counts all queued messages.
@@ -118,14 +149,38 @@ func (n *Network) InFlight() int {
 	return total
 }
 
-// Clone deep-copies the network.
+// Clone deep-copies the network. All queued messages share one backing
+// array (three allocations total, whatever the queue count); queues that
+// later outgrow their segment reallocate individually on append.
 func (n *Network) Clone() *Network {
 	c := *n
 	c.queues = make([][]Msg, len(n.queues))
-	for i, q := range n.queues {
-		if len(q) > 0 {
-			c.queues[i] = append([]Msg(nil), q...)
+	total := 0
+	for _, q := range n.queues {
+		total += len(q)
+	}
+	if total > 0 {
+		backing := make([]Msg, 0, total)
+		for i, q := range n.queues {
+			if len(q) == 0 {
+				continue
+			}
+			off := len(backing)
+			backing = append(backing, q...)
+			c.queues[i] = backing[off:len(backing):len(backing)]
 		}
 	}
 	return &c
+}
+
+// CloneInto deep-copies n's queues into dst, reusing dst's per-queue
+// backing arrays. dst must come from the same topology (same ordered
+// flag, node count and queue layout — typically a recycled Clone).
+func (n *Network) CloneInto(dst *Network) {
+	dst.Ordered = n.Ordered
+	dst.Nodes = n.Nodes
+	dst.Capacity = n.Capacity
+	for i, q := range n.queues {
+		dst.queues[i] = append(dst.queues[i][:0], q...)
+	}
 }

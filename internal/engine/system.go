@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 
 	"protogen/internal/ir"
 )
@@ -30,6 +31,14 @@ type Perform struct {
 	Exempt bool
 }
 
+// msgMeta is the per-message-type execution metadata resolved once at
+// system construction: virtual-channel class and the stamped type index
+// (plus one; see Msg.tIdx).
+type msgMeta struct {
+	class int
+	tIdx  int
+}
+
 // RuleKind distinguishes the two system rule families.
 type RuleKind int
 
@@ -47,11 +56,20 @@ type Rule struct {
 	Del    Deliverable
 }
 
+// String names the rule for records and traces; one is materialized per
+// discovered state, so it avoids fmt (see Msg.String).
 func (r Rule) String() string {
 	if r.Kind == RuleAccess {
-		return fmt.Sprintf("cache%d: %s", r.Cache, r.Access)
+		b := make([]byte, 0, 24)
+		b = append(b, "cache"...)
+		b = strconv.AppendInt(b, int64(r.Cache), 10)
+		b = append(b, ':', ' ')
+		b = append(b, r.Access.String()...)
+		return string(b)
 	}
-	return fmt.Sprintf("deliver %s", r.Del.Msg)
+	b := make([]byte, 0, 56)
+	b = append(b, "deliver "...)
+	return string(r.Del.Msg.appendString(b))
 }
 
 // System is a full executable instance of a generated protocol.
@@ -64,22 +82,27 @@ type System struct {
 	Dir       *Ctrl
 	Net       *Network
 	LastWrite int
-	msgClass  map[string]int
+	msgMeta   map[string]msgMeta
 	accesses  []ir.AccessType
+	accEvIdx  []int // dense cache-machine event index per accesses entry
+	// dstBuf is resolveDst's scratch, consumed within one execSend.
+	// Never shared: Clone drops it (a shallow struct copy would alias
+	// the array across systems) and CloneInto keeps the target's own.
+	dstBuf []int
 }
 
 // NewSystem builds the initial system state.
 func NewSystem(p *ir.Protocol, cfg Config) *System {
 	s := &System{
-		P:        p,
-		CacheL:   NewLayout(p.Cache),
-		DirL:     NewLayout(p.Dir),
-		Cfg:      cfg,
-		Net:      NewNetwork(p.Ordered, cfg.Caches+1, cfg.Capacity),
-		msgClass: map[string]int{},
+		P:       p,
+		CacheL:  NewLayout(p.Cache),
+		DirL:    NewLayout(p.Dir),
+		Cfg:     cfg,
+		Net:     NewNetwork(p.Ordered, cfg.Caches+1, cfg.Capacity),
+		msgMeta: map[string]msgMeta{},
 	}
-	for _, d := range p.Msgs {
-		s.msgClass[string(d.Type)] = int(d.Class)
+	for i, d := range p.Msgs {
+		s.msgMeta[string(d.Type)] = msgMeta{class: int(d.Class), tIdx: i + 1}
 	}
 	for i := 0; i < cfg.Caches; i++ {
 		s.Caches = append(s.Caches, NewCtrl(i, s.CacheL))
@@ -90,6 +113,7 @@ func NewSystem(p *ir.Protocol, cfg Config) *System {
 		if t.Ev.Kind == ir.EvAccess && !seen[t.Ev.Access] {
 			seen[t.Ev.Access] = true
 			s.accesses = append(s.accesses, t.Ev.Access)
+			s.accEvIdx = append(s.accEvIdx, s.CacheL.EvIndex(ir.AccessEvent(t.Ev.Access).String()))
 		}
 	}
 	return s
@@ -99,15 +123,69 @@ func NewSystem(p *ir.Protocol, cfg Config) *System {
 func (s *System) DirID() int { return s.Cfg.Caches }
 
 // Clone deep-copies the mutable parts (layouts and protocol are shared).
+// Controllers land in one block and their int/mask slots in two shared
+// backing arrays (segment-capped, and neither ever grows after
+// construction), so a clone costs a handful of allocations rather than
+// several per controller — this runs once per state the checker retains.
 func (s *System) Clone() *System {
 	n := *s
-	n.Caches = make([]*Ctrl, len(s.Caches))
-	for i, c := range s.Caches {
-		n.Caches[i] = c.Clone()
+	nc := len(s.Caches)
+	block := make([]Ctrl, nc+1)
+	ptrs := make([]*Ctrl, nc)
+	intsTotal, masksTotal := len(s.Dir.Ints), len(s.Dir.Masks)
+	for _, c := range s.Caches {
+		intsTotal += len(c.Ints)
+		masksTotal += len(c.Masks)
 	}
-	n.Dir = s.Dir.Clone()
+	ints := make([]int, 0, intsTotal)
+	masks := make([]uint32, 0, masksTotal)
+	cloneCtrl := func(dst, src *Ctrl) {
+		*dst = *src
+		off := len(ints)
+		ints = append(ints, src.Ints...)
+		dst.Ints = ints[off:len(ints):len(ints)]
+		moff := len(masks)
+		masks = append(masks, src.Masks...)
+		dst.Masks = masks[moff:len(masks):len(masks)]
+		dst.DeferQ = append([]Msg(nil), src.DeferQ...)
+	}
+	for i, c := range s.Caches {
+		cloneCtrl(&block[i], c)
+		ptrs[i] = &block[i]
+	}
+	cloneCtrl(&block[nc], s.Dir)
+	n.Caches = ptrs
+	n.Dir = &block[nc]
 	n.Net = s.Net.Clone()
+	n.dstBuf = nil
 	return &n
+}
+
+// CloneInto deep-copies s's mutable state into dst, reusing dst's
+// controller and network backing arrays, and returns dst — the
+// allocation-free Clone for checker free-lists. dst must be a System of
+// the same protocol and configuration (typically a recycled Clone of
+// another state); passing nil falls back to Clone. After the call dst
+// shares no mutable memory with s: every controller slice and network
+// queue is copied, so mutating either state never leaks into the other.
+func (s *System) CloneInto(dst *System) *System {
+	if dst == nil {
+		return s.Clone()
+	}
+	dst.P = s.P
+	dst.CacheL = s.CacheL
+	dst.DirL = s.DirL
+	dst.Cfg = s.Cfg
+	dst.LastWrite = s.LastWrite
+	dst.msgMeta = s.msgMeta
+	dst.accesses = s.accesses
+	dst.accEvIdx = s.accEvIdx
+	for i, c := range s.Caches {
+		c.CloneInto(dst.Caches[i])
+	}
+	s.Dir.CloneInto(dst.Dir)
+	s.Net.CloneInto(dst.Net)
+	return dst
 }
 
 // Key returns the canonical encoding of the system state. It allocates a
@@ -134,27 +212,48 @@ func (s *System) ctrlAt(id int) *Ctrl {
 
 // Rules enumerates every enabled rule, deterministically ordered.
 func (s *System) Rules() []Rule {
-	var out []Rule
+	return s.AppendRules(nil)
+}
+
+// AppendRules appends every enabled rule to buf in the same deterministic
+// order as Rules, reusing buf's backing array — the allocation-free form
+// for the checker's expansion loop. Deliverables are enumerated inline
+// (queue index order, position order) so no intermediate slice is built.
+func (s *System) AppendRules(buf []Rule) []Rule {
 	for i, c := range s.Caches {
-		for _, a := range s.accesses {
-			if s.accessEnabled(c, a) {
-				out = append(out, Rule{Kind: RuleAccess, Cache: i, Access: a})
+		for j, a := range s.accesses {
+			if s.accessEnabled(c, a, s.accEvIdx[j]) {
+				buf = append(buf, Rule{Kind: RuleAccess, Cache: i, Access: a})
 			}
 		}
 	}
-	for _, d := range s.Net.Deliverables() {
-		if s.deliverEnabled(d) {
-			out = append(out, Rule{Kind: RuleDeliver, Del: d})
+	for qi, q := range s.Net.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if s.Net.Ordered {
+			d := Deliverable{Queue: qi, Pos: 0, Msg: q[0]}
+			if s.deliverEnabled(d) {
+				buf = append(buf, Rule{Kind: RuleDeliver, Del: d})
+			}
+			continue
+		}
+		for pos, m := range q {
+			d := Deliverable{Queue: qi, Pos: pos, Msg: m}
+			if s.deliverEnabled(d) {
+				buf = append(buf, Rule{Kind: RuleDeliver, Del: d})
+			}
 		}
 	}
-	return out
+	return buf
 }
 
 // accessEnabled reports whether issuing access a at cache c makes progress
 // (starts a transaction, silently transitions, or is a store hit that
 // mutates data). Pure load hits are invariant-checked, not enumerated.
-func (s *System) accessEnabled(c *Ctrl, a ir.AccessType) bool {
-	t, ok, err := c.match(ir.AccessEvent(a), nil)
+// evi is a's dense event index in the cache layout (accEvIdx).
+func (s *System) accessEnabled(c *Ctrl, a ir.AccessType, evi int) bool {
+	t, ok, err := c.matchEv(evi, nil)
 	if err != nil || !ok || t.Stall {
 		return false
 	}
@@ -176,7 +275,7 @@ func (s *System) accessEnabled(c *Ctrl, a ir.AccessType) bool {
 func (s *System) deliverEnabled(d Deliverable) bool {
 	c := s.ctrlAt(d.Msg.Dst)
 	m := d.Msg
-	t, ok, err := c.match(ir.MsgEvent(ir.MsgType(m.Type)), &m)
+	t, ok, err := c.matchEv(c.L.EvIndex(m.Type), &m)
 	if err != nil {
 		return true // surface the error in Apply
 	}
@@ -194,7 +293,7 @@ func (s *System) Apply(r Rule) ([]Perform, error) {
 	case RuleDeliver:
 		m := r.Del.Msg
 		c := s.ctrlAt(m.Dst)
-		t, ok, err := c.match(ir.MsgEvent(ir.MsgType(m.Type)), &m)
+		t, ok, err := c.matchEv(c.L.EvIndex(m.Type), &m)
 		if err != nil {
 			return nil, err
 		}
@@ -237,8 +336,7 @@ func (s *System) applyAccess(c *Ctrl, a ir.AccessType) ([]Perform, error) {
 func (s *System) drainDirDefers() ([]Perform, error) {
 	var out []Perform
 	for len(s.Dir.DeferQ) > 0 {
-		st := s.P.Dir.State(s.Dir.State)
-		if st == nil || st.Kind != ir.Stable {
+		if s.Dir.StIdx < 0 || !s.Dir.L.StableAt[s.Dir.StIdx] {
 			return out, nil
 		}
 		m := s.Dir.DeferQ[0]
@@ -276,12 +374,15 @@ func (s *System) exec(c *Ctrl, t *ir.Transition, m *Msg) ([]Perform, error) {
 		performs = append(performs, p...)
 	}
 	c.State = t.Next
+	if si, ok := c.L.StateIdx[t.Next]; ok {
+		c.StIdx = si
+	} else {
+		c.StIdx = -1 // undeclared target: matchEv treats it as transitionless
+	}
 	// Transaction completion: returning to a stable state clears the
 	// pending access.
-	if c.L.M.Kind == ir.KindCache {
-		if st := s.P.Cache.State(t.Next); st != nil && st.Kind == ir.Stable {
-			c.Pend = ir.AccessNone
-		}
+	if c.L.M.Kind == ir.KindCache && c.StIdx >= 0 && c.L.StableAt[c.StIdx] {
+		c.Pend = ir.AccessNone
 	}
 	return performs, nil
 }
@@ -391,11 +492,11 @@ func (s *System) perform(c *Ctrl, acc ir.AccessType, fromState *ir.State) ([]Per
 
 // execSend constructs and enqueues the message(s) of one send action.
 func (s *System) execSend(c *Ctrl, a ir.Action, m *Msg) error {
-	class, ok := s.msgClass[string(a.Msg)]
+	meta, ok := s.msgMeta[string(a.Msg)]
 	if !ok {
 		return fmt.Errorf("send of undeclared message %s", a.Msg)
 	}
-	base := Msg{Type: string(a.Msg), Src: c.ID, Req: NoID, Class: class}
+	base := Msg{Type: string(a.Msg), Src: c.ID, Req: NoID, Class: meta.class, tIdx: meta.tIdx}
 	if a.Payload.WithData {
 		base.HasData = true
 		base.Data = c.Data()
@@ -428,23 +529,30 @@ func (s *System) execSend(c *Ctrl, a ir.Action, m *Msg) error {
 	return nil
 }
 
+// resolveDst resolves a send action's destination id(s). The returned
+// slice aliases s.dstBuf and is valid until the next resolveDst call.
 func (s *System) resolveDst(c *Ctrl, a ir.Action, m *Msg) ([]int, error) {
+	buf := s.dstBuf[:0]
 	switch a.Dst {
 	case ir.DstDir:
-		return []int{s.DirID()}, nil
+		s.dstBuf = append(buf, s.DirID())
+		return s.dstBuf, nil
 	case ir.DstMsgSrc:
 		if m == nil {
 			return nil, fmt.Errorf("send to msg.src outside a message event")
 		}
-		return []int{m.Src}, nil
+		s.dstBuf = append(buf, m.Src)
+		return s.dstBuf, nil
 	case ir.DstMsgReq, ir.DstDeferred:
 		if m == nil {
 			return nil, fmt.Errorf("send to requestor outside a message event")
 		}
 		if m.Req != NoID {
-			return []int{m.Req}, nil
+			s.dstBuf = append(buf, m.Req)
+		} else {
+			s.dstBuf = append(buf, m.Src)
 		}
-		return []int{m.Src}, nil
+		return s.dstBuf, nil
 	case ir.DstOwner:
 		idx, ok := c.L.IntIdx["owner"]
 		if !ok {
@@ -454,12 +562,12 @@ func (s *System) resolveDst(c *Ctrl, a ir.Action, m *Msg) ([]int, error) {
 		if o == NoID {
 			return nil, fmt.Errorf("send to owner while owner is unset")
 		}
-		return []int{o}, nil
+		s.dstBuf = append(buf, o)
+		return s.dstBuf, nil
 	case ir.DstSharers:
 		if len(c.L.SetVars) == 0 {
 			return nil, fmt.Errorf("send to sharers without a sharer set")
 		}
-		var out []int
 		mask := c.Masks[0]
 		for i := 0; i < s.Cfg.Caches+1; i++ {
 			if mask&(1<<uint(i)) == 0 {
@@ -468,9 +576,10 @@ func (s *System) resolveDst(c *Ctrl, a ir.Action, m *Msg) ([]int, error) {
 			if a.ExceptSrc && m != nil && i == m.Src {
 				continue
 			}
-			out = append(out, i)
+			buf = append(buf, i)
 		}
-		return out, nil
+		s.dstBuf = buf
+		return s.dstBuf, nil
 	}
 	return nil, fmt.Errorf("bad destination %v", a.Dst)
 }
@@ -485,7 +594,13 @@ type LoadCheck struct {
 
 // HitLoads reports every cache whose current state allows a load hit.
 func (s *System) HitLoads() []LoadCheck {
-	var out []LoadCheck
+	return s.AppendHitLoads(nil)
+}
+
+// AppendHitLoads appends the load-hit-capable caches to buf, reusing its
+// backing array (the checker calls this once per discovered state).
+func (s *System) AppendHitLoads(buf []LoadCheck) []LoadCheck {
+	out := buf
 	for i, c := range s.Caches {
 		t, ok, err := c.match(ir.AccessEvent(ir.AccessLoad), nil)
 		if err != nil || !ok || t.Stall {

@@ -167,11 +167,19 @@ func WriteCorpusEntry(dir string, e CorpusEntry) (string, error) {
 
 // RegisterEntries adds one exemplar per shipped family plus every corpus
 // reproducer to the protocols registry, so protofuzz -list (and any
-// other registry consumer) can address them by name. Safe to call once
-// per process; duplicate registrations report an error.
+// other registry consumer) can address them by name. Idempotent: an
+// entry already registered with the identical source is skipped (a
+// service restarting its setup in-process must not fail), while a name
+// claimed by a different source still errors through Register.
 func RegisterEntries() error {
+	reg := func(e protocols.Entry) error {
+		if prev, ok := protocols.Lookup(e.Name); ok && prev.Source == e.Source {
+			return nil
+		}
+		return protocols.Register(e)
+	}
 	for _, p := range Shapes() {
-		err := protocols.Register(protocols.Entry{
+		err := reg(protocols.Entry{
 			Name:   p.Name(),
 			Source: p.Source(),
 			Paper:  "fuzz family exemplar",
@@ -185,7 +193,7 @@ func RegisterEntries() error {
 		return err
 	}
 	for _, e := range entries {
-		err := protocols.Register(protocols.Entry{
+		err := reg(protocols.Entry{
 			Name:   "corpus/" + e.Name,
 			Source: e.Source,
 			Paper:  fmt.Sprintf("fuzz corpus reproducer (%s, expect %s)", e.Family, e.Expect),

@@ -68,7 +68,9 @@ func TestCorpusRoundTrip(t *testing.T) {
 }
 
 // TestRegisterEntries: families and corpus reproducers land in the
-// protocols registry and are addressable by name.
+// protocols registry and are addressable by name; re-registration of
+// the identical entries is a no-op (a restarting service must not
+// fail), and the registry stays duplicate-free.
 func TestRegisterEntries(t *testing.T) {
 	if err := RegisterEntries(); err != nil {
 		t.Fatal(err)
@@ -79,7 +81,15 @@ func TestRegisterEntries(t *testing.T) {
 	if _, ok := protocols.Lookup("corpus/FZ_MI_double_grant"); !ok {
 		t.Error("corpus reproducer not registered")
 	}
-	if err := RegisterEntries(); err == nil {
-		t.Error("second registration must report duplicates")
+	before := len(protocols.Entries())
+	if err := RegisterEntries(); err != nil {
+		t.Errorf("identical re-registration must be a no-op, got %v", err)
+	}
+	if after := len(protocols.Entries()); after != before {
+		t.Errorf("re-registration grew the registry: %d -> %d", before, after)
+	}
+	// A name claimed by a different source still collides.
+	if err := protocols.Register(protocols.Entry{Name: "FZ_MESI_upg", Source: "protocol Bogus;"}); err == nil {
+		t.Error("conflicting source must still be rejected")
 	}
 }

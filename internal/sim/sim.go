@@ -114,6 +114,10 @@ func RunCtx(ctx context.Context, p *ir.Protocol, cfg Config) (Stats, error) {
 	for i := range started {
 		started[i] = -1
 	}
+	// Scratch reused across steps (the checker's allocation-free discipline
+	// applies here too: the scheduler loop runs millions of steps).
+	var dels []engine.Deliverable
+	var rules []engine.Rule
 
 	for step := 0; step < cfg.Steps; step++ {
 		if step%cancelStride == 0 && ctx.Err() != nil {
@@ -126,7 +130,8 @@ func RunCtx(ctx context.Context, p *ir.Protocol, cfg Config) (Stats, error) {
 		st.Steps++
 		// Count blocked deliveries: messages whose head-of-queue target
 		// stalls them this step.
-		for _, d := range sys.Net.Deliverables() {
+		dels = sys.Net.AppendDeliverables(dels[:0])
+		for _, d := range dels {
 			if !deliverable(sys, d) {
 				st.StallEvents++
 			}
@@ -136,7 +141,7 @@ func RunCtx(ctx context.Context, p *ir.Protocol, cfg Config) (Stats, error) {
 		// this step (a local hit or a no-op skip): if so, the next step
 		// can see a different access mix even without a rule firing.
 		progressed := false
-		var rules []engine.Rule
+		rules = rules[:0]
 		for i := 0; i < cfg.Caches; i++ {
 			if started[i] >= 0 {
 				continue // transaction in flight
@@ -176,7 +181,10 @@ func RunCtx(ctx context.Context, p *ir.Protocol, cfg Config) (Stats, error) {
 			}
 			rules = append(rules, engine.Rule{Kind: engine.RuleAccess, Cache: i, Access: a})
 		}
-		for _, d := range sys.Net.Deliverables() {
+		// Re-enumerate: tryHit may have applied rules that sent messages
+		// since the stall-count snapshot above.
+		dels = sys.Net.AppendDeliverables(dels[:0])
+		for _, d := range dels {
 			if deliverable(sys, d) {
 				rules = append(rules, engine.Rule{Kind: engine.RuleDeliver, Del: d})
 			}

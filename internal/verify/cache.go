@@ -18,8 +18,11 @@ const cacheFile = "verify-cache.jsonl"
 
 // cacheKeyVersion salts every cache key; bump it when the Result
 // schema or key composition changes so stale entries can never be
-// mistaken for current ones.
-const cacheKeyVersion = "v1"
+// mistaken for current ones. v2: Result grew the canonicalization
+// strategy counters (CanonFast/CanonTieStates/CanonTieEncodes/
+// CanonFallbacks) — v1 entries would serve zeros for counts the
+// exploration did measure.
+const cacheKeyVersion = "v2"
 
 // CacheKey derives the result-cache key for one verification:
 // SHA-256 over the canonical spec text (dsl.Format output, so

@@ -145,6 +145,43 @@ func TestFingerprintMatchesExact(t *testing.T) {
 	}
 }
 
+// TestFourCacheGolden pins a 4-cache MSI exploration — the cache count
+// the factorial-free canonicalization unlocks (24 permutations would
+// have cost 24 encodes per state on the old brute-force path). The
+// exploration is capped, which is still fully deterministic (see
+// TestMaxStatesCapParallel), and pinned at parallelism 1, 2 and 4 in
+// both exact and fingerprint modes against numbers recorded from the
+// pre-optimization brute-force checker.
+func TestFourCacheGolden(t *testing.T) {
+	const (
+		wantStates = 40000
+		wantEdges  = 119825
+		wantDepth  = 16
+	)
+	p := goldenProtocol(t, "MSI", "nonstalling")
+	for _, fingerprint := range []bool{false, true} {
+		for _, par := range []int{1, 2, 4} {
+			cfg := QuickConfig()
+			cfg.Caches = 4
+			cfg.MaxStates = wantStates
+			cfg.Fingerprint = fingerprint
+			cfg.Parallelism = par
+			r := Check(p, cfg)
+			if !r.OK() || r.Complete {
+				t.Fatalf("fingerprint=%v P=%d: want capped PASS, got %v", fingerprint, par, r)
+			}
+			if r.States != wantStates || r.Edges != wantEdges || r.Depth != wantDepth {
+				t.Errorf("fingerprint=%v P=%d: states/edges/depth = %d/%d/%d, want %d/%d/%d",
+					fingerprint, par, r.States, r.Edges, r.Depth, wantStates, wantEdges, wantDepth)
+			}
+			if r.CanonFallbacks > 0 && r.CanonFast == 0 {
+				t.Errorf("fingerprint=%v P=%d: canonicalization never took the fast path (%d fallbacks)",
+					fingerprint, par, r.CanonFallbacks)
+			}
+		}
+	}
+}
+
 // TestLivenessConsistentAcrossModes: the no-prune stalling MSI ablation
 // deadlocks (see core.Options.PruneSharerOnStalePut); exact and
 // fingerprint modes must report the identical liveness verdict — same

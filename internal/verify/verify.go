@@ -150,6 +150,16 @@ type Result struct {
 	// FalseMerges counts fingerprint matches whose full keys differed —
 	// populated only under Config.CollisionAudit, 0 otherwise.
 	FalseMerges int
+	// Canonicalization strategy counters (see engine.CanonStats), summed
+	// over all workers: CanonFast states took a single encoding,
+	// CanonTieStates resolved signature ties by enumerating tie-group
+	// orderings (CanonTieEncodes candidate suffixes tried in total), and
+	// CanonFallbacks fell back to the full n!-permutation search. Zero
+	// when symmetry reduction is off.
+	CanonFast       int64 `json:"CanonFast,omitempty"`
+	CanonTieStates  int64 `json:"CanonTieStates,omitempty"`
+	CanonTieEncodes int64 `json:"CanonTieEncodes,omitempty"`
+	CanonFallbacks  int64 `json:"CanonFallbacks,omitempty"`
 }
 
 // OK reports whether the exploration finished with no violations.
@@ -357,13 +367,28 @@ type checker struct {
 	// collision audit. Skipping the copy is fingerprint mode's frontier
 	// memory win.
 	needKey bool
-	recs    []stateRec
-	edges   [][]int32 // successor lists (only when CheckLiveness)
+	// writerAt/readerAt classify the cache machine's stable states by
+	// permission, indexed by state index (Ctrl.StIdx) so checkState
+	// avoids per-cache map probes.
+	writerAt []bool
+	readerAt []bool
+	recs     []stateRec
+	// The successor graph (only when CheckLiveness), stored in compressed
+	// sparse row form: state p's successors are edgeDst[edgeOff[p]:
+	// edgeOff[p+1]]. Valid because merge expands states in index order,
+	// so each state's successor run is contiguous — no per-state slice
+	// headers, no per-state growth reallocations.
+	edgeOff []int32
+	edgeDst []int32
 	quiet   []bool
-	writer  map[ir.StateName]bool
-	reader  map[ir.StateName]bool
+	hits    []engine.LoadCheck // checkState scratch (merge phase only)
 	perms   [][]int
 	workers int
+	// pool holds one persistent worker per expansion goroutine: encoders,
+	// rule buffers and System free-lists survive across BFS levels, so
+	// the steady-state expansion loop allocates only for states that
+	// enter the frontier.
+	pool []*worker
 }
 
 // Check explores the protocol's state space and returns the result.
@@ -398,19 +423,21 @@ func CheckCtx(ctx context.Context, p *ir.Protocol, cfg Config) *Result {
 		res:     &Result{Protocol: p.Name, Complete: true},
 		visited: visited,
 		needKey: !cfg.Fingerprint || cfg.CollisionAudit,
-		writer:  map[ir.StateName]bool{},
-		reader:  map[ir.StateName]bool{},
 		workers: workers,
 	}
 	c.classifyPermissions()
 	if cfg.Symmetry {
 		c.perms = engine.Permutations(cfg.Caches)
 	}
+	c.pool = make([]*worker, workers)
+	for i := range c.pool {
+		c.pool[i] = &worker{c: c, enc: engine.NewEncoder(p)}
+	}
 
 	init := engine.NewSystem(p, engine.Config{
 		Caches: cfg.Caches, Capacity: cfg.Capacity, Values: cfg.Values,
 	})
-	key := engine.NewEncoder(p).Canonical(init, c.perms)
+	key := c.pool[0].enc.Canonical(init, c.perms)
 	initKey := ""
 	if c.needKey {
 		initKey = string(key)
@@ -418,7 +445,7 @@ func CheckCtx(ctx context.Context, p *ir.Protocol, cfg Config) *Result {
 	c.visited.insert(initKey, engine.Fingerprint(key), 0)
 	c.recs = append(c.recs, stateRec{parent: -1})
 	if cfg.CheckLiveness {
-		c.edges = append(c.edges, nil)
+		c.edgeOff = append(c.edgeOff, 0)
 		c.quiet = append(c.quiet, quiescent(init))
 	}
 	c.checkState(init, 0)
@@ -446,6 +473,14 @@ func CheckCtx(ctx context.Context, p *ir.Protocol, cfg Config) *Result {
 	c.res.States = c.visited.count()
 	c.res.VisitedBytes = c.visited.bytes()
 	c.res.FalseMerges = c.visited.falseMerges()
+	var canon engine.CanonStats
+	for _, w := range c.pool {
+		canon.Add(w.enc.Stats())
+	}
+	c.res.CanonFast = int64(canon.Fast)
+	c.res.CanonTieStates = int64(canon.TieStates)
+	c.res.CanonTieEncodes = int64(canon.TieEncodes)
+	c.res.CanonFallbacks = int64(canon.Fallbacks)
 	if cfg.CheckLiveness && c.res.Complete && len(c.res.Violations) == 0 {
 		c.livenessCheck()
 	}
@@ -454,12 +489,13 @@ func CheckCtx(ctx context.Context, p *ir.Protocol, cfg Config) *Result {
 
 // expand computes every frontier item's successors. Items are claimed in
 // batches from a shared cursor, so fast workers steal the remainder of
-// slow workers' share; each worker owns a reusable binary encoder.
+// slow workers' share; each worker persists across levels, owning a
+// reusable binary encoder, a rule buffer and a System free-list.
 func (c *checker) expand(frontier []frontierItem) []expansion {
 	out := make([]expansion, len(frontier))
 	workers := min(c.workers, len(frontier))
 	if workers <= 1 {
-		w := &worker{c: c, enc: engine.NewEncoder(c.p)}
+		w := c.pool[0]
 		for i := range frontier {
 			out[i] = w.expandItem(frontier[i])
 		}
@@ -470,9 +506,8 @@ func (c *checker) expand(frontier []frontierItem) []expansion {
 	var wg sync.WaitGroup
 	for g := 0; g < workers; g++ {
 		wg.Add(1)
-		go func() {
+		go func(w *worker) {
 			defer wg.Done()
-			w := &worker{c: c, enc: engine.NewEncoder(c.p)}
 			for {
 				end := int(cursor.Add(int64(batch)))
 				start := end - batch
@@ -483,36 +518,73 @@ func (c *checker) expand(frontier []frontierItem) []expansion {
 					out[i] = w.expandItem(frontier[i])
 				}
 			}
-		}()
+		}(c.pool[g])
 	}
 	wg.Wait()
 	return out
 }
 
-// worker is one expansion goroutine's private state.
+// maxFreeList bounds each worker's System free-list so a level with many
+// already-visited successors can't pin unbounded recycled memory. Sized
+// to carry recycled capacity across the BFS frontier's shrink/grow
+// phases: each System is roughly a kilobyte, so the cap costs at most a
+// few MB per worker while keeping steady-state expansion allocation-free.
+const maxFreeList = 4096
+
+// worker is one expansion goroutine's private state, persistent across
+// BFS levels.
 type worker struct {
-	c   *checker
-	enc *engine.Encoder
+	c     *checker
+	enc   *engine.Encoder
+	rules []engine.Rule    // AppendRules scratch, reused every item
+	free  []*engine.System // recycled Systems for CloneInto
+}
+
+// getClone clones src, reusing a free-listed System when one is available.
+func (w *worker) getClone(src *engine.System) *engine.System {
+	if n := len(w.free); n > 0 {
+		dst := w.free[n-1]
+		w.free = w.free[:n-1]
+		return src.CloneInto(dst)
+	}
+	return src.Clone()
+}
+
+// recycle returns a System whose state is no longer referenced to the
+// free-list. Safe because every Clone/CloneInto deep-copies: no other
+// live state aliases the recycled backing arrays.
+func (w *worker) recycle(s *engine.System) {
+	if len(w.free) < maxFreeList {
+		w.free = append(w.free, s)
+	}
 }
 
 // expandItem enumerates one state's enabled rules, applies each to a
 // clone, and canonicalizes the successors. Only reads shared checker
 // state; previously visited states resolve here, unseen keys are copied
-// out for the merge to adjudicate.
+// out for the merge to adjudicate. Successors that resolve to visited
+// states — and the expanded parent itself, dead once its successors are
+// computed — are recycled into the worker's free-list, so steady-state
+// expansion allocates only for states that enter the frontier.
 func (w *worker) expandItem(it frontierItem) expansion {
-	rules := it.sys.Rules()
+	w.rules = it.sys.AppendRules(w.rules[:0])
+	rules := w.rules
 	if len(rules) == 0 && !quiescent(it.sys) {
-		return expansion{deadlock: true, inFlight: it.sys.Net.InFlight()}
+		inFlight := it.sys.Net.InFlight()
+		w.recycle(it.sys)
+		return expansion{deadlock: true, inFlight: inFlight}
 	}
 	exp := expansion{succs: make([]succOut, 0, len(rules))}
 	for _, r := range rules {
-		succ := it.sys.Clone()
+		succ := w.getClone(it.sys)
 		performs, err := succ.Apply(r)
-		so := succOut{rule: r.String(), knownIdx: -1}
+		so := succOut{knownIdx: -1}
 		if err != nil {
+			so.rule = r.String()
 			so.hasErr = true
 			so.applyErr = err.Error()
 			exp.succs = append(exp.succs, so)
+			w.recycle(succ)
 			continue
 		}
 		for _, pf := range performs {
@@ -525,7 +597,14 @@ func (w *worker) expandItem(it frontierItem) expansion {
 		so.hash = engine.Fingerprint(key)
 		if idx, ok := w.c.visited.lookup(key, so.hash); ok {
 			so.knownIdx = idx
+			// The rule string is only needed for violation traces and new
+			// state records; a clean already-visited successor skips it.
+			if len(so.dataViol) > 0 {
+				so.rule = r.String()
+			}
+			w.recycle(succ)
 		} else {
+			so.rule = r.String()
 			if w.c.needKey {
 				so.key = string(key)
 			}
@@ -536,6 +615,7 @@ func (w *worker) expandItem(it frontierItem) expansion {
 		}
 		exp.succs = append(exp.succs, so)
 	}
+	w.recycle(it.sys)
 	return exp
 }
 
@@ -556,6 +636,9 @@ func (c *checker) merge(frontier []frontierItem, exps []expansion) []frontierIte
 		if exp.deadlock {
 			c.violate("deadlock",
 				fmt.Sprintf("no enabled rules with %d messages in flight", exp.inFlight), int(parent))
+			if c.cfg.CheckLiveness {
+				c.edgeOff = append(c.edgeOff, int32(len(c.edgeDst)))
+			}
 			continue
 		}
 		for _, so := range exp.succs {
@@ -577,7 +660,7 @@ func (c *checker) merge(frontier []frontierItem, exps []expansion) []frontierIte
 			}
 			if idx >= 0 {
 				if c.cfg.CheckLiveness {
-					c.edges[parent] = append(c.edges[parent], idx)
+					c.edgeDst = append(c.edgeDst, idx)
 				}
 				continue
 			}
@@ -585,8 +668,7 @@ func (c *checker) merge(frontier []frontierItem, exps []expansion) []frontierIte
 			c.visited.insert(so.key, so.hash, ni)
 			c.recs = append(c.recs, stateRec{parent: parent, rule: so.rule, depth: c.recs[parent].depth + 1})
 			if c.cfg.CheckLiveness {
-				c.edges = append(c.edges, nil)
-				c.edges[parent] = append(c.edges[parent], ni)
+				c.edgeDst = append(c.edgeDst, ni)
 				c.quiet = append(c.quiet, so.quiet)
 			}
 			if d := int(c.recs[ni].depth); d > c.res.Depth {
@@ -599,24 +681,37 @@ func (c *checker) merge(frontier []frontierItem, exps []expansion) []frontierIte
 			}
 			next = append(next, frontierItem{sys: so.sys, idx: ni})
 		}
+		// Parent's successor run is complete; seal its CSR row. Rows are
+		// sealed in state-index order because the frontier is built in
+		// discovery order and every state is expanded exactly once.
+		if c.cfg.CheckLiveness {
+			c.edgeOff = append(c.edgeOff, int32(len(c.edgeDst)))
+		}
 	}
 	return next
 }
 
-// classifyPermissions derives reader/writer stable states from the FSM.
+// classifyPermissions derives reader/writer stable states from the FSM,
+// into tables indexed by the cache machine's state index.
 func (c *checker) classifyPermissions() {
-	for _, n := range c.p.Cache.StableStates() {
+	order := c.p.Cache.Order
+	c.writerAt = make([]bool, len(order))
+	c.readerAt = make([]bool, len(order))
+	for i, n := range order {
+		if st := c.p.Cache.State(n); st == nil || st.Kind != ir.Stable {
+			continue
+		}
 		for _, t := range c.p.Cache.Find(n, ir.AccessEvent(ir.AccessLoad)) {
 			for _, a := range t.Actions {
 				if a.Op == ir.AHit {
-					c.reader[n] = true
+					c.readerAt[i] = true
 				}
 			}
 		}
 		for _, t := range c.p.Cache.Find(n, ir.AccessEvent(ir.AccessStore)) {
 			for _, a := range t.Actions {
 				if a.Op == ir.AHit {
-					c.writer[n] = true
+					c.writerAt[i] = true
 				}
 			}
 		}
@@ -628,9 +723,12 @@ func (c *checker) checkState(s *engine.System, idx int) {
 	if c.cfg.CheckSWMR {
 		writers, readers := 0, 0
 		for _, cc := range s.Caches {
-			if c.writer[cc.State] {
+			if cc.StIdx < 0 {
+				continue
+			}
+			if c.writerAt[cc.StIdx] {
 				writers++
-			} else if c.reader[cc.State] {
+			} else if c.readerAt[cc.StIdx] {
 				readers++
 			}
 		}
@@ -640,12 +738,13 @@ func (c *checker) checkState(s *engine.System, idx int) {
 	}
 	if c.cfg.CheckValues {
 		for i, cc := range s.Caches {
-			if (c.writer[cc.State] || c.reader[cc.State]) && cc.Data() != s.LastWrite {
+			if cc.StIdx >= 0 && (c.writerAt[cc.StIdx] || c.readerAt[cc.StIdx]) && cc.Data() != s.LastWrite {
 				c.violate("data-value",
 					fmt.Sprintf("cache %d in %s holds %d, last write is %d", i, cc.State, cc.Data(), s.LastWrite), idx)
 			}
 		}
-		for _, h := range s.HitLoads() {
+		c.hits = s.AppendHitLoads(c.hits[:0])
+		for _, h := range c.hits {
 			if h.Value != s.LastWrite {
 				c.violate("data-value",
 					fmt.Sprintf("cache %d transient load hit in %s reads %d, last write is %d", h.Cache, h.State, h.Value, s.LastWrite), idx)
@@ -666,10 +765,22 @@ func (c *checker) livenessCheck() {
 	if c.visited != nil { // nil only in direct test-harness construction
 		n = c.visited.count()
 	}
-	pred := make([][]int32, n)
-	for from, succs := range c.edges {
-		for _, to := range succs {
-			pred[to] = append(pred[to], int32(from))
+	// Invert the CSR successor graph into a CSR predecessor graph:
+	// count in-degrees, prefix-sum into row offsets, then fill — two
+	// passes, no per-state slices.
+	predOff := make([]int32, n+1)
+	for _, to := range c.edgeDst {
+		predOff[to+1]++
+	}
+	for i := 0; i < n; i++ {
+		predOff[i+1] += predOff[i]
+	}
+	predDst := make([]int32, len(c.edgeDst))
+	cursor := append([]int32(nil), predOff[:n]...)
+	for p := 0; p+1 < len(c.edgeOff); p++ {
+		for _, to := range c.edgeDst[c.edgeOff[p]:c.edgeOff[p+1]] {
+			predDst[cursor[to]] = int32(p)
+			cursor[to]++
 		}
 	}
 	reach := make([]bool, n)
@@ -684,7 +795,7 @@ func (c *checker) livenessCheck() {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, p := range pred[v] {
+		for _, p := range predDst[predOff[v]:predOff[v+1]] {
 			if !reach[p] {
 				reach[p] = true
 				stack = append(stack, p)
@@ -712,13 +823,12 @@ func quiescent(s *engine.System) bool {
 		return false
 	}
 	for _, cc := range s.Caches {
-		st := s.P.Cache.State(cc.State)
-		if st == nil || st.Kind != ir.Stable || len(cc.DeferQ) > 0 {
+		if cc.StIdx < 0 || !cc.L.StableAt[cc.StIdx] || len(cc.DeferQ) > 0 {
 			return false
 		}
 	}
-	st := s.P.Dir.State(s.Dir.State)
-	return st != nil && st.Kind == ir.Stable && len(s.Dir.DeferQ) == 0
+	d := s.Dir
+	return d.StIdx >= 0 && d.L.StableAt[d.StIdx] && len(d.DeferQ) == 0
 }
 
 func (c *checker) violate(kind, detail string, idx int) {

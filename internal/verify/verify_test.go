@@ -124,7 +124,8 @@ func TestLivenessCountsAllStuckStates(t *testing.T) {
 		{parent: 0, rule: "r3", depth: 1},
 		{parent: 3, rule: "r4", depth: 2},
 	}
-	c.edges = [][]int32{{1, 3}, {2}, {2}, {4}, {3}}
+	c.edgeOff = []int32{0, 2, 3, 4, 5, 6}
+	c.edgeDst = []int32{1, 3, 2, 2, 4, 3}
 	c.quiet = []bool{false, false, true, false, false}
 	c.livenessCheck()
 	if len(c.res.Violations) != 1 {
