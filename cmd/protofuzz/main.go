@@ -15,6 +15,14 @@
 //	protofuzz -seeds 0:5000 -timeout 10m -v   # bounded campaign with progress
 //	protofuzz -list                           # families, boundaries, corpus
 //	protofuzz -replay                         # replay the committed corpus
+//	protofuzz -seeds 0:200 -lint-filter       # skip statically-broken specs
+//
+// Every spec is also run through the static analyzer (protolint's
+// passes) as a third verdict dimension: the spec-layer lint verdict is
+// recorded per seed, a lint "broken" verdict on a spec the checker and
+// simulator pass clean is itself a campaign failure (lint-vs-checker),
+// and -lint-filter short-circuits statically-broken specs before any
+// model check. -no-lint turns the pre-pass off.
 //
 // Ctrl-C (or -timeout expiry) drains the worker pool and reports the
 // seeds that completed — "canceled after N of M seeds" — instead of
@@ -59,6 +67,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		shrink   = fs.Bool("shrink", true, "shrink failing specs to minimal reproducers")
 		cacheDir = fs.String("cache-dir", "", "memoize verify results as JSONL under this directory, keyed by canonical spec + generation options + checker config; a rerun over the same seeds performs zero re-verifications (see docs/CACHING.md for the format and when to wipe it)")
 		corpus   = fs.String("corpus", "", "write minimized reproducers into this directory")
+		noLint   = fs.Bool("no-lint", false, "disable the static-analyzer pre-pass (no lint verdicts, no lint-vs-checker cross-check)")
+		lintFlt  = fs.Bool("lint-filter", false, "short-circuit specs the analyzer proves broken before any model check (counted as lint-rejected failures)")
 		jsonOut  = fs.String("json", "", "write one JSON report line per spec to this file (- = stdout)")
 		list     = fs.Bool("list", false, "list families, boundary shapes and corpus entries")
 		replay   = fs.Bool("replay", false, "replay the committed regression corpus")
@@ -83,6 +93,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.MaxStates = *maxSts
 	cfg.SimSteps = *simSteps
 	cfg.Shrink = *shrink
+	cfg.NoLint = *noLint
+	cfg.LintFilter = *lintFlt
+	if *noLint && *lintFlt {
+		return fmt.Errorf("-no-lint and -lint-filter are mutually exclusive")
+	}
 	if *family != "" {
 		cfg.Families = strings.Split(*family, ",")
 	}
@@ -184,13 +199,17 @@ func report(stdout io.Writer, rep *protogen.FuzzReport, jsonOut, corpusDir strin
 				return err
 			}
 		}
+		lint := ""
+		if r.Lint != "" && r.Lint != "clean" {
+			lint = " lint=" + r.Lint
+		}
 		if r.OK() {
 			if verbose {
-				fmt.Fprintf(human, "seed %-6d %-24s L=%d pass (%dms)\n", r.Seed, r.Family, r.PendingLimit, r.ElapsedMS)
+				fmt.Fprintf(human, "seed %-6d %-24s L=%d pass%s (%dms)\n", r.Seed, r.Family, r.PendingLimit, lint, r.ElapsedMS)
 			}
 			continue
 		}
-		fmt.Fprintf(human, "seed %-6d %-24s L=%d FAIL %s — %s\n", r.Seed, r.Family, r.PendingLimit, r.Failure, r.Failure.Detail)
+		fmt.Fprintf(human, "seed %-6d %-24s L=%d FAIL %s%s — %s\n", r.Seed, r.Family, r.PendingLimit, r.Failure, lint, r.Failure.Detail)
 		if r.Minimized != "" {
 			n := "?"
 			if c, err := protogen.FuzzTxnCount(r.Minimized); err == nil {

@@ -1,0 +1,201 @@
+// Command protolint runs the spec-level static analyzer over SSPs and
+// their generated protocols — no state exploration, millisecond
+// turnaround, structured diagnostics with stable PGnnn codes. It is
+// the fast first gate in front of protoverify: lint, fix what it
+// names, then model-check.
+//
+// Usage:
+//
+//	protolint -spec MSI                      # spec + all three generated modes
+//	protolint -all                           # every registry protocol (CI gate)
+//	protolint -corpus -expect-dirty          # every reproducer must lint dirty
+//	protolint -file my.ssp -mode nonstalling # one file, one mode
+//	protolint -spec MESI -spec-only -json    # spec layer only, as JSON
+//	protolint -all -code PG104,PG105         # restrict to a code set
+//
+// Exit status: 0 when every subject lints clean (no errors and no
+// warnings; info notes are allowed), 1 otherwise. -expect-dirty
+// inverts the gate for the regression corpus: the run succeeds only
+// if every subject yields at least one diagnostic, which is how CI
+// keeps the analyzer honest against known-broken specs.
+//
+// See docs/ANALYSIS.md for the code table and the false-positive
+// policy behind the severity ladder.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+
+	"protogen"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "protolint:", err)
+		os.Exit(1)
+	}
+}
+
+// subject is one spec to lint: a registry name, a file, or inline
+// source carried from the registry / corpus listings.
+type subject struct {
+	name   string
+	file   string
+	source string
+}
+
+// subjectResult is the JSON wire form of one linted subject.
+type subjectResult struct {
+	Name    string               `json:"name"`
+	Verdict string               `json:"verdict"`
+	Result  *protogen.LintResult `json:"result"`
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("protolint", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		name        = fs.String("spec", "", "registry protocol name (default MSI when no other subject is given)")
+		file        = fs.String("file", "", "read the SSP from a file")
+		all         = fs.Bool("all", false, "lint every registry protocol")
+		corpus      = fs.Bool("corpus", false, "lint every committed fuzz-corpus reproducer")
+		mode        = fs.String("mode", "", "restrict the protocol layer to one generation mode (default: all three)")
+		specOnly    = fs.Bool("spec-only", false, "lint the spec layer only; skip generation")
+		codes       = fs.String("code", "", "comma-separated diagnostic codes to keep (e.g. PG104,PG110)")
+		jsonOut     = fs.Bool("json", false, "emit the full structured reports as JSON")
+		verbose     = fs.Bool("v", false, "also print info-severity notes")
+		expectDirty = fs.Bool("expect-dirty", false, "succeed only if every subject yields at least one diagnostic (corpus CI smoke)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specOnly && *mode != "" {
+		return fmt.Errorf("-spec-only and -mode are mutually exclusive")
+	}
+
+	var subjects []subject
+	if *all {
+		for _, e := range protogen.RegistryEntries() {
+			subjects = append(subjects, subject{name: e.Name, source: e.Source})
+		}
+	}
+	if *corpus {
+		entries, err := protogen.FuzzCorpus()
+		if err != nil {
+			return err
+		}
+		for _, ce := range entries {
+			subjects = append(subjects, subject{name: ce.Name, source: ce.Source})
+		}
+	}
+	if *file != "" {
+		subjects = append(subjects, subject{name: *file, file: *file})
+	}
+	if *name != "" {
+		subjects = append(subjects, subject{name: *name})
+	}
+	if len(subjects) == 0 {
+		subjects = append(subjects, subject{name: "MSI"})
+	}
+
+	var codeList []string
+	for _, c := range strings.Split(*codes, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			codeList = append(codeList, c)
+		}
+	}
+
+	eng := protogen.NewEngine()
+	defer eng.Close()
+
+	var (
+		results []subjectResult
+		dirty   []string // subjects with no diagnostics, under -expect-dirty
+		unclean []string // subjects with warnings or errors, normally
+	)
+	for _, sub := range subjects {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		job := protogen.LintJob{Codes: codeList}
+		if sub.source != "" {
+			job.Source = sub.source
+		} else {
+			spec, err := protogen.LoadSpec(sub.name, sub.file)
+			if err != nil {
+				return err
+			}
+			job.Spec = spec
+		}
+		switch {
+		case *specOnly:
+			job.Modes = []string{}
+		case *mode != "":
+			job.Modes = []string{*mode}
+		}
+		res, err := eng.Lint(ctx, job)
+		if err != nil {
+			if *expectDirty {
+				// For known-broken reproducers a generation failure is
+				// itself the finding; the subject counts as dirty.
+				fmt.Fprintf(stdout, "%s: lint aborted (counts as dirty): %v\n", sub.name, err)
+				continue
+			}
+			return fmt.Errorf("%s: %w", sub.name, err)
+		}
+		results = append(results, subjectResult{Name: sub.name, Verdict: res.Verdict(), Result: res})
+		total := 0
+		for _, rep := range res.Reports {
+			total += len(rep.Diags)
+		}
+		if total == 0 {
+			dirty = append(dirty, sub.name)
+		}
+		if !res.Clean() {
+			unclean = append(unclean, sub.name)
+		}
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "%s: %s\n", sub.name, res.Summary())
+			for _, rep := range res.Reports {
+				layer := rep.Layer
+				if rep.Mode != "" {
+					layer = rep.Mode
+				}
+				for _, d := range rep.Diags {
+					if d.Severity == protogen.LintInfo && !*verbose {
+						continue
+					}
+					fmt.Fprintf(stdout, "  [%s] %s\n", layer, d.String())
+				}
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"subjects": results}); err != nil {
+			return err
+		}
+	}
+
+	if *expectDirty {
+		if len(dirty) > 0 {
+			return fmt.Errorf("expected every subject to lint dirty; clean: %s", strings.Join(dirty, ", "))
+		}
+		return nil
+	}
+	if len(unclean) > 0 {
+		return fmt.Errorf("%d subject(s) did not lint clean: %s", len(unclean), strings.Join(unclean, ", "))
+	}
+	return nil
+}

@@ -23,6 +23,11 @@
 // Ctrl-C (or -timeout expiry) stops the exploration at the next BFS
 // level boundary and prints the partial counts explored so far instead
 // of dying silently; -progress streams per-level progress lines.
+//
+// Before exploration the spec is run through the static analyzer
+// (protolint's passes); warning- and error-severity findings print as
+// "warning: lint: ..." lines. They are advisory — the checker stays
+// the ground truth — and -no-lint silences them.
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"protogen"
@@ -70,6 +76,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		fpMode   = fs.Bool("fingerprint", false, "store 64-bit state fingerprints instead of full keys in the visited set (~10x less memory; false-merge odds ~n²/2⁶⁵)")
 		audit    = fs.Bool("audit-collisions", false, "with -fingerprint: retain full keys and report observed false merges (costs the memory fingerprinting saves)")
 		cacheDir = fs.String("cache-dir", "", "memoize verify results as JSONL under this directory, keyed by canonical spec + generation options + checker config (see docs/CACHING.md for the format and when to wipe it)")
+		noLint   = fs.Bool("no-lint", false, "suppress the pre-exploration static-analyzer warnings (see docs/ANALYSIS.md)")
 		progress = fs.Bool("progress", false, "print a progress line after each BFS level")
 		timeout  = fs.Duration("timeout", 0, "stop exploring after this long and report partial counts (0 = no limit)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the exploration to this file")
@@ -138,7 +145,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		protogen.WithFingerprint(*fpMode),
 		protogen.WithCollisionAudit(*audit),
 		protogen.WithCacheDir(*cacheDir),
-		protogen.WithWarnings(func(msg string) { fmt.Fprintf(stdout, "warning: %s\n", msg) }),
+		protogen.WithWarnings(func(msg string) {
+			// Generation-time lint findings arrive "lint:"-prefixed; they
+			// are advisory (the checker is the ground truth) and -no-lint
+			// silences just them.
+			if *noLint && strings.HasPrefix(msg, "lint:") {
+				return
+			}
+			fmt.Fprintf(stdout, "warning: %s\n", msg)
+		}),
 	)
 	defer eng.Close()
 

@@ -1,0 +1,403 @@
+// Command vethotpath is a repo-specific vet tool guarding the model
+// checker's hot path. The engine / verify / store files that earlier
+// performance work made allocation-free must stay that way, and the
+// usual way they regress is a small "harmless" edit: a fmt.Sprintf in
+// a successor loop, a map iteration in canonicalization, a slice
+// allocated per loop iteration. This tool makes those patterns a CI
+// failure instead of a profiling session.
+//
+// It speaks the cmd/go vet-tool protocol (the same one
+// golang.org/x/tools' unitchecker implements) using only the standard
+// library, so it runs as:
+//
+//	go build -o /tmp/vethotpath ./cmd/vethotpath
+//	go vet -vettool=/tmp/vethotpath ./internal/engine ./internal/verify ./internal/store
+//
+// Running it over ./... is safe: packages outside the hot-path list
+// are no-ops.
+//
+// Checks (all restricted to the hot-path files listed in hotFiles):
+//
+//	HP001  call to fmt.Sprintf / fmt.Sprint / fmt.Sprintln — each
+//	       allocates its result. fmt.Errorf is allowed (error paths
+//	       are cold by definition), as are calls inside panic
+//	       arguments and inside Error()/String() methods.
+//	HP002  range over a map — map iteration allocates its iterator
+//	       and its order jitter defeats the deterministic replay the
+//	       checker relies on. Exempt inside Error()/String().
+//	HP003  append to a slice declared inside the enclosing loop — the
+//	       backing array is reallocated every iteration; hoist the
+//	       buffer and reuse it.
+//
+// A finding on a genuinely cold line inside a hot file is suppressed
+// with a "//vethotpath:ignore" comment on the same line or the line
+// above. See docs/ANALYSIS.md for the policy.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// hotFiles maps an import-path suffix to the file basenames the checks
+// apply to — the allocation-free hot path carved out by the checker
+// performance work. Everything else is ignored.
+var hotFiles = map[string][]string{
+	"internal/engine": {"ctrl.go", "encode.go", "layout.go", "network.go", "system.go"},
+	"internal/verify": {"verify.go"},
+	"internal/store":  {"store.go"},
+}
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V="):
+		printVersion(args[0])
+	case len(args) == 1 && args[0] == "-flags":
+		// No tool-specific flags; cmd/go parses this to validate the
+		// go vet command line.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		diags, err := runConfig(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vethotpath:", err)
+			os.Exit(1)
+		}
+		if len(diags) > 0 {
+			for _, d := range diags {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "vethotpath: run via go vet -vettool=$(which vethotpath) <packages>")
+		os.Exit(1)
+	}
+}
+
+// printVersion implements the -V=full handshake cmd/go uses to key its
+// analysis cache: the line embeds a content hash of the tool binary so
+// rebuilding the tool invalidates cached verdicts.
+func printVersion(arg string) {
+	if arg != "-V=full" {
+		fmt.Fprintf(os.Stderr, "vethotpath: unsupported flag %q\n", arg)
+		os.Exit(1)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vethotpath:", err)
+		os.Exit(1)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vethotpath:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "vethotpath:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+}
+
+// vetConfig is the subset of cmd/go's vet.cfg JSON the tool consumes.
+// Unknown fields are ignored, keeping the tool compatible across Go
+// releases.
+type vetConfig struct {
+	ID                        string            `json:"ID"`
+	Compiler                  string            `json:"Compiler"`
+	Dir                       string            `json:"Dir"`
+	ImportPath                string            `json:"ImportPath"`
+	GoFiles                   []string          `json:"GoFiles"`
+	ImportMap                 map[string]string `json:"ImportMap"`
+	PackageFile               map[string]string `json:"PackageFile"`
+	VetxOnly                  bool              `json:"VetxOnly"`
+	VetxOutput                string            `json:"VetxOutput"`
+	SucceedOnTypecheckFailure bool              `json:"SucceedOnTypecheckFailure"`
+}
+
+// runConfig executes one vet unit of work: parse the config, write the
+// (empty — this tool exports no facts) vetx output cmd/go expects,
+// and, if the package is on the hot-path list, typecheck and check it.
+func runConfig(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	// cmd/go caches the vetx file as the action's output; it must exist
+	// on every exit path, including a diagnostic-bearing one.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil // dependency pass: facts only, and we have none
+	}
+	targets := hotTargets(cfg.ImportPath)
+	if len(targets) == 0 {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(pkgPath string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[pkgPath]; ok {
+			pkgPath = mapped
+		}
+		file, ok := cfg.PackageFile[pkgPath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", pkgPath)
+		}
+		return os.Open(file)
+	})
+	tc := types.Config{Importer: imp}
+	if _, err := tc.Check(cfg.ImportPath, fset, files, info); err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return check(fset, files, info, targets), nil
+}
+
+// hotTargets resolves the hot-path file set for an import path,
+// tolerating cmd/go's test-variant suffixes ("pkg [pkg.test]").
+func hotTargets(importPath string) map[string]bool {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	for suffix, names := range hotFiles {
+		if importPath == suffix || strings.HasSuffix(importPath, "/"+suffix) {
+			set := make(map[string]bool, len(names))
+			for _, n := range names {
+				set[n] = true
+			}
+			return set
+		}
+	}
+	return nil
+}
+
+// check runs the three passes over every hot-path file and returns the
+// rendered diagnostics sorted by position.
+func check(fset *token.FileSet, files []*ast.File, info *types.Info, targets map[string]bool) []string {
+	var c checker
+	c.fset, c.info = fset, info
+	for _, f := range files {
+		base := filepath.Base(fset.Position(f.Pos()).Filename)
+		if !targets[base] || strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		c.ignore = ignoreLines(fset, f)
+		c.checkFile(f)
+	}
+	// Nested loops make the HP003 walk revisit inner bodies; sort and
+	// deduplicate instead of tracking visitation.
+	sort.Strings(c.diags)
+	out := c.diags[:0]
+	for i, d := range c.diags {
+		if i == 0 || d != c.diags[i-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ignoreLines collects the line numbers carrying a vethotpath:ignore
+// marker; a finding on a marked line or the line directly below one is
+// suppressed.
+func ignoreLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, cm := range cg.List {
+			if strings.Contains(cm.Text, "vethotpath:ignore") {
+				lines[fset.Position(cm.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// checker carries one run's state.
+type checker struct {
+	fset   *token.FileSet
+	info   *types.Info
+	ignore map[int]bool
+	diags  []string
+}
+
+func (c *checker) report(pos token.Pos, code, msg string) {
+	p := c.fset.Position(pos)
+	if c.ignore[p.Line] || c.ignore[p.Line-1] {
+		return
+	}
+	c.diags = append(c.diags, fmt.Sprintf("%s: [%s] %s", p, code, msg))
+}
+
+// checkFile walks one file's declarations. The exemption context
+// (cold rendering methods, panic arguments) is tracked on the way
+// down, so the passes themselves stay position-local.
+func (c *checker) checkFile(f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if ok && fd.Recv != nil && (fd.Name.Name == "Error" || fd.Name.Name == "String") {
+			// Rendering methods run when something is already being
+			// reported — cold by construction.
+			continue
+		}
+		ast.Inspect(decl, c.visit(false))
+	}
+}
+
+// visit returns the inspection closure; inPanic marks that the walk is
+// inside a panic(...) argument list.
+func (c *checker) visit(inPanic bool) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				// The message built for a panic is the last thing the
+				// process allocates; walk the args in exempt mode.
+				for _, a := range n.Args {
+					ast.Inspect(a, c.visit(true))
+				}
+				return false
+			}
+			if !inPanic {
+				c.checkSprint(n)
+			}
+		case *ast.RangeStmt:
+			c.checkMapRange(n)
+			c.checkLoopAppend(n.Body)
+		case *ast.ForStmt:
+			c.checkLoopAppend(n.Body)
+		}
+		return true
+	}
+}
+
+// checkSprint is HP001: fmt.Sprintf / Sprint / Sprintln allocate their
+// result on every call. fmt.Errorf is deliberately allowed — error
+// construction is a cold path.
+func (c *checker) checkSprint(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Sprintf", "Sprint", "Sprintln":
+	default:
+		return
+	}
+	pn, ok := c.info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return
+	}
+	c.report(call.Pos(), "HP001",
+		fmt.Sprintf("fmt.%s allocates on the hot path; build into a reused buffer or move the formatting to the cold side", sel.Sel.Name))
+}
+
+// checkMapRange is HP002: ranging over a map allocates the iterator
+// and yields a nondeterministic order.
+func (c *checker) checkMapRange(rs *ast.RangeStmt) {
+	tv, ok := c.info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+		c.report(rs.Pos(), "HP002",
+			"range over a map on the hot path: the iterator allocates and the order is nondeterministic; keep a sorted slice alongside")
+	}
+}
+
+// checkLoopAppend is HP003: `s = append(s, ...)` where s is declared
+// inside the same loop body reallocates the backing array every
+// iteration. The declaration set is resolved through the type
+// checker's Defs, so shadowing and nested scopes are handled.
+func (c *checker) checkLoopAppend(body *ast.BlockStmt) {
+	local := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.info.Defs[id]
+		if obj == nil {
+			return true
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+			local[obj] = true
+		}
+		return true
+	})
+	if len(local) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+			return true
+		}
+		arg, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.info.Uses[arg]
+		if obj == nil {
+			obj = c.info.Defs[arg]
+		}
+		if obj != nil && local[obj] {
+			c.report(as.Pos(), "HP003",
+				fmt.Sprintf("append to %s, declared inside this loop: the buffer reallocates every iteration; hoist it out and reuse with buf = buf[:0]", arg.Name))
+		}
+		return true
+	})
+}

@@ -124,9 +124,12 @@ func WithProgress(fn ProgressFunc) EngineOption {
 	return func(e *Engine) { e.progress = fn }
 }
 
-// WithWarnings sets a sink for non-fatal operational problems — today,
-// result-cache write failures (a full disk or read-only cache dir loses
-// memoization but never a verdict). Unset, such problems are silent.
+// WithWarnings sets a sink for non-fatal operational problems and
+// advisory findings: result-cache write failures (a full disk or
+// read-only cache dir loses memoization but never a verdict) and the
+// static analyzer's generation-time lint warnings (prefixed "lint:",
+// emitted whenever a Verify/Simulate job generates from a spec). Unset,
+// such problems are silent.
 func WithWarnings(fn func(msg string)) EngineOption {
 	return func(e *Engine) { e.warn = fn }
 }
@@ -345,7 +348,7 @@ func (e *Engine) Verify(ctx context.Context, job VerifyJob) (*VerifyResult, erro
 	}
 
 	if proto == nil {
-		if proto, err = core.Generate(spec, opts); err != nil {
+		if proto, err = core.GenerateWithWarnings(spec, opts, e.warn); err != nil {
 			return nil, err
 		}
 	}
@@ -369,7 +372,7 @@ func (e *Engine) Simulate(ctx context.Context, job SimulateJob) (SimStats, error
 		return SimStats{}, err
 	}
 	if proto == nil {
-		if proto, err = core.Generate(spec, opts); err != nil {
+		if proto, err = core.GenerateWithWarnings(spec, opts, e.warn); err != nil {
 			return SimStats{}, err
 		}
 	}

@@ -1,0 +1,242 @@
+// Package analyze is ProtoGen's static analyzer: a suite of flow and
+// structure passes over both layers of the IR — the atomic SSP
+// (ir.Spec) and the generated concurrent protocol (ir.Protocol) — that
+// finds defects without any state exploration. Where the model checker
+// enumerates reachable system states (seconds to minutes per spec), the
+// analyzer inspects only the spec's own graphs: stable-state
+// reachability, message flow between the two machine kinds, variable
+// def-use, data-payload consumption, ack fan-out consistency, handler
+// coverage and guard overlap. Each finding is a Diagnostic with a stable
+// PG1xx/PG2xx code (ir.Code, shared with the PG0xx validation errors),
+// a severity, and a machine-local location, so CLIs, the service and CI
+// can filter and grep them; Reports marshal directly to JSON.
+//
+// The analyzer is deliberately one-sided: error-severity diagnostics are
+// reserved for defects that are provable from the spec alone (a
+// reachable await no arm of which can ever be satisfied), while
+// anything that depends on runtime state the passes cannot see —
+// whether a message can actually arrive at a particular stable state,
+// whether a written variable's value matters — is reported at warning
+// or info severity. The fuzz campaign exploits this contract: a lint
+// error on a spec the model checker passes is itself a campaign
+// failure (see docs/ANALYSIS.md for the verdict semantics and the full
+// code table).
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"protogen/internal/ir"
+)
+
+// Severity ranks a diagnostic. The analyzer's false-positive policy
+// hangs off this: SevError is reserved for statically provable defects,
+// SevWarning for findings that are almost always bugs but depend on
+// reachability the passes over-approximate, SevInfo for notes that are
+// legitimate in some protocol shapes (dead writes, stable-state
+// coverage holes).
+type Severity int
+
+// Severities, ordered so higher is worse.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	}
+	return "severity?"
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses the lowercase severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var n string
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	switch n {
+	case "info":
+		*s = SevInfo
+	case "warning":
+		*s = SevWarning
+	case "error":
+		*s = SevError
+	default:
+		return fmt.Errorf("unknown severity %q", n)
+	}
+	return nil
+}
+
+// Diagnostic is one finding: a stable code, a severity, and a
+// machine-local location.
+type Diagnostic struct {
+	Code     ir.Code  `json:"code"`
+	Severity Severity `json:"severity"`
+	Machine  string   `json:"machine,omitempty"` // "cache", "directory", or "" for spec-wide
+	Loc      string   `json:"loc,omitempty"`     // e.g. `process (S, GetM)`, `state S_ad x Inv`
+	Msg      string   `json:"msg"`
+}
+
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", d.Code, d.Severity)
+	if d.Machine != "" {
+		b.WriteString(" [" + d.Machine)
+		if d.Loc != "" {
+			b.WriteString(" " + d.Loc)
+		}
+		b.WriteString("]")
+	} else if d.Loc != "" {
+		b.WriteString(" [" + d.Loc + "]")
+	}
+	b.WriteString(": " + d.Msg)
+	return b.String()
+}
+
+// Report is the result of analyzing one subject at one layer.
+type Report struct {
+	Subject  string       `json:"subject"`        // protocol name
+	Layer    string       `json:"layer"`          // "spec" or "protocol"
+	Mode     string       `json:"mode,omitempty"` // generation mode for protocol layers
+	Diags    []Diagnostic `json:"diagnostics"`
+	Errors   int          `json:"errors"`
+	Warnings int          `json:"warnings"`
+	Infos    int          `json:"infos"`
+}
+
+func (r *Report) add(sev Severity, code ir.Code, machine, loc, format string, args ...any) {
+	r.Diags = append(r.Diags, Diagnostic{
+		Code: code, Severity: sev, Machine: machine, Loc: loc,
+		Msg: fmt.Sprintf(format, args...),
+	})
+	switch sev {
+	case SevError:
+		r.Errors++
+	case SevWarning:
+		r.Warnings++
+	default:
+		r.Infos++
+	}
+}
+
+// Clean reports whether the subject passed lint: no errors and no
+// warnings (info notes are allowed; see the false-positive policy).
+func (r *Report) Clean() bool { return r.Errors == 0 && r.Warnings == 0 }
+
+// Broken reports whether lint found a statically provable defect.
+func (r *Report) Broken() bool { return r.Errors > 0 }
+
+// Verdict summarizes the report for cross-checking against the model
+// checker: "broken" (≥1 error), "suspect" (≥1 warning), or "clean".
+func (r *Report) Verdict() string {
+	switch {
+	case r.Errors > 0:
+		return "broken"
+	case r.Warnings > 0:
+		return "suspect"
+	}
+	return "clean"
+}
+
+// Filter returns a copy keeping only diagnostics whose code is in
+// codes; a nil/empty set keeps everything.
+func (r *Report) Filter(codes map[ir.Code]bool) *Report {
+	if len(codes) == 0 {
+		return r
+	}
+	out := &Report{Subject: r.Subject, Layer: r.Layer, Mode: r.Mode}
+	for _, d := range r.Diags {
+		if codes[d.Code] {
+			out.add(d.Severity, d.Code, d.Machine, d.Loc, "%s", d.Msg)
+		}
+	}
+	return out
+}
+
+// sortDiags orders diagnostics worst-first, then by code, machine and
+// location, for deterministic output.
+func (r *Report) sortDiags() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		return a.Loc < b.Loc
+	})
+}
+
+// CheckSpec runs every spec-level pass over s. Validation runs first: a
+// spec ir.ValidateSpec rejects yields a single error-severity
+// diagnostic carrying the validation code, and the flow passes (which
+// assume well-formedness) are skipped.
+func CheckSpec(s *ir.Spec) *Report {
+	rep := &Report{Subject: s.Name, Layer: "spec"}
+	if err := ir.ValidateSpec(s); err != nil {
+		code := ir.CodeOf(err)
+		if code == "" {
+			code = ir.CodeSpecName
+		}
+		rep.add(SevError, code, "", "", "validation failed: %v", err)
+		return rep
+	}
+	f := gatherSpecFacts(s)
+	passSpecReachability(s, f, rep)
+	passMessageFlow(s, f, rep)
+	passAckBalance(s, f, rep)
+	passDefUse(s, rep)
+	passAckFanout(s, rep)
+	passDroppedData(s, f, rep)
+	rep.sortDiags()
+	return rep
+}
+
+// CheckProtocol runs every protocol-level pass over a generated
+// concurrent protocol. mode labels the report (e.g. "stalling"); it
+// does not change the analysis. Validation runs first, as in CheckSpec.
+func CheckProtocol(p *ir.Protocol, mode string) *Report {
+	rep := &Report{Subject: p.Name, Layer: "protocol", Mode: mode}
+	if err := ir.ValidateProtocol(p); err != nil {
+		code := ir.CodeOf(err)
+		if code == "" {
+			code = ir.CodeProtoMachine
+		}
+		rep.add(SevError, code, "", "", "validation failed: %v", err)
+		return rep
+	}
+	for _, m := range []*ir.Machine{p.Cache, p.Dir} {
+		reach := protoReachable(m)
+		passProtoReachability(m, reach, rep)
+		passCoverage(p, m, reach, rep)
+		passGuardOverlap(m, reach, rep)
+	}
+	rep.sortDiags()
+	return rep
+}
+
+// machineLabel names a machine kind the way diagnostics and the DSL do.
+func machineLabel(k ir.MachineKind) string {
+	if k == ir.KindDirectory {
+		return "directory"
+	}
+	return "cache"
+}

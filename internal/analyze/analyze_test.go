@@ -1,0 +1,348 @@
+package analyze
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"protogen/internal/dsl"
+	"protogen/internal/ir"
+)
+
+// lintSource parses DSL source and runs the spec passes.
+func lintSource(t *testing.T, src string) *Report {
+	t.Helper()
+	spec, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return CheckSpec(spec)
+}
+
+// codes collects the distinct codes present in a report.
+func codes(r *Report) map[ir.Code]bool {
+	out := map[ir.Code]bool{}
+	for _, d := range r.Diags {
+		out[d.Code] = true
+	}
+	return out
+}
+
+// miBase is a minimal clean MI protocol the defect tests perturb.
+const miBase = `
+protocol T;
+network ordered;
+
+message request GetM;
+message request put PutM;
+message forward Fwd_GetM Put_Ack;
+message response Data;
+
+machine cache {
+  states I M;
+  init I;
+  data block;
+}
+
+machine directory {
+  states I M;
+  init I;
+  data block;
+  id owner;
+}
+
+architecture cache {
+  process (I, store) {
+    send GetM to dir;
+    await {
+      when Data { copydata; state = M; }
+    }
+  }
+  process (M, store) { hit; }
+  process (M, repl) {
+    send PutM to dir with data;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+  process (M, Fwd_GetM) {
+    send Data to req with data;
+    state = I;
+  }
+}
+
+architecture directory {
+  process (I, GetM) {
+    send Data to src with data;
+    owner = src;
+    state = M;
+  }
+  process (M, GetM) {
+    send Fwd_GetM to owner req src;
+    owner = src;
+  }
+  process (M, PutM) from owner {
+    writeback;
+    owner = none;
+    send Put_Ack to src;
+    state = I;
+  }
+}
+`
+
+func TestCleanSpecHasNoFindings(t *testing.T) {
+	rep := lintSource(t, miBase)
+	if !rep.Clean() {
+		t.Fatalf("base spec not clean: %+v", rep.Diags)
+	}
+	if rep.Verdict() != "clean" {
+		t.Fatalf("verdict = %s, want clean", rep.Verdict())
+	}
+}
+
+func TestValidationFailureBecomesDiagnostic(t *testing.T) {
+	spec, err := dsl.Parse(miBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Cache.Init = "Z" // undeclared
+	rep := CheckSpec(spec)
+	if !rep.Broken() || len(rep.Diags) != 1 {
+		t.Fatalf("want a single error diagnostic, got %+v", rep.Diags)
+	}
+	if rep.Diags[0].Code != ir.CodeBadInit {
+		t.Fatalf("code = %s, want %s", rep.Diags[0].Code, ir.CodeBadInit)
+	}
+}
+
+func TestUnreachableStateAndDeadProcess(t *testing.T) {
+	src := strings.Replace(miBase, "states I M;\n  init I;\n  data block;\n  id owner;",
+		"states I M Z;\n  init I;\n  data block;\n  id owner;", 1)
+	src = strings.Replace(src, "architecture directory {",
+		"architecture directory {\n  process (Z, GetM) { send Data to src with data; state = M; }", 1)
+	rep := lintSource(t, src)
+	cs := codes(rep)
+	if !cs[ir.CodeUnreachableState] || !cs[ir.CodeDeadProcess] {
+		t.Fatalf("want PG101+PG102, got %+v", rep.Diags)
+	}
+}
+
+func TestMessageNeverSentAndDeadTrigger(t *testing.T) {
+	// Drop the cache's eviction process: PutM is still declared and the
+	// directory still expects it.
+	src := strings.Replace(miBase, `  process (M, repl) {
+    send PutM to dir with data;
+    await {
+      when Put_Ack { state = I; }
+    }
+  }
+`, "", 1)
+	rep := lintSource(t, src)
+	cs := codes(rep)
+	for _, want := range []ir.Code{ir.CodeMsgNeverSent, ir.CodeMsgNeverHandled, ir.CodeDeadTrigger} {
+		if !cs[want] {
+			t.Errorf("missing %s in %+v", want, rep.Diags)
+		}
+	}
+}
+
+func TestStuckAwaitIsError(t *testing.T) {
+	// The directory never sends Put_Ack: the eviction await can never
+	// complete.
+	src := strings.Replace(miBase, "send Put_Ack to src;\n", "", 1)
+	rep := lintSource(t, src)
+	if !rep.Broken() {
+		t.Fatalf("want broken verdict, got %+v", rep.Diags)
+	}
+	cs := codes(rep)
+	if !cs[ir.CodeStuckAwait] || !cs[ir.CodeDeadArm] {
+		t.Fatalf("want PG110+PG103, got %+v", rep.Diags)
+	}
+}
+
+func TestDroppedDataWarning(t *testing.T) {
+	src := strings.Replace(miBase, "writeback;\n", "", 1)
+	rep := lintSource(t, src)
+	if !codes(rep)[ir.CodeDroppedData] {
+		t.Fatalf("want PG112, got %+v", rep.Diags)
+	}
+}
+
+func TestDefUse(t *testing.T) {
+	// An extra int that is read but never written, and one written but
+	// never read.
+	src := strings.Replace(miBase, "data block;\n  id owner;",
+		"data block;\n  id owner;\n  int neverWritten;\n  int neverRead;", 1)
+	src = strings.Replace(src, "process (M, GetM) {",
+		"process (M, GetM) {\n    neverRead = (neverWritten + 1);", 1)
+	rep := lintSource(t, src)
+	var r, w bool
+	for _, d := range rep.Diags {
+		if d.Code == ir.CodeReadBeforeWrite && strings.Contains(d.Msg, "neverWritten") {
+			r = true
+		}
+		if d.Code == ir.CodeDeadWrite && strings.Contains(d.Msg, "neverRead") {
+			w = true
+		}
+	}
+	if !r || !w {
+		t.Fatalf("want PG107(neverWritten)+PG108(neverRead), got %+v", rep.Diags)
+	}
+}
+
+func TestAckFanoutMismatch(t *testing.T) {
+	src := `
+protocol T;
+network ordered;
+message request GetM;
+message forward Inv;
+message response Data Inv_Ack;
+machine cache {
+  states I M;
+  init I;
+  data block;
+}
+machine directory {
+  states I M;
+  init I;
+  data block;
+  idset sharers;
+}
+architecture cache {
+  process (I, store) {
+    send GetM to dir;
+    await {
+      when Data if acks == 0 { copydata; state = M; }
+      when Data if acks > 0 { copydata; state = M; }
+    }
+  }
+  process (M, Inv) {
+    send Inv_Ack to req;
+    state = I;
+  }
+}
+architecture directory {
+  process (I, GetM) {
+    send Data to src with data acks count(sharers);
+    send Inv to sharers except src req src;
+    sharers.clear;
+    state = M;
+  }
+}
+`
+	rep := lintSource(t, src)
+	if !codes(rep)[ir.CodeAckFanout] {
+		t.Fatalf("want PG111, got %+v", rep.Diags)
+	}
+	// The consistent form is quiet.
+	fixed := strings.Replace(src, "acks count(sharers);", "acks count(sharers except src);", 1)
+	if rep := lintSource(t, fixed); codes(rep)[ir.CodeAckFanout] {
+		t.Fatalf("consistent fan-out flagged: %+v", rep.Diags)
+	}
+}
+
+func TestGuardsOverlap(t *testing.T) {
+	acks := ir.Field("acks")
+	zero := ir.Binop(ir.OpEq, acks, ir.Const(0))
+	pos := ir.Binop(ir.OpGt, acks, ir.Const(0))
+	if ov, ok := guardsOverlap(zero, pos); !ok || ov {
+		t.Fatalf("acks==0 vs acks>0: overlap=%v decided=%v, want false/true", ov, ok)
+	}
+	ge := ir.Binop(ir.OpGe, acks, ir.Const(0))
+	le := ir.Binop(ir.OpLe, acks, ir.Const(1))
+	if ov, ok := guardsOverlap(ge, le); !ok || !ov {
+		t.Fatalf("acks>=0 vs acks<=1: overlap=%v decided=%v, want true/true", ov, ok)
+	}
+	if ov, ok := guardsOverlap(nil, zero); !ok || !ov {
+		t.Fatalf("nil vs acks==0: overlap=%v decided=%v, want true/true", ov, ok)
+	}
+	// Too many atoms to enumerate: undecided, not a finding.
+	var wide *ir.Expr
+	for _, n := range []string{"a", "b", "c", "d", "e", "f", "g"} {
+		c := ir.Binop(ir.OpEq, ir.Var(n), ir.Const(0))
+		if wide == nil {
+			wide = c
+		} else {
+			wide = ir.Binop(ir.OpAnd, wide, c)
+		}
+	}
+	if _, ok := guardsOverlap(wide, wide); ok {
+		t.Fatal("7-atom pair should be undecided")
+	}
+}
+
+func TestGuardOverlapOnProtocol(t *testing.T) {
+	p := &ir.Protocol{Name: "T"}
+	for _, k := range []ir.MachineKind{ir.KindCache, ir.KindDirectory} {
+		m := ir.NewMachine(machineLabel(k), k)
+		m.Init = "I"
+		if err := m.AddState(&ir.State{Name: "I", Kind: ir.Stable}); err != nil {
+			t.Fatal(err)
+		}
+		if k == ir.KindCache {
+			p.Cache = m
+		} else {
+			p.Dir = m
+		}
+	}
+	acks := ir.Field("acks")
+	p.Cache.AddTransition(ir.Transition{
+		From: "I", Ev: ir.MsgEvent("Data"), Next: "I",
+		Guard: ir.Binop(ir.OpGe, acks, ir.Const(0)), GuardLabel: "acks>=0",
+	})
+	p.Cache.AddTransition(ir.Transition{
+		From: "I", Ev: ir.MsgEvent("Data"), Next: "I",
+		Guard: ir.Binop(ir.OpLe, acks, ir.Const(1)), GuardLabel: "acks<=1",
+	})
+	rep := CheckProtocol(p, "stalling")
+	if !codes(rep)[ir.CodeGuardOverlap] {
+		t.Fatalf("want PG204, got %+v", rep.Diags)
+	}
+}
+
+func TestProtoUnreachableState(t *testing.T) {
+	p := &ir.Protocol{Name: "T"}
+	cm := ir.NewMachine("cache", ir.KindCache)
+	cm.Init = "I"
+	for _, n := range []ir.StateName{"I", "Z"} {
+		if err := cm.AddState(&ir.State{Name: n, Kind: ir.Stable}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cm.AddTransition(ir.Transition{From: "Z", Ev: ir.MsgEvent("Data"), Next: "I"})
+	dm := ir.NewMachine("directory", ir.KindDirectory)
+	dm.Init = "I"
+	if err := dm.AddState(&ir.State{Name: "I", Kind: ir.Stable}); err != nil {
+		t.Fatal(err)
+	}
+	p.Cache, p.Dir = cm, dm
+	rep := CheckProtocol(p, "stalling")
+	cs := codes(rep)
+	if !cs[ir.CodeProtoUnreachable] || !cs[ir.CodeProtoDeadTransition] {
+		t.Fatalf("want PG201+PG202, got %+v", rep.Diags)
+	}
+}
+
+func TestReportJSONAndFilter(t *testing.T) {
+	rep := &Report{Subject: "T", Layer: "spec"}
+	rep.add(SevError, ir.CodeStuckAwait, "cache", "process (I, store)", "stuck")
+	rep.add(SevInfo, ir.CodeDeadWrite, "cache", "variable x", "dead")
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Diags) != 2 || back.Diags[0].Severity != SevError {
+		t.Fatalf("roundtrip lost data: %s", b)
+	}
+	got := rep.Filter(map[ir.Code]bool{ir.CodeDeadWrite: true})
+	if len(got.Diags) != 1 || got.Diags[0].Code != ir.CodeDeadWrite {
+		t.Fatalf("filter: %+v", got.Diags)
+	}
+	if rep.Verdict() != "broken" {
+		t.Fatalf("verdict = %q", rep.Verdict())
+	}
+}

@@ -1,0 +1,149 @@
+package analyze
+
+import (
+	"protogen/internal/ir"
+)
+
+// guardsOverlap decides whether two transition guards can be true in
+// the same evaluation environment, by enumerating small integer domains
+// over the guards' atoms (variables, message fields, set counts and
+// membership tests). A nil guard is unconditional. The enumeration is
+// exact for the guard language the generator emits — comparisons and
+// boolean combinations over counters bounded by the ack handshake — as
+// long as witnesses fit the probed domain; decided is false when the
+// pair has too many atoms to enumerate.
+func guardsOverlap(a, b *ir.Expr) (overlap, decided bool) {
+	if a == nil && b == nil {
+		return true, true
+	}
+	atoms := map[string]*ir.Expr{}
+	collectAtoms(a, atoms)
+	collectAtoms(b, atoms)
+	if len(atoms) > maxAtoms {
+		return false, false
+	}
+	keys := make([]string, 0, len(atoms))
+	for k := range atoms {
+		keys = append(keys, k)
+	}
+	env := map[string]int{}
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == len(keys) {
+			return truthy(a, env) && truthy(b, env)
+		}
+		for _, v := range atomDomain(atoms[keys[i]]) {
+			env[keys[i]] = v
+			if try(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return try(0), true
+}
+
+// maxAtoms bounds the enumeration: domains have ≤5 values, so the
+// worst case is 5^6 ≈ 15.6k environments per pair.
+const maxAtoms = 6
+
+// atomKey names an atomic (non-boolean-composite) leaf so identical
+// atoms across the two guards share one environment slot.
+func atomKey(e *ir.Expr) string {
+	switch e.Kind {
+	case ir.EVar:
+		return "v:" + e.Name
+	case ir.EField:
+		return "f:" + e.Name
+	case ir.ECount, ir.EInSet:
+		// Renders except/member subexpressions, so count(S) and
+		// count(S except src) are distinct atoms.
+		return "e:" + e.String()
+	}
+	return ""
+}
+
+func collectAtoms(e *ir.Expr, into map[string]*ir.Expr) {
+	if e == nil {
+		return
+	}
+	switch e.Kind {
+	case ir.EBinop:
+		collectAtoms(e.L, into)
+		collectAtoms(e.R, into)
+	case ir.ENot:
+		collectAtoms(e.L, into)
+	case ir.EConst, ir.ENone:
+	default:
+		into[atomKey(e)] = e
+	}
+}
+
+// atomDomain picks the probe values for one atom. Id-valued atoms
+// include the distinguished none value (-1); counts and membership
+// tests stay non-negative.
+func atomDomain(e *ir.Expr) []int {
+	switch e.Kind {
+	case ir.EInSet:
+		return []int{0, 1}
+	case ir.ECount:
+		return []int{0, 1, 2, 3}
+	}
+	return []int{-1, 0, 1, 2, 3}
+}
+
+// evalAtom evaluates a guard under env; atoms read their slot,
+// constants and none their value, composites recurse. Booleans are 0/1.
+func evalAtom(e *ir.Expr, env map[string]int) int {
+	switch e.Kind {
+	case ir.EConst:
+		return e.Int
+	case ir.ENone:
+		return -1
+	case ir.ENot:
+		if evalAtom(e.L, env) != 0 {
+			return 0
+		}
+		return 1
+	case ir.EBinop:
+		l, r := evalAtom(e.L, env), evalAtom(e.R, env)
+		switch e.Op {
+		case ir.OpAdd:
+			return l + r
+		case ir.OpSub:
+			return l - r
+		case ir.OpEq:
+			return b2i(l == r)
+		case ir.OpNe:
+			return b2i(l != r)
+		case ir.OpLt:
+			return b2i(l < r)
+		case ir.OpLe:
+			return b2i(l <= r)
+		case ir.OpGt:
+			return b2i(l > r)
+		case ir.OpGe:
+			return b2i(l >= r)
+		case ir.OpAnd:
+			return b2i(l != 0 && r != 0)
+		case ir.OpOr:
+			return b2i(l != 0 || r != 0)
+		}
+	}
+	return env[atomKey(e)]
+}
+
+// truthy evaluates a guard as a condition; nil guards are true.
+func truthy(e *ir.Expr, env map[string]int) bool {
+	if e == nil {
+		return true
+	}
+	return evalAtom(e, env) != 0
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,168 @@
+package analyze
+
+import (
+	"protogen/internal/ir"
+)
+
+// protoReachable computes the states reachable from init over the
+// transition graph, ignoring events and guards. Because that
+// over-approximates what can actually fire, a state unreachable here is
+// definitely unreachable at runtime.
+func protoReachable(m *ir.Machine) map[ir.StateName]bool {
+	reach := map[ir.StateName]bool{m.Init: true}
+	for changed := true; changed; {
+		changed = false
+		for _, t := range m.Trans {
+			if t.Stall || !reach[t.From] || reach[t.Next] {
+				continue
+			}
+			reach[t.Next] = true
+			changed = true
+		}
+	}
+	return reach
+}
+
+// passProtoReachability flags generated states the transition graph
+// cannot reach from init (PG201) and the dead transitions out of them
+// (PG202). The generator should never emit either; they indicate a
+// lowering bug or a hand-edited table.
+func passProtoReachability(m *ir.Machine, reach map[ir.StateName]bool, rep *Report) {
+	for _, n := range m.Order {
+		if reach[n] {
+			continue
+		}
+		rep.add(SevWarning, ir.CodeProtoUnreachable, machineLabel(m.Kind), "state "+string(n),
+			"generated state %s is unreachable from init state %s", n, m.Init)
+		for _, t := range m.TransFrom(n) {
+			rep.add(SevInfo, ir.CodeProtoDeadTransition, machineLabel(m.Kind), "state "+string(n),
+				"transition %s can never fire (source state unreachable)", t.Key())
+		}
+	}
+}
+
+// unsolicited returns the message types that can arrive at a machine of
+// kind k without being asked for: requests at the directory, forwarded
+// requests and invalidations at a cache. Responses are excluded — they
+// only arrive while the receiver sits in a transient state whose await
+// the generator derived from the spec. Only types some machine actually
+// sends are returned (scanning transition actions and deferred-action
+// tables, so preprocessing renames are already applied).
+func unsolicited(p *ir.Protocol, k ir.MachineKind) []ir.MsgType {
+	var wantClass ir.MsgClass
+	var sender *ir.Machine
+	if k == ir.KindDirectory {
+		wantClass, sender = ir.ClassRequest, p.Cache
+	} else {
+		wantClass, sender = ir.ClassForward, p.Dir
+	}
+	seen := map[ir.MsgType]bool{}
+	var out []ir.MsgType
+	record := func(mt ir.MsgType) {
+		if seen[mt] {
+			return
+		}
+		if d, ok := p.MsgDeclOf(mt); ok && d.Class == wantClass {
+			seen[mt] = true
+			out = append(out, mt)
+		}
+	}
+	for _, t := range sender.Trans {
+		for _, a := range t.Actions {
+			if a.Op == ir.ASend {
+				record(a.Msg)
+			}
+		}
+	}
+	for _, as := range sender.DeferredActions {
+		for _, a := range as {
+			if a.Op == ir.ASend {
+				record(a.Msg)
+			}
+		}
+	}
+	return out
+}
+
+// passCoverage checks the generated table for handler holes: a (state,
+// unsolicited message) pair with neither a transition nor a stall
+// (PG203). An unhandled arrival is a runtime error in the interpreter,
+// but whether an arrival can actually happen depends on system
+// reachability the analyzer deliberately does not explore (the
+// directory only forwards to caches it believes hold the line, which
+// rules most holes out — the model checker confirms this for every
+// shipped registry protocol). Coverage holes are therefore always
+// info severity: an inventory for the protocol author, and the first
+// place to look when the checker reports an unexpected-message error.
+// See the false-positive policy in docs/ANALYSIS.md.
+func passCoverage(p *ir.Protocol, m *ir.Machine, reach map[ir.StateName]bool, rep *Report) {
+	msgs := unsolicited(p, m.Kind)
+	if len(msgs) == 0 {
+		return
+	}
+	covered := map[ir.StateName]map[ir.MsgType]bool{}
+	for _, t := range m.Trans {
+		if t.Ev.Kind != ir.EvMsg {
+			continue
+		}
+		if covered[t.From] == nil {
+			covered[t.From] = map[ir.MsgType]bool{}
+		}
+		covered[t.From][t.Ev.Msg] = true
+	}
+	for _, n := range m.Order {
+		if !reach[n] {
+			continue
+		}
+		st := m.State(n)
+		for _, mt := range msgs {
+			if covered[n][mt] {
+				continue
+			}
+			if re, ok := p.Reinterpret[mt]; ok && covered[n][re] {
+				continue
+			}
+			rep.add(SevInfo, ir.CodeCoverageHole, machineLabel(m.Kind), "state "+string(n),
+				"no handler (and no stall) for %s at %s state %s: an arrival would be a runtime error", mt, st.Kind, n)
+		}
+	}
+}
+
+// passGuardOverlap looks for nondeterministic dispatch: two transitions
+// on the same (state, event) whose guards can be true at once (PG204).
+// The runtime treats that as an ambiguity error, so any overlap the
+// small-domain enumeration can prove is reported. Pairs involving an
+// opaque guard (a labelled cell with no expression) are skipped.
+func passGuardOverlap(m *ir.Machine, reach map[ir.StateName]bool, rep *Report) {
+	type cell struct {
+		from ir.StateName
+		ev   string
+	}
+	groups := map[cell][]*ir.Transition{}
+	for i := range m.Trans {
+		t := &m.Trans[i]
+		if !reach[t.From] {
+			continue
+		}
+		groups[cell{t.From, t.Ev.String()}] = append(groups[cell{t.From, t.Ev.String()}], t)
+	}
+	for c, ts := range groups {
+		if len(ts) < 2 {
+			continue
+		}
+		for i := 0; i < len(ts); i++ {
+			for j := i + 1; j < len(ts); j++ {
+				a, b := ts[i], ts[j]
+				if (a.Guard == nil && a.GuardLabel != "") || (b.Guard == nil && b.GuardLabel != "") {
+					continue // opaque labelled cell; nothing to reason about
+				}
+				if overlap, decided := guardsOverlap(a.Guard, b.Guard); decided && overlap {
+					rep.add(SevWarning, ir.CodeGuardOverlap, machineLabel(m.Kind),
+						"state "+string(c.from),
+						"transitions %s and %s can both fire on %s at %s: dispatch is ambiguous",
+						a.Key(), b.Key(), c.ev, c.from)
+				}
+			}
+		}
+	}
+}

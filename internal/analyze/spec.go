@@ -1,0 +1,466 @@
+package analyze
+
+import (
+	"fmt"
+
+	"protogen/internal/ir"
+)
+
+// destSet is a bitmask of machine kinds a send can reach. Destinations
+// the analyzer cannot resolve statically (a cache replying "to src")
+// are recorded as both kinds, which keeps the never-handled pass
+// one-sided: it only fires when no possible receiver handles the type.
+type destSet byte
+
+const (
+	toCache destSet = 1 << iota
+	toDir
+)
+
+func (d destSet) has(k ir.MachineKind) bool {
+	if k == ir.KindDirectory {
+		return d&toDir != 0
+	}
+	return d&toCache != 0
+}
+
+// destOf resolves the receiver kinds of one send issued by a machine of
+// kind from.
+func destOf(a ir.Action, from ir.MachineKind) destSet {
+	switch a.Dst {
+	case ir.DstDir:
+		return toDir
+	case ir.DstOwner, ir.DstSharers, ir.DstDeferred, ir.DstMsgReq:
+		// Owners, sharers, deferred requestors and msg.req are always
+		// caches.
+		return toCache
+	case ir.DstMsgSrc:
+		if from == ir.KindDirectory {
+			// Everything arriving at the directory was sent by a cache.
+			return toCache
+		}
+		// A message arriving at a cache may have come from either kind.
+		return toCache | toDir
+	}
+	return toCache | toDir
+}
+
+// specFacts is the shared message-flow summary the spec passes consume.
+type specFacts struct {
+	declared []ir.MsgType
+	// sentTo[m] = union of statically resolved receiver kinds over every
+	// send of m; sends whose receiver cannot be resolved set ambig[m]
+	// instead.
+	sentTo map[ir.MsgType]destSet
+	ambig  map[ir.MsgType]bool
+	// handledBy[m] = kinds that handle m via a trigger or an await arm.
+	handledBy map[ir.MsgType]destSet
+	// dataAlways[m]: m is sent at least once and every send carries data.
+	dataAlways map[ir.MsgType]bool
+	// acksSupplied / acksRead: some send announces an ack count / some
+	// expression reads msg.acks, per machine kind.
+	acksSupplied destSet
+	acksRead     destSet
+}
+
+func (f *specFacts) sent(m ir.MsgType) bool { return f.sentTo[m] != 0 || f.ambig[m] }
+
+// sendableTo reports whether some machine may send m to kind k
+// (unresolved sends count for both kinds, keeping dead-arm and
+// stuck-await findings one-sided).
+func (f *specFacts) sendableTo(m ir.MsgType, k ir.MachineKind) bool {
+	return f.sentTo[m].has(k) || f.ambig[m]
+}
+
+// eachTxnAction visits every action of the transaction: init actions
+// first, then each await arm's actions in preorder.
+func eachTxnAction(t *ir.Transaction, fn func(ir.Action)) {
+	for _, a := range t.InitActions {
+		fn(a)
+	}
+	t.Await.EachAwait(func(aw *ir.Await) {
+		for _, c := range aw.Cases {
+			for _, a := range c.Actions {
+				fn(a)
+			}
+		}
+	})
+}
+
+// eachTxnExpr visits every expression of the transaction: guards,
+// assignment and set-op operands, and payload computations.
+func eachTxnExpr(t *ir.Transaction, fn func(*ir.Expr)) {
+	visit := func(as []ir.Action) {
+		for _, a := range as {
+			a.Expr.Walk(fn)
+			a.Payload.Acks.Walk(fn)
+			a.Payload.Req.Walk(fn)
+		}
+	}
+	visit(t.InitActions)
+	t.Await.EachAwait(func(aw *ir.Await) {
+		for _, c := range aw.Cases {
+			c.Guard.Walk(fn)
+			visit(c.Actions)
+		}
+	})
+}
+
+func gatherSpecFacts(s *ir.Spec) *specFacts {
+	f := &specFacts{
+		sentTo:     map[ir.MsgType]destSet{},
+		ambig:      map[ir.MsgType]bool{},
+		handledBy:  map[ir.MsgType]destSet{},
+		dataAlways: map[ir.MsgType]bool{},
+	}
+	plain := map[ir.MsgType]bool{} // sent at least once without data
+	for _, d := range s.Msgs {
+		f.declared = append(f.declared, d.Type)
+	}
+	for _, m := range []*ir.MachineSpec{s.Cache, s.Dir} {
+		kbit := destSet(toCache)
+		if m.Kind == ir.KindDirectory {
+			kbit = toDir
+		}
+		for _, t := range m.Txns {
+			if t.Trigger.Kind == ir.EvMsg {
+				f.handledBy[t.Trigger.Msg] |= kbit
+			}
+			t.Await.EachAwait(func(aw *ir.Await) {
+				for _, c := range aw.Cases {
+					f.handledBy[c.Msg] |= kbit
+				}
+			})
+			eachTxnAction(t, func(a ir.Action) {
+				if a.Op != ir.ASend {
+					return
+				}
+				if d := destOf(a, m.Kind); d == toCache|toDir {
+					f.ambig[a.Msg] = true
+				} else {
+					f.sentTo[a.Msg] |= d
+				}
+				if a.Payload.WithData {
+					f.dataAlways[a.Msg] = true
+				} else {
+					plain[a.Msg] = true
+				}
+				if a.Payload.Acks != nil {
+					f.acksSupplied |= kbit
+				}
+			})
+			eachTxnExpr(t, func(e *ir.Expr) {
+				if e.Kind == ir.EField && e.Name == "acks" {
+					f.acksRead |= kbit
+				}
+			})
+		}
+	}
+	for m := range plain {
+		f.dataAlways[m] = false
+	}
+	return f
+}
+
+// txnLoc renders a transaction location the way the DSL spells it.
+func txnLoc(t *ir.Transaction) string {
+	loc := fmt.Sprintf("process (%s, %s)", t.Start, t.Trigger)
+	if t.Src != ir.SrcAny {
+		loc += " " + t.Src.String()
+	}
+	return loc
+}
+
+// passSpecReachability walks each machine's stable-state graph from
+// init (PG101 unreachable state, PG102 dead process) and flags awaits
+// no arm of which waits on a sendable message (PG110 stuck await).
+func passSpecReachability(s *ir.Spec, f *specFacts, rep *Report) {
+	for _, m := range []*ir.MachineSpec{s.Cache, s.Dir} {
+		reach := map[ir.StateName]bool{m.Init: true}
+		for changed := true; changed; {
+			changed = false
+			for _, t := range m.Txns {
+				if !reach[t.Start] {
+					continue
+				}
+				for _, fin := range t.Finals() {
+					if fin != "" && !reach[fin] {
+						reach[fin] = true
+						changed = true
+					}
+				}
+			}
+		}
+		for _, d := range m.Stable {
+			if !reach[d.Name] {
+				rep.add(SevWarning, ir.CodeUnreachableState, machineLabel(m.Kind), "state "+string(d.Name),
+					"stable state %s is unreachable from init state %s", d.Name, m.Init)
+			}
+		}
+		for _, t := range m.Txns {
+			if !reach[t.Start] {
+				rep.add(SevWarning, ir.CodeDeadProcess, machineLabel(m.Kind), txnLoc(t),
+					"process starts at unreachable state %s", t.Start)
+				continue
+			}
+			t.Await.EachAwait(func(aw *ir.Await) {
+				live := 0
+				for _, c := range aw.Cases {
+					if f.sendableTo(c.Msg, m.Kind) {
+						live++
+					} else {
+						rep.add(SevWarning, ir.CodeDeadArm, machineLabel(m.Kind), txnLoc(t),
+							"await arm waits for %s, which is never sent to the %s", c.Msg, machineLabel(m.Kind))
+					}
+				}
+				if live == 0 {
+					rep.add(SevError, ir.CodeStuckAwait, machineLabel(m.Kind), txnLoc(t),
+						"await at %s can never be satisfied: no arm's message is ever sent to the %s",
+						aw.ID, machineLabel(m.Kind))
+				}
+			})
+		}
+	}
+}
+
+// passMessageFlow checks the message vocabulary end to end: declared
+// types nobody sends (PG104), sent types no possible receiver handles
+// (PG105), and message-triggered processes whose trigger is never sent
+// (PG109).
+func passMessageFlow(s *ir.Spec, f *specFacts, rep *Report) {
+	for _, mt := range f.declared {
+		if !f.sent(mt) {
+			rep.add(SevWarning, ir.CodeMsgNeverSent, "", "message "+string(mt),
+				"message %s is declared but never sent", mt)
+			continue
+		}
+		for _, k := range []ir.MachineKind{ir.KindCache, ir.KindDirectory} {
+			if f.sentTo[mt].has(k) && !f.handledBy[mt].has(k) {
+				rep.add(SevWarning, ir.CodeMsgNeverHandled, machineLabel(k), "message "+string(mt),
+					"message %s is sent to the %s, which never handles it (no trigger, no await arm)",
+					mt, machineLabel(k))
+			}
+		}
+		if f.ambig[mt] && f.sentTo[mt] == 0 && f.handledBy[mt] == 0 {
+			// Only unresolved sends exist: stay one-sided and flag just
+			// when nobody at all handles the type.
+			rep.add(SevWarning, ir.CodeMsgNeverHandled, "", "message "+string(mt),
+				"message %s is sent but neither machine handles it", mt)
+		}
+	}
+	for _, m := range []*ir.MachineSpec{s.Cache, s.Dir} {
+		for _, t := range m.Txns {
+			if t.Trigger.Kind == ir.EvMsg && !f.sendableTo(t.Trigger.Msg, m.Kind) {
+				rep.add(SevWarning, ir.CodeDeadTrigger, machineLabel(m.Kind), txnLoc(t),
+					"process is triggered by %s, which is never sent to the %s", t.Trigger.Msg, machineLabel(m.Kind))
+			}
+		}
+	}
+}
+
+// passAckBalance cross-checks the two halves of the invalidation-ack
+// handshake: reading msg.acks without any send announcing a count means
+// the reader waits on a field that is always zero; announcing counts
+// nobody reads is harmless but worth a note (PG106).
+func passAckBalance(s *ir.Spec, f *specFacts, rep *Report) {
+	if f.acksRead != 0 && f.acksSupplied == 0 {
+		rep.add(SevWarning, ir.CodeAckImbalance, "", "",
+			"msg.acks is read but no send announces an ack count")
+	}
+	if f.acksSupplied != 0 && f.acksRead == 0 {
+		rep.add(SevInfo, ir.CodeAckImbalance, "", "",
+			"a send announces an ack count but msg.acks is never read")
+	}
+}
+
+// passDefUse runs a flow-insensitive def-use check per machine:
+// variables read but never written (PG107) and written but never read
+// (PG108). Reads include the implicit ones the runtime performs —
+// send-to-owner and from-owner constraints read the owner id,
+// send-to-sharers and sharer constraints read the id-set variables.
+// Data variables are excluded (copydata/writeback use them implicitly).
+func passDefUse(s *ir.Spec, rep *Report) {
+	for _, m := range []*ir.MachineSpec{s.Cache, s.Dir} {
+		reads := map[string]bool{}
+		writes := map[string]bool{}
+		readSets := func() {
+			for _, v := range m.Vars {
+				if v.Type == ir.VIDSet {
+					reads[v.Name] = true
+				}
+			}
+		}
+		readOwner := func() {
+			for _, v := range m.Vars {
+				if v.Type == ir.VID && v.Name == "owner" {
+					reads[v.Name] = true
+				}
+			}
+		}
+		for _, t := range m.Txns {
+			switch t.Src {
+			case ir.SrcOwner, ir.SrcNonOwner:
+				readOwner()
+			case ir.SrcSharer, ir.SrcNonSharer:
+				readSets()
+			}
+			eachTxnAction(t, func(a ir.Action) {
+				switch a.Op {
+				case ir.ASet:
+					writes[a.Var] = true
+				case ir.ASetAdd, ir.ASetDel:
+					// Modifies: the runtime reads the mask to update it.
+					writes[a.Var] = true
+					reads[a.Var] = true
+				case ir.ASetClear:
+					writes[a.Var] = true
+				case ir.ASend:
+					switch a.Dst {
+					case ir.DstOwner:
+						readOwner()
+					case ir.DstSharers:
+						readSets()
+					}
+				}
+			})
+			eachTxnExpr(t, func(e *ir.Expr) {
+				switch e.Kind {
+				case ir.EVar, ir.ECount, ir.EInSet:
+					reads[e.Name] = true
+				}
+			})
+		}
+		for _, v := range m.Vars {
+			if v.Type == ir.VData {
+				continue
+			}
+			loc := "variable " + v.Name
+			if reads[v.Name] && !writes[v.Name] {
+				rep.add(SevWarning, ir.CodeReadBeforeWrite, machineLabel(m.Kind), loc,
+					"%s %s is read but never written (always its initial value)", v.Type, v.Name)
+			}
+			if writes[v.Name] && !reads[v.Name] {
+				rep.add(SevInfo, ir.CodeDeadWrite, machineLabel(m.Kind), loc,
+					"%s %s is written but never read", v.Type, v.Name)
+			}
+		}
+	}
+}
+
+// passAckFanout checks, per directory transaction, that an announced
+// ack count agrees with the invalidation fan-out: count(S) alongside a
+// send to S that excludes the requestor (or count(S except ...) along a
+// send to all of S) makes the requestor wait for the wrong number of
+// acks — the exact miscounted-acks defect family (PG111).
+func passAckFanout(s *ir.Spec, rep *Report) {
+	for _, t := range s.Dir.Txns {
+		// countExcept[set] = whether some announced count over set
+		// excludes a member; fanExcept[set] = same for sharer fan-outs.
+		countAll, countExc := map[string]bool{}, map[string]bool{}
+		fanAll, fanExc := map[string]bool{}, map[string]bool{}
+		fanSets := func(exc bool) {
+			for _, v := range s.Dir.Vars {
+				if v.Type == ir.VIDSet {
+					if exc {
+						fanExc[v.Name] = true
+					} else {
+						fanAll[v.Name] = true
+					}
+				}
+			}
+		}
+		eachTxnAction(t, func(a ir.Action) {
+			if a.Op != ir.ASend {
+				return
+			}
+			if a.Dst == ir.DstSharers {
+				fanSets(a.ExceptSrc)
+			}
+			a.Payload.Acks.Walk(func(e *ir.Expr) {
+				if e.Kind != ir.ECount {
+					return
+				}
+				if e.L != nil {
+					countExc[e.Name] = true
+				} else {
+					countAll[e.Name] = true
+				}
+			})
+		})
+		for set := range countAll {
+			if fanExc[set] && !fanAll[set] {
+				rep.add(SevWarning, ir.CodeAckFanout, "directory", txnLoc(t),
+					"announces acks count(%s) but invalidates %s except the requestor: the count includes a cache that will never ack",
+					set, set)
+			}
+		}
+		for set := range countExc {
+			if fanAll[set] && !fanExc[set] {
+				rep.add(SevWarning, ir.CodeAckFanout, "directory", txnLoc(t),
+					"announces acks count(%s except ...) but invalidates all of %s: one ack will arrive unannounced",
+					set, set)
+			}
+		}
+	}
+}
+
+// passDroppedData flags handlers of always-data-carrying messages that
+// neither write the payload back, copy it, nor forward it (PG112) —
+// the lost-writeback defect family: the dirty data silently dies.
+func passDroppedData(s *ir.Spec, f *specFacts, rep *Report) {
+	uses := func(as []ir.Action) bool {
+		for _, a := range as {
+			switch a.Op {
+			case ir.ACopyData, ir.AWriteback:
+				return true
+			case ir.ASend:
+				if a.Payload.WithData {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	caseUses := func(c *ir.Case) bool {
+		if uses(c.Actions) {
+			return true
+		}
+		ok := false
+		c.Sub.EachAwait(func(aw *ir.Await) {
+			for _, sc := range aw.Cases {
+				if uses(sc.Actions) {
+					ok = true
+				}
+			}
+		})
+		return ok
+	}
+	for _, m := range []*ir.MachineSpec{s.Cache, s.Dir} {
+		for _, t := range m.Txns {
+			if t.Trigger.Kind == ir.EvMsg && f.dataAlways[t.Trigger.Msg] {
+				used := uses(t.InitActions)
+				t.Await.EachAwait(func(aw *ir.Await) {
+					for _, c := range aw.Cases {
+						if uses(c.Actions) {
+							used = true
+						}
+					}
+				})
+				if !used {
+					rep.add(SevWarning, ir.CodeDroppedData, machineLabel(m.Kind), txnLoc(t),
+						"%s always carries data but the handler neither writes it back, copies it, nor forwards it",
+						t.Trigger.Msg)
+				}
+			}
+			t.Await.EachAwait(func(aw *ir.Await) {
+				for _, c := range aw.Cases {
+					if f.dataAlways[c.Msg] && !caseUses(c) {
+						rep.add(SevWarning, ir.CodeDroppedData, machineLabel(m.Kind), txnLoc(t),
+							"%s always carries data but the await arm neither writes it back, copies it, nor forwards it",
+							c.Msg)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"protogen/internal/analyze"
+	"protogen/internal/ir"
+)
+
+// GenerateWithWarnings is Generate with the static analyzer run first:
+// every warning- or error-severity spec diagnostic is reported through
+// warn before generation begins. Generation proceeds regardless — the
+// analyzer's findings are advisory here and the model checker remains
+// the ground truth — but the hook surfaces structural defects (dead
+// handshake halves, miscounted ack fan-out, stuck awaits) at the moment
+// the protocol is built, not minutes later when exploration fails. A
+// nil warn makes it exactly Generate.
+func GenerateWithWarnings(spec *ir.Spec, opts Options, warn func(msg string)) (*ir.Protocol, error) {
+	if warn != nil {
+		for _, d := range analyze.CheckSpec(spec).Diags {
+			if d.Severity >= analyze.SevWarning {
+				warn("lint: " + d.String())
+			}
+		}
+	}
+	return Generate(spec, opts)
+}

@@ -298,7 +298,7 @@ func (s *System) Apply(r Rule) ([]Perform, error) {
 			return nil, err
 		}
 		if !ok {
-			return nil, &ErrUnexpected{Machine: fmt.Sprintf("%s %d", c.L.M.Name, c.ID), State: c.State, Ev: ir.MsgEvent(ir.MsgType(m.Type)), Detail: " " + m.String()}
+			return nil, &ErrUnexpected{Machine: fmt.Sprintf("%s %d", c.L.M.Name, c.ID), State: c.State, Ev: ir.MsgEvent(ir.MsgType(m.Type)), Detail: " " + m.String()} // vethotpath:ignore — cold: building the error that ends the run
 		}
 		if t.Stall {
 			return nil, nil // blocked; state unchanged

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"protogen/internal/analyze"
 	"protogen/internal/core"
 	"protogen/internal/dsl"
 	"protogen/internal/ir"
@@ -43,6 +44,16 @@ type Config struct {
 	Parallelism int
 	// Shrink minimizes failing specs to reproducers in Report entries.
 	Shrink bool
+	// NoLint disables the static-analyzer pre-pass: no per-spec lint
+	// verdict is recorded and the lint-vs-checker cross-check is off.
+	NoLint bool
+	// LintFilter short-circuits specs the analyzer proves broken
+	// (error-severity findings, e.g. a statically stuck await): they
+	// count as caught failures in Report.LintRejected without paying
+	// for three model checks. Off by default — leaving it off is what
+	// lets the lint-vs-checker cross-check exercise the analyzer
+	// against the checker's ground truth on every seed.
+	LintFilter bool
 	// Cache memoizes per-mode verify results across campaign runs,
 	// keyed by canonical spec text + generation options + checker
 	// config (see verify.CacheKey and docs/CACHING.md). nil disables
@@ -116,8 +127,11 @@ type Failure struct {
 	// Class groups kinds the shrinker treats as equivalent: "safety"
 	// (SWMR / data-value), "error" (interpreter apply errors), "liveness"
 	// (deadlock / stuck), "differential" (modes disagree), "sim" (SC
-	// violation or scheduler deadlock), "generate" (pipeline error), or
-	// "capped" (a mode hit the state cap; inconclusive, never shrunk).
+	// violation or scheduler deadlock), "generate" (pipeline error),
+	// "capped" (a mode hit the state cap; inconclusive, never shrunk),
+	// "lint-rejected" (the Config.LintFilter pre-pass proved the spec
+	// broken and skipped the checks), or "lint-vs-checker" (the
+	// analyzer called a checker-clean spec broken — one oracle lies).
 	Class string `json:"class"`
 	// Kind is the concrete violation kind or mismatch description.
 	Kind string `json:"kind"`
@@ -166,10 +180,14 @@ type SpecReport struct {
 	SimSeed      int64        `json:"sim_seed"`
 	Modes        []ModeResult `json:"modes,omitempty"`
 	SimStats     string       `json:"sim,omitempty"`
-	Failure      Failure      `json:"failure"`
-	Minimized    string       `json:"-"` // shrunk reproducer source (failures only)
-	ElapsedMS    int64        `json:"elapsed_ms"`
-	Source       string       `json:"-"`
+	// Lint is the spec-layer static-analyzer verdict ("clean",
+	// "suspect" or "broken"; empty when linting is disabled) — the
+	// third verdict dimension next to the checker and the simulator.
+	Lint      string  `json:"lint,omitempty"`
+	Failure   Failure `json:"failure"`
+	Minimized string  `json:"-"` // shrunk reproducer source (failures only)
+	ElapsedMS int64   `json:"elapsed_ms"`
+	Source    string  `json:"-"`
 }
 
 // OK reports a clean spec run.
@@ -186,6 +204,10 @@ type Report struct {
 	// CachedChecks counts verdicts served from the cache.
 	RanChecks    int `json:"ran_checks"`
 	CachedChecks int `json:"cached_checks,omitempty"`
+	// LintRejected counts seeds the Config.LintFilter pre-pass proved
+	// broken and short-circuited before any model check ran. They are
+	// included in Fail — lint-rejected specs are caught failures.
+	LintRejected int `json:"lint_rejected,omitempty"`
 	// Canceled marks a partial campaign: the context given to RunCtx
 	// was canceled before every seed completed. Specs then holds only
 	// the completed seeds, still in seed order; SeedsTotal records the
@@ -198,6 +220,9 @@ type Report struct {
 func (r *Report) Summary() string {
 	s := fmt.Sprintf("%d specs: %d pass, %d fail (%d families)",
 		len(r.Specs), r.Pass, r.Fail, len(r.Families))
+	if r.LintRejected > 0 {
+		s += fmt.Sprintf(", %d lint-rejected", r.LintRejected)
+	}
 	if r.Canceled {
 		s += fmt.Sprintf(" — canceled after %d of %d seeds", len(r.Specs), r.SeedsTotal)
 	}
@@ -371,6 +396,9 @@ func RunCtx(ctx context.Context, first, last uint64, cfg Config) (*Report, error
 			rep.Pass++
 		} else {
 			rep.Fail++
+			if r.Failure.Class == "lint-rejected" {
+				rep.LintRejected++
+			}
 		}
 		for _, mr := range r.Modes {
 			switch {
@@ -427,6 +455,28 @@ func checkSourceCtx(ctx context.Context, src string, limit int, simSeed int64, c
 		return r
 	}
 	r.Family = spec.Name
+
+	// Static-analyzer pre-pass: record the spec-layer verdict as the
+	// third verdict dimension. Only error-severity findings (statically
+	// provable defects) may short-circuit or contradict the checker;
+	// warnings are advisory by the analyzer's one-sided-error policy.
+	var lintDetail string
+	if !cfg.NoLint {
+		lrep := analyze.CheckSpec(spec)
+		r.Lint = lrep.Verdict()
+		if lrep.Broken() {
+			for _, d := range lrep.Diags {
+				if d.Severity == analyze.SevError {
+					lintDetail = d.String()
+					break
+				}
+			}
+			if cfg.LintFilter {
+				r.Failure = Failure{Class: "lint-rejected", Kind: "lint-broken", Detail: lintDetail}
+				return r
+			}
+		}
+	}
 
 	for _, mode := range Modes {
 		mr, failure := checkMode(ctx, spec, mode, limit, cfg)
@@ -508,6 +558,14 @@ func checkSourceCtx(ctx context.Context, src string, limit int, simSeed int64, c
 				r.SimStats = st.String()
 			}
 		}
+	}
+
+	// Lint-vs-checker cross-check: the analyzer claims only statically
+	// provable defects at error severity, so "broken" on a spec the
+	// checker and simulator just passed clean means one of the two
+	// oracles is wrong — a campaign failure either way.
+	if r.Lint == "broken" {
+		r.Failure = Failure{Class: "lint-vs-checker", Kind: "lint-broken-checker-clean", Detail: lintDetail}
 	}
 	return r
 }

@@ -146,6 +146,72 @@ func TestCappedModeIsNotDifferential(t *testing.T) {
 	}
 }
 
+// TestLintVerdictAndFilter: the static-analyzer pre-pass records a
+// per-spec verdict, LintFilter short-circuits statically-broken specs
+// before any model check, and NoLint turns the dimension off. The
+// shrunk no-invalidate reproducer is the calibration subject: its
+// stuck Inv_Ack await is the one defect class the analyzer proves at
+// error severity (the full family still has sendable arms and only
+// lints suspect).
+func TestLintVerdictAndFilter(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shrink = false
+	cfg.SimSteps = 0
+	entries, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ""
+	for _, e := range entries {
+		if e.Name == "FZ_MSI_no_invalidate" {
+			src = e.Source
+		}
+	}
+	if src == "" {
+		t.Fatal("corpus reproducer missing")
+	}
+	r := CheckSource(src, 1, 7, cfg)
+	if r.Lint != "broken" {
+		t.Fatalf("lint verdict %q, want broken", r.Lint)
+	}
+	if r.OK() {
+		t.Fatal("checker must also fail the spec")
+	}
+	if len(r.Modes) == 0 {
+		t.Fatal("without LintFilter the model checks must still run")
+	}
+
+	cfg.LintFilter = true
+	r = CheckSource(src, 1, 7, cfg)
+	if r.Failure.Class != "lint-rejected" {
+		t.Fatalf("failure %s, want lint-rejected", r.Failure)
+	}
+	if len(r.Modes) != 0 {
+		t.Fatalf("LintFilter must short-circuit before any model check, got %d modes", len(r.Modes))
+	}
+
+	cfg.LintFilter = false
+	cfg.NoLint = true
+	r = CheckSource(src, 1, 7, cfg)
+	if r.Lint != "" {
+		t.Fatalf("NoLint run still carries verdict %q", r.Lint)
+	}
+
+	// A correct family lints clean and passes; the lint-vs-checker
+	// cross-check must stay silent.
+	cfg = DefaultConfig()
+	cfg.Shrink = false
+	cfg.SimSteps = 0
+	good, ok := ShapeByName("FZ_MSI")
+	if !ok {
+		t.Fatal("shipped shape missing")
+	}
+	r = CheckSource(good.Source(), 1, 7, cfg)
+	if !r.OK() || r.Lint == "broken" {
+		t.Fatalf("shipped family: failure=%s lint=%s", r.Failure, r.Lint)
+	}
+}
+
 // TestShrinkRejectsPassingSpec: shrinking needs a failure to preserve.
 func TestShrinkRejectsPassingSpec(t *testing.T) {
 	cfg := DefaultConfig()

@@ -7,18 +7,21 @@ import (
 
 // ValidateSpec checks that an SSP is well-formed before generation:
 // states and messages are declared, triggers are unique, await trees are
-// terminated, and expressions reference declared variables.
+// terminated, and expressions reference declared variables. Every error
+// is a coded *Diag (or wraps one), so callers can grep and branch on the
+// stable PG0xx codes via CodeOf; internal/analyze layers its flow passes
+// on top of these checks instead of duplicating them.
 func ValidateSpec(s *Spec) error {
 	if s.Name == "" {
-		return fmt.Errorf("spec: missing protocol name")
+		return Diagf(CodeSpecName, "spec: missing protocol name")
 	}
 	if s.Cache == nil || s.Dir == nil {
-		return fmt.Errorf("spec %s: needs both a cache and a directory machine", s.Name)
+		return Diagf(CodeSpecMachines, "spec %s: needs both a cache and a directory machine", s.Name)
 	}
 	msgs := map[MsgType]bool{}
 	for _, d := range s.Msgs {
 		if msgs[d.Type] {
-			return fmt.Errorf("spec %s: duplicate message %s", s.Name, d.Type)
+			return Diagf(CodeDupMsg, "spec %s: duplicate message %s", s.Name, d.Type)
 		}
 		msgs[d.Type] = true
 	}
@@ -34,17 +37,17 @@ func validateMachineSpec(s *Spec, m *MachineSpec, msgs map[MsgType]bool) error {
 	stable := map[StateName]bool{}
 	for _, d := range m.Stable {
 		if stable[d.Name] {
-			return fmt.Errorf("%s: duplicate stable state %s", m.Name, d.Name)
+			return Diagf(CodeDupState, "%s: duplicate stable state %s", m.Name, d.Name)
 		}
 		stable[d.Name] = true
 	}
 	if !stable[m.Init] {
-		return fmt.Errorf("%s: init state %s not declared", m.Name, m.Init)
+		return Diagf(CodeBadInit, "%s: init state %s not declared", m.Name, m.Init)
 	}
 	vars := map[string]VarType{}
 	for _, v := range m.Vars {
 		if _, ok := vars[v.Name]; ok {
-			return fmt.Errorf("%s: duplicate variable %s", m.Name, v.Name)
+			return Diagf(CodeDupVar, "%s: duplicate variable %s", m.Name, v.Name)
 		}
 		vars[v.Name] = v.Type
 	}
@@ -56,36 +59,36 @@ func validateMachineSpec(s *Spec, m *MachineSpec, msgs map[MsgType]bool) error {
 	seen := map[trig]bool{}
 	for _, t := range m.Txns {
 		if !stable[t.Start] {
-			return fmt.Errorf("%s: process at undeclared state %s", m.Name, t.Start)
+			return Diagf(CodeBadStart, "%s: process at undeclared state %s", m.Name, t.Start)
 		}
 		if t.Trigger.Kind == EvMsg && !msgs[t.Trigger.Msg] {
-			return fmt.Errorf("%s: process %s triggered by undeclared message %s", m.Name, t.ID, t.Trigger.Msg)
+			return Diagf(CodeUndeclaredMsg, "%s: process %s triggered by undeclared message %s", m.Name, t.ID, t.Trigger.Msg)
 		}
 		if m.Kind == KindCache && t.Trigger.Kind == EvMsg {
 			if d, _ := s.MsgDecl(t.Trigger.Msg); d.Class == ClassRequest {
-				return fmt.Errorf("%s: cache process cannot be triggered by request %s", m.Name, t.Trigger.Msg)
+				return Diagf(CodeRequestTrigger, "%s: cache process cannot be triggered by request %s", m.Name, t.Trigger.Msg)
 			}
 		}
 		k := trig{t.Start, t.Trigger.String(), t.Src}
 		if seen[k] {
-			return fmt.Errorf("%s: duplicate process (%s, %s)", m.Name, t.Start, t.Trigger)
+			return Diagf(CodeDupProcess, "%s: duplicate process (%s, %s)", m.Name, t.Start, t.Trigger)
 		}
 		seen[k] = true
 		if t.Request != "" {
 			if !msgs[t.Request] {
-				return fmt.Errorf("%s: process %s sends undeclared request %s", m.Name, t.ID, t.Request)
+				return Diagf(CodeUndeclaredMsg, "%s: process %s sends undeclared request %s", m.Name, t.ID, t.Request)
 			}
 			if d, _ := s.MsgDecl(t.Request); d.Class != ClassRequest {
-				return fmt.Errorf("%s: process %s uses %s-class message %s as its request",
+				return Diagf(CodeBadRequestClass, "%s: process %s uses %s-class message %s as its request",
 					m.Name, t.ID, d.Class, t.Request)
 			}
 		}
 		if err := validateActions(m, vars, t.InitActions, msgs); err != nil {
-			return fmt.Errorf("%s: process %s: %v", m.Name, t.ID, err)
+			return fmt.Errorf("%s: process %s: %w", m.Name, t.ID, err)
 		}
 		if t.Await == nil {
 			if !t.Hit && !stable[t.Final] {
-				return fmt.Errorf("%s: process %s ends at undeclared state %s", m.Name, t.ID, t.Final)
+				return Diagf(CodeBadFinal, "%s: process %s ends at undeclared state %s", m.Name, t.ID, t.Final)
 			}
 			continue
 		}
@@ -95,28 +98,28 @@ func validateMachineSpec(s *Spec, m *MachineSpec, msgs map[MsgType]bool) error {
 				return
 			}
 			if len(a.Cases) == 0 {
-				err = fmt.Errorf("%s: process %s has an empty await", m.Name, t.ID)
+				err = Diagf(CodeEmptyAwait, "%s: process %s has an empty await", m.Name, t.ID)
 				return
 			}
 			for _, c := range a.Cases {
 				if !msgs[c.Msg] {
-					err = fmt.Errorf("%s: process %s awaits undeclared message %s", m.Name, t.ID, c.Msg)
+					err = Diagf(CodeUndeclaredMsg, "%s: process %s awaits undeclared message %s", m.Name, t.ID, c.Msg)
 					return
 				}
 				if c.Kind == CaseBreak && !stable[c.Final] {
-					err = fmt.Errorf("%s: process %s breaks to undeclared state %s", m.Name, t.ID, c.Final)
+					err = Diagf(CodeBadFinal, "%s: process %s breaks to undeclared state %s", m.Name, t.ID, c.Final)
 					return
 				}
 				if c.Kind == CaseAwait && c.Sub == nil {
-					err = fmt.Errorf("%s: process %s has a descend case with no sub-await", m.Name, t.ID)
+					err = Diagf(CodeNoSubAwait, "%s: process %s has a descend case with no sub-await", m.Name, t.ID)
 					return
 				}
 				if e := validateActions(m, vars, c.Actions, msgs); e != nil {
-					err = fmt.Errorf("%s: process %s: %v", m.Name, t.ID, e)
+					err = fmt.Errorf("%s: process %s: %w", m.Name, t.ID, e)
 					return
 				}
 				if e := validateExpr(vars, c.Guard); e != nil {
-					err = fmt.Errorf("%s: process %s guard: %v", m.Name, t.ID, e)
+					err = fmt.Errorf("%s: process %s guard: %w", m.Name, t.ID, e)
 					return
 				}
 			}
@@ -133,10 +136,10 @@ func validateActions(m *MachineSpec, vars map[string]VarType, as []Action, msgs 
 		switch a.Op {
 		case ASend:
 			if !msgs[a.Msg] {
-				return fmt.Errorf("send of undeclared message %s", a.Msg)
+				return Diagf(CodeUndeclaredMsg, "send of undeclared message %s", a.Msg)
 			}
 			if (a.Dst == DstOwner || a.Dst == DstSharers) && m.Kind != KindDirectory {
-				return fmt.Errorf("cache cannot send to %s", a.Dst)
+				return Diagf(CodeBadAction, "cache cannot send to %s", a.Dst)
 			}
 			if err := validateExpr(vars, a.Payload.Acks); err != nil {
 				return err
@@ -146,14 +149,14 @@ func validateActions(m *MachineSpec, vars map[string]VarType, as []Action, msgs 
 			}
 		case ASet:
 			if _, ok := vars[a.Var]; !ok {
-				return fmt.Errorf("assignment to undeclared variable %s", a.Var)
+				return Diagf(CodeBadAction, "assignment to undeclared variable %s", a.Var)
 			}
 			if err := validateExpr(vars, a.Expr); err != nil {
 				return err
 			}
 		case ASetAdd, ASetDel, ASetClear:
 			if t, ok := vars[a.Var]; !ok || t != VIDSet {
-				return fmt.Errorf("set operation on non-set variable %s", a.Var)
+				return Diagf(CodeBadAction, "set operation on non-set variable %s", a.Var)
 			}
 			if err := validateExpr(vars, a.Expr); err != nil {
 				return err
@@ -161,7 +164,7 @@ func validateActions(m *MachineSpec, vars map[string]VarType, as []Action, msgs 
 		case ACopyData, AWriteback, AHit:
 			// always fine in a spec
 		case ADefer, AFlush, APerform, AStallMarker, AReplay:
-			return fmt.Errorf("action %s is generator-internal and not allowed in a spec", a)
+			return Diagf(CodeBadAction, "action %s is generator-internal and not allowed in a spec", a)
 		}
 	}
 	return nil
@@ -176,15 +179,15 @@ func validateExpr(vars map[string]VarType, e *Expr) error {
 		switch n.Kind {
 		case EVar:
 			if _, ok := vars[n.Name]; !ok {
-				err = fmt.Errorf("undeclared variable %s", n.Name)
+				err = Diagf(CodeBadExpr, "undeclared variable %s", n.Name)
 			}
 		case ECount:
 			if t, ok := vars[n.Name]; !ok || t != VIDSet {
-				err = fmt.Errorf("count of non-set %s", n.Name)
+				err = Diagf(CodeBadExpr, "count of non-set %s", n.Name)
 			}
 		case EInSet:
 			if t, ok := vars[n.Name]; !ok || t != VIDSet {
-				err = fmt.Errorf("membership test on non-set %s", n.Name)
+				err = Diagf(CodeBadExpr, "membership test on non-set %s", n.Name)
 			}
 		}
 	})
@@ -193,26 +196,27 @@ func validateExpr(vars map[string]VarType, e *Expr) error {
 
 // ValidateProtocol checks structural sanity of a generated protocol:
 // every transition references known states, and no two non-stall
-// transitions share (state, event, guard-label).
+// transitions share (state, event, guard-label). Errors carry the same
+// stable PG0xx codes as ValidateSpec (see CodeOf).
 func ValidateProtocol(p *Protocol) error {
 	for _, m := range []*Machine{p.Cache, p.Dir} {
 		if m == nil {
-			return fmt.Errorf("protocol %s: missing machine", p.Name)
+			return Diagf(CodeProtoMachine, "protocol %s: missing machine", p.Name)
 		}
 		if m.State(m.Init) == nil {
-			return fmt.Errorf("%s: init state %s unknown", m.Name, m.Init)
+			return Diagf(CodeProtoMachine, "%s: init state %s unknown", m.Name, m.Init)
 		}
 		keys := map[string]bool{}
 		for _, t := range m.Trans {
 			if m.State(t.From) == nil {
-				return fmt.Errorf("%s: transition from unknown state %s", m.Name, t.From)
+				return Diagf(CodeProtoUnknownState, "%s: transition from unknown state %s", m.Name, t.From)
 			}
 			if !t.Stall && m.State(t.Next) == nil {
-				return fmt.Errorf("%s: transition %s -> unknown state %s", m.Name, t.Key(), t.Next)
+				return Diagf(CodeProtoUnknownState, "%s: transition %s -> unknown state %s", m.Name, t.Key(), t.Next)
 			}
 			k := t.Key()
 			if keys[k] {
-				return fmt.Errorf("%s: duplicate transition cell %s", m.Name, k)
+				return Diagf(CodeProtoDupCell, "%s: duplicate transition cell %s", m.Name, k)
 			}
 			keys[k] = true
 		}

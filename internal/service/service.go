@@ -69,17 +69,24 @@ const (
 )
 
 // Request is the submit body. Kind selects the job; the subject is a
-// registry protocol name or inline DSL source (verify/simulate), or a
-// seed range (fuzz). Zero-valued tuning fields inherit the library
-// defaults.
+// registry protocol name or inline DSL source (verify/simulate/lint),
+// or a seed range (fuzz). Zero-valued tuning fields inherit the
+// library defaults.
 type Request struct {
-	Kind string `json:"kind"` // verify | fuzz | simulate
+	Kind string `json:"kind"` // verify | fuzz | simulate | lint
 
-	// Subject (verify, simulate).
+	// Subject (verify, simulate, lint).
 	Protocol string `json:"protocol,omitempty"` // registry name
 	Source   string `json:"source,omitempty"`   // inline SSP DSL
 	Mode     string `json:"mode,omitempty"`     // nonstalling (default), stalling, deferred
 	Limit    int    `json:"limit,omitempty"`    // pending-transaction limit L
+
+	// Lint tuning. Codes restricts the report to the listed diagnostic
+	// codes (e.g. "PG104"); SpecOnly skips the generated protocol
+	// layers. A lint job with Mode set analyzes just that mode;
+	// otherwise all generation modes are analyzed.
+	Codes    []string `json:"codes,omitempty"`
+	SpecOnly bool     `json:"spec_only,omitempty"`
 
 	// Checker tuning (verify; Caches and MaxStates also scale fuzz).
 	Caches      int  `json:"caches,omitempty"`
@@ -118,8 +125,12 @@ func (r *Request) validate() error {
 		if r.Workload == "" {
 			return fmt.Errorf("simulate job needs a workload")
 		}
+	case "lint":
+		if r.Protocol == "" && r.Source == "" {
+			return fmt.Errorf("lint job needs protocol or source")
+		}
 	default:
-		return fmt.Errorf("unknown job kind %q (want verify, fuzz or simulate)", r.Kind)
+		return fmt.Errorf("unknown job kind %q (want verify, fuzz, simulate or lint)", r.Kind)
 	}
 	if r.Protocol != "" && r.Source != "" {
 		return fmt.Errorf("protocol and source are mutually exclusive")
@@ -201,6 +212,7 @@ type job struct {
 	verifyResult *protogen.VerifyResult
 	fuzzReport   *protogen.FuzzReport
 	simStats     *protogen.SimStats
+	lintResult   *protogen.LintResult
 }
 
 // snapshot copies the wire view under the job lock.
@@ -433,6 +445,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, j.fuzzReport)
 	case j.simStats != nil:
 		writeJSON(w, http.StatusOK, j.simStats)
+	case j.lintResult != nil:
+		writeJSON(w, http.StatusOK, j.lintResult)
 	case j.view.Status == StatusFailed:
 		writeJSON(w, http.StatusOK, map[string]string{"error": j.view.Error})
 	default:
@@ -657,6 +671,30 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 			status = StatusCanceled
 		}
 		j.finish(status, rep.Summary(), &ok, nil)
+
+	case "lint":
+		spec, err := subjectSpec(req)
+		if err != nil {
+			j.finish(StatusFailed, "", nil, err)
+			return
+		}
+		lj := protogen.LintJob{Spec: spec, Codes: req.Codes}
+		switch {
+		case req.SpecOnly:
+			lj.Modes = []string{}
+		case req.Mode != "":
+			lj.Modes = []string{req.Mode}
+		}
+		res, err := s.eng.Lint(ctx, lj)
+		if err != nil {
+			j.finish(StatusFailed, "", nil, err)
+			return
+		}
+		j.mu.Lock()
+		j.lintResult = res
+		j.mu.Unlock()
+		ok := res.Clean()
+		j.finish(StatusDone, res.Summary(), &ok, nil)
 
 	case "simulate":
 		var wl protogen.Workload

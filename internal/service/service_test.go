@@ -306,6 +306,7 @@ func TestSubmitValidation(t *testing.T) {
 	for _, body := range []string{
 		`{"kind":"nope"}`,
 		`{"kind":"verify"}`,
+		`{"kind":"lint"}`,
 		`{"kind":"fuzz","first":5,"last":5}`,
 		`{"kind":"simulate","protocol":"MSI"}`,
 		`{"kind":"verify","protocol":"MSI","source":"protocol X {}"}`,
@@ -316,6 +317,114 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if code := getJSON(t, ts.URL+"/jobs/nope", nil); code != http.StatusNotFound {
 		t.Fatalf("unknown job: status %d", code)
+	}
+}
+
+// dirtyLintSrc is an MI spec whose eviction half was deleted: PutM and
+// Put_Ack are declared but the handshake is dead, so the spec-layer
+// lint must come back with warnings.
+const dirtyLintSrc = `
+protocol T;
+network ordered;
+
+message request GetM;
+message request put PutM;
+message forward Fwd_GetM Put_Ack;
+message response Data;
+
+machine cache {
+  states I M;
+  init I;
+  data block;
+}
+
+machine directory {
+  states I M;
+  init I;
+  data block;
+  id owner;
+}
+
+architecture cache {
+  process (I, store) {
+    send GetM to dir;
+    await {
+      when Data { copydata; state = M; }
+    }
+  }
+  process (M, store) { hit; }
+  process (M, Fwd_GetM) {
+    send Data to req with data;
+    state = I;
+  }
+}
+
+architecture directory {
+  process (I, GetM) {
+    send Data to src with data;
+    owner = src;
+    state = M;
+  }
+  process (M, GetM) {
+    send Fwd_GetM to owner req src;
+    owner = src;
+  }
+  process (M, PutM) from owner {
+    writeback;
+    owner = none;
+    send Put_Ack to src;
+    state = I;
+  }
+}
+`
+
+// TestLintJob runs the static analyzer as a service job: the registry
+// MSI must lint clean across the spec layer and all three generated
+// modes, and a spec with a dead handshake half must come back not-OK.
+func TestLintJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	var sub JobView
+	postJSON(t, ts.URL+"/jobs", `{"kind":"lint","protocol":"MSI"}`, http.StatusAccepted, &sub)
+	v := pollUntil(t, ts.URL+"/jobs/"+sub.ID, 60*time.Second, isTerminal)
+	if v.Status != StatusDone || v.OK == nil || !*v.OK {
+		t.Fatalf("registry lint job: %+v", v)
+	}
+	if !strings.Contains(v.Summary, "clean") {
+		t.Fatalf("summary %q lacks clean verdict", v.Summary)
+	}
+	var res struct {
+		Reports  []json.RawMessage `json:"reports"`
+		Errors   int               `json:"errors"`
+		Warnings int               `json:"warnings"`
+	}
+	if code := getJSON(t, ts.URL+"/jobs/"+sub.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	if len(res.Reports) != 4 || res.Errors != 0 || res.Warnings != 0 {
+		t.Fatalf("lint result: %d reports, %d errors, %d warnings",
+			len(res.Reports), res.Errors, res.Warnings)
+	}
+
+	// Dirty inline source, spec layer only.
+	body, err := json.Marshal(Request{Kind: "lint", Source: dirtyLintSrc, SpecOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub2 JobView
+	postJSON(t, ts.URL+"/jobs", string(body), http.StatusAccepted, &sub2)
+	v2 := pollUntil(t, ts.URL+"/jobs/"+sub2.ID, 60*time.Second, isTerminal)
+	if v2.Status != StatusDone || v2.OK == nil || *v2.OK {
+		t.Fatalf("dirty lint job should finish done and not-OK: %+v", v2)
+	}
+	var res2 struct {
+		Reports  []json.RawMessage `json:"reports"`
+		Warnings int               `json:"warnings"`
+	}
+	getJSON(t, ts.URL+"/jobs/"+sub2.ID+"/result", &res2)
+	if len(res2.Reports) != 1 || res2.Warnings == 0 {
+		t.Fatalf("dirty spec-only result: %d reports, %d warnings",
+			len(res2.Reports), res2.Warnings)
 	}
 }
 

@@ -590,7 +590,7 @@ func (w *worker) expandItem(it frontierItem) expansion {
 		for _, pf := range performs {
 			if pf.Access == ir.AccessLoad && !pf.Exempt && w.c.cfg.CheckValues && pf.Value != succ.LastWrite {
 				so.dataViol = append(so.dataViol,
-					fmt.Sprintf("cache %d load returned %d, last write is %d", pf.Node, pf.Value, succ.LastWrite))
+					fmt.Sprintf("cache %d load returned %d, last write is %d", pf.Node, pf.Value, succ.LastWrite)) // vethotpath:ignore — cold: violation path
 			}
 		}
 		key := w.enc.Canonical(succ, w.c.perms)
@@ -635,7 +635,7 @@ func (c *checker) merge(frontier []frontierItem, exps []expansion) []frontierIte
 		parent := frontier[i].idx
 		if exp.deadlock {
 			c.violate("deadlock",
-				fmt.Sprintf("no enabled rules with %d messages in flight", exp.inFlight), int(parent))
+				fmt.Sprintf("no enabled rules with %d messages in flight", exp.inFlight), int(parent)) // vethotpath:ignore — cold: violation path
 			if c.cfg.CheckLiveness {
 				c.edgeOff = append(c.edgeOff, int32(len(c.edgeDst)))
 			}
@@ -733,21 +733,21 @@ func (c *checker) checkState(s *engine.System, idx int) {
 			}
 		}
 		if writers > 1 || (writers == 1 && readers > 0) {
-			c.violate("SWMR", fmt.Sprintf("%d writers, %d readers", writers, readers), idx)
+			c.violate("SWMR", fmt.Sprintf("%d writers, %d readers", writers, readers), idx) // vethotpath:ignore — cold: violation path
 		}
 	}
 	if c.cfg.CheckValues {
 		for i, cc := range s.Caches {
 			if cc.StIdx >= 0 && (c.writerAt[cc.StIdx] || c.readerAt[cc.StIdx]) && cc.Data() != s.LastWrite {
 				c.violate("data-value",
-					fmt.Sprintf("cache %d in %s holds %d, last write is %d", i, cc.State, cc.Data(), s.LastWrite), idx)
+					fmt.Sprintf("cache %d in %s holds %d, last write is %d", i, cc.State, cc.Data(), s.LastWrite), idx) // vethotpath:ignore — cold: violation path
 			}
 		}
 		c.hits = s.AppendHitLoads(c.hits[:0])
 		for _, h := range c.hits {
 			if h.Value != s.LastWrite {
 				c.violate("data-value",
-					fmt.Sprintf("cache %d transient load hit in %s reads %d, last write is %d", h.Cache, h.State, h.Value, s.LastWrite), idx)
+					fmt.Sprintf("cache %d transient load hit in %s reads %d, last write is %d", h.Cache, h.State, h.Value, s.LastWrite), idx) // vethotpath:ignore — cold: violation path
 			}
 		}
 	}
@@ -813,7 +813,7 @@ func (c *checker) livenessCheck() {
 	}
 	if stuck > 0 {
 		c.violate("stuck",
-			fmt.Sprintf("quiescence unreachable from %d of %d states (stuck transaction)", stuck, n), first)
+			fmt.Sprintf("quiescence unreachable from %d of %d states (stuck transaction)", stuck, n), first) // vethotpath:ignore — cold: violation path
 	}
 }
 
