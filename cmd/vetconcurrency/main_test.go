@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoVetIntegration drives the real protocol end to end: build the
+// tool, run `go vet -vettool` over a fixture module with one planted
+// violation per CC code (must fail and report every code), then over
+// this repo's own concurrent packages (must pass — the gate CI
+// enforces). The analyzer-level behavior is unit-tested in
+// internal/vet; this test pins the cmd/go handshake, the exit status,
+// and the repo-clean invariant.
+func TestGoVetIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs go vet")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	tool := filepath.Join(t.TempDir(), "vetconcurrency")
+	if out, err := exec.Command(goTool, "build", "-o", tool, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build tool: %v\n%s", err, out)
+	}
+
+	// Fixture module: the internal/store path suffix puts the package on
+	// vetconcurrency's target list, and every analyzer has one planted
+	// violation to catch.
+	mod := t.TempDir()
+	dir := filepath.Join(mod, "internal", "store")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module fixture\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(dir, "store.go"), `package store
+
+import (
+	"context"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// S is shared state with a deliberately broken locking discipline.
+type S struct {
+	mu sync.Mutex
+	n  int64 //protogen:guardedby mu
+	ch chan int
+}
+
+// Count reads the guarded field lockless (CC001); the bare directive on
+// the second read is itself an error and suppresses nothing (CC000).
+func Count(s *S) int64 {
+	a := s.n
+	b := s.n //vetconcurrency:ignore
+	return a + b
+}
+
+// Send performs a channel send under the guard (CC002).
+func Send(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1
+}
+
+// Mk does file I/O under a deferred-unlock guard (CC002: the deferred
+// Unlock keeps the lock held to the end of the function).
+func Mk(s *S) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.Mkdir("x", 0o755)
+}
+
+// Spin launches a goroutine with no visible exit path (CC003).
+func Spin() {
+	go func() {
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// Run takes its context second (CC004) and then drops it on the floor
+// by handing the callee a fresh Background (CC004).
+func Run(name string, ctx context.Context) error {
+	return helper(context.Background())
+}
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// Bump mixes atomic access with the mutex discipline (CC005).
+func Bump(s *S) { atomic.AddInt64(&s.n, 1) }
+`)
+	cmd := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+	cmd.Dir = mod
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("planted violations not reported; stderr:\n%s", stderr.String())
+	}
+	for _, code := range []string{"CC000", "CC001", "CC002", "CC003", "CC004", "CC005"} {
+		if !strings.Contains(stderr.String(), "["+code+"]") {
+			t.Errorf("stderr lacks %s:\n%s", code, stderr.String())
+		}
+	}
+
+	// The repo's own concurrent packages must be clean (annotated and,
+	// where designed-in, suppressed with reasons) — this is the CI gate.
+	repo := exec.Command(goTool, "vet", "-vettool="+tool,
+		"../..", "../../internal/store", "../../internal/service",
+		"../../internal/verify", "../../internal/fuzz",
+		"../../internal/engine", "../../internal/sim")
+	var repoErr bytes.Buffer
+	repo.Stderr = &repoErr
+	if err := repo.Run(); err != nil {
+		t.Fatalf("repo concurrency discipline not clean: %v\n%s", err, repoErr.String())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,8 +7,9 @@
 // failure instead of a profiling session.
 //
 // It speaks the cmd/go vet-tool protocol (the same one
-// golang.org/x/tools' unitchecker implements) using only the standard
-// library, so it runs as:
+// golang.org/x/tools' unitchecker implements) through the shared
+// internal/vet driver — the plumbing cmd/vetconcurrency uses too — so
+// it runs as:
 //
 //	go build -o /tmp/vethotpath ./cmd/vethotpath
 //	go vet -vettool=/tmp/vethotpath ./internal/engine ./internal/verify ./internal/store
@@ -30,24 +31,21 @@
 //	       buffer and reuse it.
 //
 // A finding on a genuinely cold line inside a hot file is suppressed
-// with a "//vethotpath:ignore" comment on the same line or the line
-// above. See docs/ANALYSIS.md for the policy.
+// with "//vethotpath:ignore <reason>" on the same line or the line
+// above; the reason is mandatory — a bare directive is itself an
+// error (HP000). See docs/ANALYSIS.md for the policy.
 package main
 
 import (
-	"crypto/sha256"
-	"encoding/json"
 	"fmt"
 	"go/ast"
-	"go/importer"
-	"go/parser"
 	"go/token"
 	"go/types"
-	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"protogen/internal/vet"
 )
 
 // hotFiles maps an import-path suffix to the file basenames the checks
@@ -60,141 +58,13 @@ var hotFiles = map[string][]string{
 }
 
 func main() {
-	args := os.Args[1:]
-	switch {
-	case len(args) == 1 && strings.HasPrefix(args[0], "-V="):
-		printVersion(args[0])
-	case len(args) == 1 && args[0] == "-flags":
-		// No tool-specific flags; cmd/go parses this to validate the
-		// go vet command line.
-		fmt.Println("[]")
-	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
-		diags, err := runConfig(args[0])
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vethotpath:", err)
-			os.Exit(1)
-		}
-		if len(diags) > 0 {
-			for _, d := range diags {
-				fmt.Fprintln(os.Stderr, d)
-			}
-			os.Exit(2)
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "vethotpath: run via go vet -vettool=$(which vethotpath) <packages>")
-		os.Exit(1)
-	}
-}
-
-// printVersion implements the -V=full handshake cmd/go uses to key its
-// analysis cache: the line embeds a content hash of the tool binary so
-// rebuilding the tool invalidates cached verdicts.
-func printVersion(arg string) {
-	if arg != "-V=full" {
-		fmt.Fprintf(os.Stderr, "vethotpath: unsupported flag %q\n", arg)
-		os.Exit(1)
-	}
-	exe, err := os.Executable()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vethotpath:", err)
-		os.Exit(1)
-	}
-	f, err := os.Open(exe)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vethotpath:", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	h := sha256.New()
-	if _, err := io.Copy(h, f); err != nil {
-		fmt.Fprintln(os.Stderr, "vethotpath:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
-}
-
-// vetConfig is the subset of cmd/go's vet.cfg JSON the tool consumes.
-// Unknown fields are ignored, keeping the tool compatible across Go
-// releases.
-type vetConfig struct {
-	ID                        string            `json:"ID"`
-	Compiler                  string            `json:"Compiler"`
-	Dir                       string            `json:"Dir"`
-	ImportPath                string            `json:"ImportPath"`
-	GoFiles                   []string          `json:"GoFiles"`
-	ImportMap                 map[string]string `json:"ImportMap"`
-	PackageFile               map[string]string `json:"PackageFile"`
-	VetxOnly                  bool              `json:"VetxOnly"`
-	VetxOutput                string            `json:"VetxOutput"`
-	SucceedOnTypecheckFailure bool              `json:"SucceedOnTypecheckFailure"`
-}
-
-// runConfig executes one vet unit of work: parse the config, write the
-// (empty — this tool exports no facts) vetx output cmd/go expects,
-// and, if the package is on the hot-path list, typecheck and check it.
-func runConfig(path string) ([]string, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var cfg vetConfig
-	if err := json.Unmarshal(data, &cfg); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
-	}
-	// cmd/go caches the vetx file as the action's output; it must exist
-	// on every exit path, including a diagnostic-bearing one.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.VetxOnly {
-		return nil, nil // dependency pass: facts only, and we have none
-	}
-	targets := hotTargets(cfg.ImportPath)
-	if len(targets) == 0 {
-		return nil, nil
-	}
-
-	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, name := range cfg.GoFiles {
-		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil
-			}
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Uses:  map[*ast.Ident]types.Object{},
-		Defs:  map[*ast.Ident]types.Object{},
-	}
-	compiler := cfg.Compiler
-	if compiler == "" {
-		compiler = "gc"
-	}
-	imp := importer.ForCompiler(fset, compiler, func(pkgPath string) (io.ReadCloser, error) {
-		if mapped, ok := cfg.ImportMap[pkgPath]; ok {
-			pkgPath = mapped
-		}
-		file, ok := cfg.PackageFile[pkgPath]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", pkgPath)
-		}
-		return os.Open(file)
+	vet.Main(vet.Tool{
+		Name:  "vethotpath",
+		Wants: func(importPath string) bool { return len(hotTargets(importPath)) > 0 },
+		Check: func(u *vet.Unit) []string {
+			return check(u.Fset, u.Files, u.Info, hotTargets(u.ImportPath))
+		},
 	})
-	tc := types.Config{Importer: imp}
-	if _, err := tc.Check(cfg.ImportPath, fset, files, info); err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
-		}
-		return nil, err
-	}
-	return check(fset, files, info, targets), nil
 }
 
 // hotTargets resolves the hot-path file set for an import path,
@@ -225,7 +95,9 @@ func check(fset *token.FileSet, files []*ast.File, info *types.Info, targets map
 		if !targets[base] || strings.HasSuffix(base, "_test.go") {
 			continue
 		}
-		c.ignore = ignoreLines(fset, f)
+		var bare []string
+		c.suppressed, bare = vet.Directives(fset, f, "vethotpath", "HP000")
+		c.diags = append(c.diags, bare...)
 		c.checkFile(f)
 	}
 	// Nested loops make the HP003 walk revisit inner bodies; sort and
@@ -240,32 +112,17 @@ func check(fset *token.FileSet, files []*ast.File, info *types.Info, targets map
 	return out
 }
 
-// ignoreLines collects the line numbers carrying a vethotpath:ignore
-// marker; a finding on a marked line or the line directly below one is
-// suppressed.
-func ignoreLines(fset *token.FileSet, f *ast.File) map[int]bool {
-	lines := map[int]bool{}
-	for _, cg := range f.Comments {
-		for _, cm := range cg.List {
-			if strings.Contains(cm.Text, "vethotpath:ignore") {
-				lines[fset.Position(cm.Pos()).Line] = true
-			}
-		}
-	}
-	return lines
-}
-
 // checker carries one run's state.
 type checker struct {
-	fset   *token.FileSet
-	info   *types.Info
-	ignore map[int]bool
-	diags  []string
+	fset       *token.FileSet
+	info       *types.Info
+	suppressed map[int]bool
+	diags      []string
 }
 
 func (c *checker) report(pos token.Pos, code, msg string) {
 	p := c.fset.Position(pos)
-	if c.ignore[p.Line] || c.ignore[p.Line-1] {
+	if vet.Suppressed(c.suppressed, p) {
 		return
 	}
 	c.diags = append(c.diags, fmt.Sprintf("%s: [%s] %s", p, code, msg))

@@ -101,6 +101,19 @@ func g(x int) {
 	}
 }
 
+func TestBareIgnoreDirective(t *testing.T) {
+	// A directive without a reason is itself an error (HP000) and must
+	// not suppress the finding on its line.
+	diags := lint(t, `package hot
+import "fmt"
+func f(x int) {
+	_ = fmt.Sprintf("%d", x) // vethotpath:ignore
+}`)
+	if len(diags) != 2 || !has(diags, "HP000") || !has(diags, "HP001") {
+		t.Fatalf("bare directive must yield HP000 and keep the HP001, got %v", diags)
+	}
+}
+
 func TestMapRangeCheck(t *testing.T) {
 	diags := lint(t, `package hot
 func f(m map[int]int, s []int) int {

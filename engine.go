@@ -75,8 +75,8 @@ type Engine struct {
 	warn        func(string)
 
 	mu        sync.Mutex
-	cache     *VerifyResultCache
-	ownsCache bool
+	cache     *VerifyResultCache //protogen:guardedby mu
+	ownsCache bool               //protogen:guardedby mu
 }
 
 // EngineOption configures an Engine at construction.
@@ -115,7 +115,9 @@ func WithCacheDir(dir string) EngineOption {
 // WithCache gives the engine an already-open result cache. The caller
 // keeps ownership: Close will not close it.
 func WithCache(c *VerifyResultCache) EngineOption {
-	return func(e *Engine) { e.cache = c }
+	// Options run inside NewEngine before the engine is published to
+	// any other goroutine, so the guarded write needs no lock.
+	return func(e *Engine) { e.cache = c } //vetconcurrency:ignore construction-time option; NewEngine has not published the engine yet
 }
 
 // WithProgress sets the engine's default progress sink, used by every

@@ -229,6 +229,40 @@ func (r *Report) Summary() string {
 	return s
 }
 
+// progressSink accumulates the campaign's cumulative counters and
+// fans each completed seed out to the configured Progress callback.
+// Workers finish seeds concurrently; the mutex both guards the
+// counters and serializes the callback invocations (the documented
+// Config.Progress contract).
+type progressSink struct {
+	mu  sync.Mutex
+	cur Progress //protogen:guardedby mu
+	fn  func(Progress)
+}
+
+// seedDone folds one completed seed's outcome into the counters and
+// reports the new snapshot. No-op when no callback is configured.
+func (s *progressSink) seedDone(r *SpecReport) {
+	if s.fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.cur.SeedsDone++
+	if !r.OK() {
+		s.cur.Fail++
+	}
+	for _, mr := range r.Modes {
+		switch {
+		case mr.Cached:
+			s.cur.CacheHits++
+		case mr.States > 0:
+			s.cur.RanChecks++
+		}
+	}
+	s.fn(s.cur)
+	s.mu.Unlock()
+}
+
 // splitmix64 is the seed scrambler (Steele et al.); good dispersion from
 // sequential campaign seeds.
 func splitmix64(x uint64) uint64 {
@@ -309,8 +343,7 @@ func RunCtx(ctx context.Context, first, last uint64, cfg Config) (*Report, error
 	workers = min(workers, n)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	var progressMu sync.Mutex
-	progress := Progress{SeedsTotal: n}
+	sink := &progressSink{cur: Progress{SeedsTotal: n}, fn: cfg.Progress}
 	for g := 0; g < max(workers, 1); g++ {
 		wg.Add(1)
 		go func() {
@@ -352,23 +385,7 @@ func RunCtx(ctx context.Context, first, last uint64, cfg Config) (*Report, error
 				}
 				specs[i] = r
 				done[i] = true
-				if cfg.Progress != nil {
-					progressMu.Lock()
-					progress.SeedsDone++
-					if !r.OK() {
-						progress.Fail++
-					}
-					for _, mr := range r.Modes {
-						switch {
-						case mr.Cached:
-							progress.CacheHits++
-						case mr.States > 0:
-							progress.RanChecks++
-						}
-					}
-					cfg.Progress(progress)
-					progressMu.Unlock()
-				}
+				sink.seedDone(&r)
 			}
 		}()
 	}

@@ -2,9 +2,10 @@ package fuzz
 
 import (
 	"context"
-	"runtime"
 	"testing"
 	"time"
+
+	"protogen/internal/vet/vettest"
 )
 
 // cancelCampaignConfig is a small-but-real campaign configuration.
@@ -29,7 +30,7 @@ func TestRunCtxCancelPartialReport(t *testing.T) {
 		}
 	}
 	const total = 64
-	before := runtime.NumGoroutine()
+	before := vettest.Goroutines()
 	start := time.Now()
 	rep, err := RunCtx(ctx, 0, total, cfg)
 	elapsed := time.Since(start)
@@ -53,13 +54,7 @@ func TestRunCtxCancelPartialReport(t *testing.T) {
 	if elapsed > 60*time.Second {
 		t.Errorf("cancellation took %v", elapsed)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if n := runtime.NumGoroutine(); n > before {
-		t.Errorf("goroutine leak after cancel: %d before, %d after", before, n)
-	}
+	vettest.NoLeak(t, before)
 }
 
 // TestRunCtxCancelAfterLastSeed: a context that fires only after every

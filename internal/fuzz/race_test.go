@@ -1,0 +1,44 @@
+package fuzz
+
+import (
+	"context"
+	"testing"
+
+	"protogen/internal/vet/vettest"
+)
+
+// TestCampaignWorkerChurn cycles the campaign pool through repeated
+// build-up and tear-down at varying parallelism, canceling every other
+// round mid-flight. It is the dynamic half of the worker-exit
+// discipline the static CC003 check asserts: each round's workers must
+// be gone before the next starts, with the progress sink's counters
+// staying consistent under the race detector.
+func TestCampaignWorkerChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign stress")
+	}
+	before := vettest.Goroutines()
+	for round := 0; round < 6; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cfg := cancelCampaignConfig()
+		cfg.Parallelism = 1 + round%4
+		canceled := round%2 == 1
+		if canceled {
+			cfg.Progress = func(p Progress) {
+				if p.SeedsDone >= 1 {
+					cancel()
+				}
+			}
+		}
+		rep, err := RunCtx(ctx, uint64(round*16), uint64(round*16+8), cfg)
+		cancel()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !canceled && rep.Canceled {
+			t.Fatalf("round %d: uncanceled campaign reported canceled: %+v", round, rep)
+		}
+		// Workers must drain between rounds, not only at test end.
+		vettest.NoLeak(t, before)
+	}
+}

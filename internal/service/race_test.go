@@ -1,0 +1,126 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"protogen/internal/vet/vettest"
+)
+
+// do drives one request through the server's mux in-process — no real
+// sockets, so the race detector sees every handler interleaving and
+// the goroutine baseline stays free of net/http connection readers.
+func do(srv *Server, method, target, body string) *httptest.ResponseRecorder {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, target, rd)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestShutdownLeaksNoGoroutines catches the pool mid-flight: several
+// long verify jobs are queued onto three workers, then Shutdown must
+// cancel them, drain every worker and the waiter it spawns, and leave
+// the goroutine count at its pre-New baseline.
+func TestShutdownLeaksNoGoroutines(t *testing.T) {
+	before := vettest.Goroutines()
+	srv, err := New(Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		rec := do(srv, http.MethodPost, "/jobs", `{"kind":"verify","protocol":"MSI","mode":"nonstalling","caches":3}`)
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // let workers pick jobs up
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	vettest.NoLeak(t, before)
+}
+
+// TestSubmitCancelEvictStorm hammers the job table from every handler
+// at once — submits racing cancels racing list/status reads, with a
+// MaxJobs cap small enough that eviction runs throughout — and then
+// requires a clean drain. The point is the race detector's view of
+// s.mu and the per-job locks, not any particular job outcome.
+func TestSubmitCancelEvictStorm(t *testing.T) {
+	before := vettest.Goroutines()
+	srv, err := New(Config{Workers: 2, MaxJobs: 3, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 25
+	if testing.Short() {
+		iters = 8
+	}
+	var (
+		idsMu sync.Mutex
+		ids   []string
+	)
+	pickID := func(i int) string {
+		idsMu.Lock()
+		defer idsMu.Unlock()
+		if len(ids) == 0 {
+			return ""
+		}
+		return ids[i%len(ids)]
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch g % 3 {
+				case 0: // submitter: lint jobs finish fast, churning eviction
+					rec := do(srv, http.MethodPost, "/jobs", `{"kind":"lint","protocol":"MSI"}`)
+					switch rec.Code {
+					case http.StatusAccepted:
+						var v JobView
+						if err := json.Unmarshal(rec.Body.Bytes(), &v); err == nil && v.ID != "" {
+							idsMu.Lock()
+							ids = append(ids, v.ID)
+							idsMu.Unlock()
+						}
+					case http.StatusServiceUnavailable: // queue full under the storm
+					default:
+						t.Errorf("submit status %d: %s", rec.Code, rec.Body.String())
+						return
+					}
+				case 1: // canceler: races DELETE against running/evicted jobs
+					if id := pickID(i); id != "" {
+						do(srv, http.MethodDelete, "/jobs/"+id, "")
+					}
+				case 2: // readers: list, status, health
+					do(srv, http.MethodGet, "/jobs", "")
+					if id := pickID(i); id != "" {
+						do(srv, http.MethodGet, "/jobs/"+id, "")
+					}
+					do(srv, http.MethodGet, "/healthz", "")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown after storm: %v", err)
+	}
+	vettest.NoLeak(t, before)
+}

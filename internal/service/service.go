@@ -202,17 +202,20 @@ type JobView struct {
 	CorpusFiles []string `json:"corpus_files,omitempty"`
 }
 
-// job is one tracked submission.
+// job is one tracked submission. req is immutable after construction;
+// everything else is shared between the HTTP handlers and the worker
+// that runs the job, under the job's own mutex.
 type job struct {
-	mu     sync.Mutex
-	view   JobView
-	req    Request
-	cancel context.CancelFunc // non-nil while running
+	mu   sync.Mutex
+	view JobView //protogen:guardedby mu
+	req  Request
+	// cancel is non-nil while running.
+	cancel context.CancelFunc //protogen:guardedby mu
 
-	verifyResult *protogen.VerifyResult
-	fuzzReport   *protogen.FuzzReport
-	simStats     *protogen.SimStats
-	lintResult   *protogen.LintResult
+	verifyResult *protogen.VerifyResult //protogen:guardedby mu
+	fuzzReport   *protogen.FuzzReport   //protogen:guardedby mu
+	simStats     *protogen.SimStats     //protogen:guardedby mu
+	lintResult   *protogen.LintResult   //protogen:guardedby mu
 }
 
 // snapshot copies the wire view under the job lock.
@@ -241,11 +244,12 @@ type Server struct {
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // insertion order for listing
-	nextID int
-	closed bool
+	mu   sync.Mutex
+	jobs map[string]*job //protogen:guardedby mu
+	// order is the insertion order for listing.
+	order  []string //protogen:guardedby mu
+	nextID int      //protogen:guardedby mu
+	closed bool     //protogen:guardedby mu
 }
 
 // New builds and starts a Server: the worker pool is live on return.
@@ -416,11 +420,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
 	s.mu.Lock()
-	j := s.jobs[r.PathValue("id")]
+	j := s.jobs[id]
 	s.mu.Unlock()
 	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
 	}
 	return j
 }

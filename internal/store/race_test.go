@@ -1,0 +1,80 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// mixFp is splitmix64's finalizer: a bijection over uint64, so every
+// index gets a distinct fingerprint spread across shards and slot bits.
+func mixFp(i uint64) uint64 {
+	i += 0x9e3779b97f4a7c15
+	i = (i ^ (i >> 30)) * 0xbf58476d1ce4e779
+	i = (i ^ (i >> 27)) * 0x94d049bb133111eb
+	return i ^ (i >> 31)
+}
+
+// TestLookupDuringResizeStress drives the documented concurrency
+// contract under the race detector: a single inserter (the checker's
+// merge phase) forcing many incremental shard grows while reader
+// goroutines hammer Lookup, Len and Bytes. Every fingerprint at or
+// below the inserter's published watermark must stay visible with its
+// original index — growLocked must never let a reader observe a
+// half-rehashed shard.
+func TestLookupDuringResizeStress(t *testing.T) {
+	n := 1 << 17
+	if testing.Short() {
+		n = 1 << 14
+	}
+	tab := New()
+	base := tab.Bytes()
+
+	var watermark atomic.Int64 // highest index whose insert is published
+	watermark.Store(-1)
+	done := make(chan struct{})
+	const readers = 4
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := uint64(r); ; i += readers {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				w := watermark.Load()
+				if w < 0 {
+					continue
+				}
+				j := i % uint64(w+1)
+				if idx, ok := tab.Lookup(mixFp(j), nil); !ok || idx != int32(j) {
+					t.Errorf("fingerprint %d below watermark %d: ok=%v idx=%d, want %d", j, w, ok, idx, j)
+					return
+				}
+				if i%64 == 0 {
+					if tab.Len() < int(w) {
+						t.Errorf("Len %d below watermark %d", tab.Len(), w)
+						return
+					}
+					_ = tab.Bytes()
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < n; i++ {
+		tab.Insert(mixFp(uint64(i)), "", int32(i))
+		watermark.Store(int64(i))
+	}
+	close(done)
+	wg.Wait()
+
+	if tab.Len() != n {
+		t.Fatalf("Len = %d after %d distinct inserts", tab.Len(), n)
+	}
+	if tab.Bytes() <= base {
+		t.Fatalf("no shard grew: %d bytes before, %d after %d inserts", base, tab.Bytes(), n)
+	}
+}

@@ -64,15 +64,16 @@ type Table struct {
 	// (audit mode only). Guarded by auditMu, touched only on a detected
 	// collision — never on the clean lookup path.
 	auditMu sync.Mutex
-	merged  map[string]bool
+	merged  map[string]bool //protogen:guardedby auditMu
 }
 
 type shard struct {
 	mu   sync.RWMutex
-	fps  []uint64
-	idxs []int32
-	n    int
-	keys map[uint64]string // audit mode only: fingerprint → first key
+	fps  []uint64 //protogen:guardedby mu
+	idxs []int32  //protogen:guardedby mu
+	n    int      //protogen:guardedby mu
+	// keys is audit mode only: fingerprint → first key.
+	keys map[uint64]string //protogen:guardedby mu
 }
 
 // New returns an empty fingerprint table.
@@ -118,7 +119,7 @@ func (t *Table) Lookup(fp uint64, key []byte) (int32, bool) {
 	fp = normalize(fp)
 	s := t.shard(fp)
 	s.mu.RLock()
-	idx, ok := s.probe(fp)
+	idx, ok := s.probeLocked(fp)
 	collided := false
 	if ok && t.audit {
 		if prev, have := s.keys[fp]; have && prev != string(key) {
@@ -136,8 +137,9 @@ func (t *Table) Lookup(fp uint64, key []byte) (int32, bool) {
 	return idx, ok
 }
 
-// probe scans the shard's slot array for fp; caller holds the lock.
-func (s *shard) probe(fp uint64) (int32, bool) {
+// probeLocked scans the shard's slot array for fp; caller holds the
+// lock.
+func (s *shard) probeLocked(fp uint64) (int32, bool) {
 	mask := uint64(len(s.fps) - 1)
 	for i := fp & mask; ; i = (i + 1) & mask {
 		switch s.fps[i] {
@@ -157,7 +159,7 @@ func (t *Table) Insert(fp uint64, key string, idx int32) {
 	s := t.shard(fp)
 	s.mu.Lock()
 	if (s.n+1)*maxLoadDen > len(s.fps)*maxLoadNum {
-		s.grow()
+		s.growLocked()
 	}
 	mask := uint64(len(s.fps) - 1)
 	for i := fp & mask; ; i = (i + 1) & mask {
@@ -178,10 +180,10 @@ func (t *Table) Insert(fp uint64, key string, idx int32) {
 	}
 }
 
-// grow doubles one shard's slot array and rehashes its entries; caller
-// holds the write lock. Growth touches only this shard — 1/64th of the
-// table — keeping any single insert's pause bounded.
-func (s *shard) grow() {
+// growLocked doubles one shard's slot array and rehashes its entries;
+// caller holds the write lock. Growth touches only this shard — 1/64th
+// of the table — keeping any single insert's pause bounded.
+func (s *shard) growLocked() {
 	oldFps, oldIdxs := s.fps, s.idxs
 	s.fps = make([]uint64, 2*len(oldFps))
 	s.idxs = make([]int32, 2*len(oldIdxs))

@@ -2,27 +2,13 @@ package verify
 
 import (
 	"context"
-	"runtime"
 	"testing"
 	"time"
 
 	"protogen/internal/core"
 	"protogen/internal/protocols"
+	"protogen/internal/vet/vettest"
 )
-
-// waitNoGoroutineLeak retries until the goroutine count returns to the
-// baseline (workers drain asynchronously after CheckCtx returns).
-func waitNoGoroutineLeak(t *testing.T, before int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Errorf("goroutine leak after cancel: %d before, %d after", before, runtime.NumGoroutine())
-}
 
 // TestCheckCtxCancelMidExploration cancels from inside the progress
 // callback a few levels in: the checker must stop at the next level
@@ -41,7 +27,7 @@ func TestCheckCtxCancelMidExploration(t *testing.T) {
 				cancel()
 			}
 		}
-		before := runtime.NumGoroutine()
+		before := vettest.Goroutines()
 		start := time.Now()
 		res := CheckCtx(ctx, p, cfg)
 		elapsed := time.Since(start)
@@ -60,7 +46,7 @@ func TestCheckCtxCancelMidExploration(t *testing.T) {
 		if elapsed > 30*time.Second {
 			t.Errorf("P=%d: cancellation took %v", par, elapsed)
 		}
-		waitNoGoroutineLeak(t, before)
+		vettest.NoLeak(t, before)
 	}
 }
 

@@ -227,8 +227,8 @@ type exactSet struct {
 
 type exactShard struct {
 	mu       sync.RWMutex
-	m        map[string]int32
-	keyBytes int64
+	m        map[string]int32 //protogen:guardedby mu
+	keyBytes int64            //protogen:guardedby mu
 }
 
 func newExactSet() *exactSet {

@@ -1,0 +1,227 @@
+// Package vet is the shared plumbing and the concurrency-discipline
+// analyzers behind this repo's two go vet tools, cmd/vethotpath and
+// cmd/vetconcurrency. Both binaries speak the cmd/go vet-tool protocol
+// (the one golang.org/x/tools' unitchecker implements) using only the
+// standard library; the protocol half — the -V=full handshake, the
+// .cfg unit parsing, export-data importing and typechecking — lives
+// here once, as Main, so the two tools cannot drift. The analyzers
+// themselves are Check callbacks over a typechecked Unit: vethotpath
+// keeps its HP passes in its own main package, while the CC
+// concurrency passes (guarded-by, blocking-under-lock, goroutine-leak
+// shape, context discipline, atomic/mutex mixing) are implemented in
+// this package so they can be unit-tested without driving go vet.
+// See docs/ANALYSIS.md for the code tables and the suppression policy.
+package vet
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Unit is one typechecked vet unit of work: a package's non-generated
+// sources with full type information, as handed to a Tool's Check.
+type Unit struct {
+	// ImportPath is the package's import path with cmd/go's
+	// test-variant suffix ("pkg [pkg.test]") already stripped.
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Info       *types.Info
+	Pkg        *types.Package
+}
+
+// Tool describes one vet tool built on Main.
+type Tool struct {
+	// Name prefixes error output ("vethotpath: ...").
+	Name string
+	// Wants filters packages by (variant-stripped) import path before
+	// any parsing or typechecking happens, keeping `go vet ./...` runs
+	// cheap on packages the tool ignores. nil means every package.
+	Wants func(importPath string) bool
+	// Check analyzes one typechecked unit and returns rendered
+	// diagnostics ("file:line:col: [CODE] message").
+	Check func(u *Unit) []string
+}
+
+// Main runs the vet-tool protocol for t and exits: the -V=full version
+// handshake cmd/go uses to key its analysis cache, the -flags probe,
+// and the per-package .cfg unit execution. Diagnostics go to stderr
+// with exit status 2, matching go vet's convention.
+func Main(t Tool) {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V="):
+		printVersion(t.Name, args[0])
+	case len(args) == 1 && args[0] == "-flags":
+		// No tool-specific flags; cmd/go parses this to validate the
+		// go vet command line.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		diags, err := runConfig(t, args[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", t.Name, err)
+			os.Exit(1)
+		}
+		if len(diags) > 0 {
+			for _, d := range diags {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "%s: run via go vet -vettool=$(which %s) <packages>\n", t.Name, t.Name)
+		os.Exit(1)
+	}
+}
+
+// printVersion implements the -V=full handshake: the line embeds a
+// content hash of the tool binary so rebuilding the tool invalidates
+// cmd/go's cached verdicts.
+func printVersion(name, arg string) {
+	if arg != "-V=full" {
+		fmt.Fprintf(os.Stderr, "%s: unsupported flag %q\n", name, arg)
+		os.Exit(1)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+}
+
+// vetConfig is the subset of cmd/go's vet.cfg JSON the driver
+// consumes. Unknown fields are ignored, keeping the tools compatible
+// across Go releases.
+type vetConfig struct {
+	ID                        string            `json:"ID"`
+	Compiler                  string            `json:"Compiler"`
+	Dir                       string            `json:"Dir"`
+	ImportPath                string            `json:"ImportPath"`
+	GoFiles                   []string          `json:"GoFiles"`
+	ImportMap                 map[string]string `json:"ImportMap"`
+	PackageFile               map[string]string `json:"PackageFile"`
+	VetxOnly                  bool              `json:"VetxOnly"`
+	VetxOutput                string            `json:"VetxOutput"`
+	SucceedOnTypecheckFailure bool              `json:"SucceedOnTypecheckFailure"`
+}
+
+// stripVariant removes cmd/go's test-variant suffix from an import
+// path ("pkg [pkg.test]" → "pkg").
+func stripVariant(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// runConfig executes one vet unit of work: parse the config, write the
+// (empty — these tools export no facts) vetx output cmd/go expects,
+// and, if the tool wants the package, typecheck and check it.
+func runConfig(t Tool, path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	// cmd/go caches the vetx file as the action's output; it must exist
+	// on every exit path, including a diagnostic-bearing one.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil // dependency pass: facts only, and we have none
+	}
+	importPath := stripVariant(cfg.ImportPath)
+	if t.Wants != nil && !t.Wants(importPath) {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(pkgPath string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[pkgPath]; ok {
+			pkgPath = mapped
+		}
+		file, ok := cfg.PackageFile[pkgPath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", pkgPath)
+		}
+		return os.Open(file)
+	})
+	tc := types.Config{Importer: imp}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	diags := t.Check(&Unit{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Info:       info,
+		Pkg:        pkg,
+	})
+	return SortDiags(diags), nil
+}
+
+// SortDiags orders rendered diagnostics by position and removes
+// duplicates (nested AST walks can revisit inner nodes).
+func SortDiags(diags []string) []string {
+	sort.Strings(diags)
+	out := diags[:0]
+	for i, d := range diags {
+		if i == 0 || d != diags[i-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directives scans one file's comments for a tool's suppression
+// directives ("//<tool>:ignore <reason>") and returns the set of lines
+// they suppress: the directive's own line and, for a directive on a
+// line of its own, the line below it. A directive must carry a
+// non-empty reason; a bare one suppresses nothing and instead yields a
+// rendered diagnostic with the given code (e.g. "HP000", "CC000") so
+// that undocumented escapes fail the vet gate rather than silently
+// widening it.
+func Directives(fset *token.FileSet, f *ast.File, tool, bareCode string) (suppressed map[int]bool, bare []string) {
+	marker := tool + ":ignore"
+	suppressed = map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, marker) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			reason := strings.TrimPrefix(text, marker)
+			// Accept "tool:ignore — reason", "tool:ignore: reason",
+			// "tool:ignore - reason", or "tool:ignore reason".
+			reason = strings.TrimLeft(reason, " \t:—–-")
+			if reason == "" {
+				bare = append(bare, render(pos, bareCode,
+					"bare "+marker+" directive: a non-empty reason is required (\"//"+marker+" <reason>\")"))
+				continue
+			}
+			suppressed[pos.Line] = true
+			suppressed[pos.Line+1] = true
+		}
+	}
+	return suppressed, bare
+}
+
+// Suppressed reports whether a diagnostic at pos is covered by a
+// directive on its own line or the line above.
+func Suppressed(suppressed map[int]bool, pos token.Position) bool {
+	return suppressed[pos.Line]
+}
+
+// render formats one diagnostic in the shared
+// "file:line:col: [CODE] message" shape.
+func render(pos token.Position, code, msg string) string {
+	return pos.String() + ": [" + code + "] " + msg
+}

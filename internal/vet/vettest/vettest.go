@@ -1,0 +1,50 @@
+// Package vettest holds shared test helpers for the concurrency
+// discipline this repo's vet suite enforces statically: goroutine-leak
+// baselining for tests that drive cancellation and shutdown paths.
+//
+// The static analyzers in internal/vet (CC003 in particular) prove a
+// goroutine has a visible exit path; these helpers check the dynamic
+// half of that contract — that the path is actually taken. Tests record
+// a baseline with Goroutines, exercise the code under test, and then
+// call NoLeak, which tolerates asynchronous draining: workers routinely
+// outlive the call that started them by a few scheduler ticks, so the
+// helper retries until the count settles back to the baseline instead
+// of failing on the first hot read.
+package vettest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakDeadline bounds how long NoLeak waits for stragglers to drain.
+// Five seconds is far beyond any legitimate drain in this repo (workers
+// exit within a level or a seed), yet short enough that a genuinely
+// leaked goroutine fails the test promptly.
+const leakDeadline = 5 * time.Second
+
+// leakPoll is the interval between goroutine-count samples.
+const leakPoll = 10 * time.Millisecond
+
+// Goroutines records the current goroutine count as a baseline for a
+// later NoLeak check. It is a trivial wrapper today; routing tests
+// through it keeps the sampling policy in one place.
+func Goroutines() int { return runtime.NumGoroutine() }
+
+// NoLeak fails t if the goroutine count has not returned to (or below)
+// the before baseline within the drain deadline. Workers that detach
+// from the call that spawned them — campaign pools, exploration levels,
+// HTTP handlers mid-shutdown — drain asynchronously, so the count is
+// polled rather than read once.
+func NoLeak(t testing.TB, before int) {
+	t.Helper()
+	deadline := time.Now().Add(leakDeadline)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(leakPoll)
+	}
+	t.Errorf("goroutine leak: %d at baseline, %d after drain deadline", before, runtime.NumGoroutine())
+}

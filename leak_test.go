@@ -1,0 +1,33 @@
+package protogen_test
+
+import (
+	"context"
+	"testing"
+
+	"protogen"
+	"protogen/internal/vet/vettest"
+)
+
+// TestChannelProgressNoLeak is the goroutine-leak regression for the
+// non-blocking progress adapter: jobs publishing into a channel nobody
+// ever reads must still complete and leave no sender goroutine parked
+// on it — ChannelProgress drops on a full channel instead of handing
+// the event to a helper that would outlive the job.
+func TestChannelProgressNoLeak(t *testing.T) {
+	before := vettest.Goroutines()
+	ch := make(chan protogen.ProgressEvent) // zero capacity, never read
+	eng := protogen.NewEngine(protogen.WithParallelism(4))
+	cfg := protogen.QuickVerifyConfig()
+	for i := 0; i < 3; i++ {
+		res, err := eng.Verify(context.Background(), protogen.VerifyJob{
+			Source:     protogen.BuiltinMSI,
+			Mode:       "stalling",
+			Config:     &cfg,
+			OnProgress: protogen.ChannelProgress(ch),
+		})
+		if err != nil || !res.OK() {
+			t.Fatalf("run %d: %v %v", i, res, err)
+		}
+	}
+	vettest.NoLeak(t, before)
+}
