@@ -24,6 +24,12 @@
 // and -lint-filter short-circuits statically-broken specs before any
 // model check. -no-lint turns the pre-pass off.
 //
+// A fourth dimension runs the exhaustive litmus oracle on the quick
+// suite: a forbidden weak-memory outcome on a spec the model checker
+// passed clean is a litmus-vs-checker failure. -no-litmus turns it
+// off; -litmus-states caps each exploration (over budget the verdict
+// degrades to "capped", never a failure).
+//
 // Ctrl-C (or -timeout expiry) drains the worker pool and reports the
 // seeds that completed — "canceled after N of M seeds" — instead of
 // dying silently.
@@ -68,6 +74,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		cacheDir = fs.String("cache-dir", "", "memoize verify results as JSONL under this directory, keyed by canonical spec + generation options + checker config; a rerun over the same seeds performs zero re-verifications (see docs/CACHING.md for the format and when to wipe it)")
 		corpus   = fs.String("corpus", "", "write minimized reproducers into this directory")
 		noLint   = fs.Bool("no-lint", false, "disable the static-analyzer pre-pass (no lint verdicts, no lint-vs-checker cross-check)")
+		noLit    = fs.Bool("no-litmus", false, "disable the litmus-oracle dimension (no litmus verdicts, no litmus-vs-checker cross-check)")
+		litSts   = fs.Int("litmus-states", 0, "per-test state cap for the litmus dimension (0 = package default; over budget the verdict is capped, not failed)")
 		lintFlt  = fs.Bool("lint-filter", false, "short-circuit specs the analyzer proves broken before any model check (counted as lint-rejected failures)")
 		jsonOut  = fs.String("json", "", "write one JSON report line per spec to this file (- = stdout)")
 		list     = fs.Bool("list", false, "list families, boundary shapes and corpus entries")
@@ -95,6 +103,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.Shrink = *shrink
 	cfg.NoLint = *noLint
 	cfg.LintFilter = *lintFlt
+	cfg.NoLitmus = *noLit
+	cfg.LitmusMaxStates = *litSts
 	if *noLint && *lintFlt {
 		return fmt.Errorf("-no-lint and -lint-filter are mutually exclusive")
 	}
@@ -202,6 +212,9 @@ func report(stdout io.Writer, rep *protogen.FuzzReport, jsonOut, corpusDir strin
 		lint := ""
 		if r.Lint != "" && r.Lint != "clean" {
 			lint = " lint=" + r.Lint
+		}
+		if r.Litmus != "" && r.Litmus != "clean" {
+			lint += " litmus=" + r.Litmus
 		}
 		if r.OK() {
 			if verbose {

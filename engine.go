@@ -17,6 +17,7 @@ import (
 	"protogen/internal/core"
 	"protogen/internal/dsl"
 	"protogen/internal/fuzz"
+	"protogen/internal/litmus"
 	"protogen/internal/protocols"
 	"protogen/internal/sim"
 	"protogen/internal/verify"
@@ -40,6 +41,8 @@ type (
 	FuzzProgress = fuzz.Progress
 	// SimProgress is a stride snapshot of a simulation run.
 	SimProgress = sim.Progress
+	// LitmusProgress is a per-test snapshot of a litmus oracle run.
+	LitmusProgress = litmus.Progress
 )
 
 // ProgressFunc receives progress events. Implementations must return
@@ -257,6 +260,45 @@ type FuzzJob struct {
 	OnProgress ProgressFunc
 }
 
+// LitmusJob runs the weak-memory litmus oracle over one protocol:
+// catalog tests explored exhaustively and/or sampled, with every
+// outcome classified under a consistency axiom. Subject selection
+// follows VerifyJob.
+type LitmusJob struct {
+	Protocol *Protocol
+	Spec     *Spec
+	Source   string
+
+	Mode         string
+	Options      *Options
+	PendingLimit int
+
+	// Tests names catalog tests to run; nil/empty runs the full catalog.
+	Tests []string
+	// Axiom is the consistency axiom to classify under ("sc", "tso" or
+	// "weak"); "" uses the protocol's default (weak for protocols that
+	// implement acquire fences, SC otherwise).
+	Axiom string
+	// Exhaustive enables the exhaustive explorer. When both Exhaustive
+	// is false and Runs is 0, the job defaults to exhaustive — the
+	// oracle's reason to exist is exact outcome sets.
+	Exhaustive bool
+	// Runs adds a randomized sample of that many schedules per test;
+	// combined with Exhaustive the job also checks sampled ⊆ exhaustive.
+	Runs int
+	// Seed seeds the randomized sample.
+	Seed int64
+	// Caches sizes the composed per-address systems (minimum: the
+	// test's thread count; 0 = 3).
+	Caches int
+	// MaxStates bounds each exhaustive exploration (0 = the litmus
+	// package default).
+	MaxStates int
+
+	// OnProgress overrides the engine's progress sink for this job.
+	OnProgress ProgressFunc
+}
+
 // resolveSubject turns a job's subject fields into a parsed spec and/or
 // generated protocol plus the generation options used.
 func resolveSubject(proto *Protocol, spec *Spec, source, mode string, explicit *Options, limit int) (*Spec, *Protocol, Options, error) {
@@ -386,6 +428,43 @@ func (e *Engine) Simulate(ctx context.Context, job SimulateJob) (SimStats, error
 		cfg.Progress = func(p sim.Progress) { fn(p) }
 	}
 	return sim.RunCtx(ctx, proto, cfg)
+}
+
+// Litmus runs a litmus-oracle job under ctx. Cancellation is observed
+// between interleaving states; the partial Report comes back with
+// Report.Canceled set and a nil error (interrupted tests carry the
+// context error in their per-test Err).
+func (e *Engine) Litmus(ctx context.Context, job LitmusJob) (*LitmusReport, error) {
+	spec, proto, opts, err := resolveSubject(job.Protocol, job.Spec, job.Source, job.Mode, job.Options, job.PendingLimit)
+	if err != nil {
+		return nil, err
+	}
+	if proto == nil {
+		if proto, err = core.GenerateWithWarnings(spec, opts, e.warn); err != nil {
+			return nil, err
+		}
+	}
+	tests, err := litmus.ByName(job.Tests)
+	if err != nil {
+		return nil, err
+	}
+	ax := litmus.DefaultAxiom(proto)
+	if job.Axiom != "" {
+		if ax, err = litmus.ParseAxiom(job.Axiom); err != nil {
+			return nil, err
+		}
+	}
+	lopts := litmus.Options{
+		Caches: job.Caches, MaxStates: job.MaxStates,
+		Exhaustive: job.Exhaustive || job.Runs == 0,
+		Runs:       job.Runs, Seed: job.Seed,
+		Parallelism: e.parallelism,
+	}
+	var sink func(litmus.Progress)
+	if fn := e.progressFunc(job.OnProgress); fn != nil {
+		sink = func(p litmus.Progress) { fn(p) }
+	}
+	return litmus.RunSuite(ctx, proto, tests, ax, lopts, sink), nil
 }
 
 // Fuzz runs a campaign job under ctx. Workers observe cancellation

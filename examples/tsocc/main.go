@@ -1,31 +1,45 @@
 // Command tsocc demonstrates TSO-CC (paper §VI-D): a consistency-directed protocol with no sharer
 // tracking — Shared copies go stale, which TSO permits until an acquire.
 // ProtoGen generates its concurrent form; litmus tests over randomized
-// schedules stand in for the Banks et al. TSO verification.
+// schedules stand in for the Banks et al. TSO verification. The demo's
+// assertions are pinned by main_test.go, so this example doubles as a
+// regression test for the §VI-D contract.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"protogen"
 )
 
 func main() {
-	p, err := protogen.GenerateSource(protogen.BuiltinTSOCC, protogen.NonStalling())
-	if err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func run(stdout io.Writer) error {
+	p, err := protogen.GenerateSource(protogen.BuiltinTSOCC, protogen.NonStalling())
+	if err != nil {
+		return err
+	}
 	cs, ct, _ := p.Cache.Counts()
-	fmt.Printf("generated TSO-CC: %d cache states, %d transitions\n\n", cs, ct)
+	fmt.Fprintf(stdout, "generated TSO-CC: %d cache states, %d transitions\n\n", cs, ct)
 
 	// Deadlock freedom via the model checker (SWMR is broken by design).
 	cfg := protogen.QuickVerifyConfig()
 	cfg.CheckSWMR = false
 	cfg.CheckValues = false
-	fmt.Println("deadlock freedom:", protogen.Verify(p, cfg))
+	res := protogen.Verify(p, cfg)
+	fmt.Fprintln(stdout, "deadlock freedom:", res)
+	if !res.OK() {
+		return fmt.Errorf("TSO-CC deadlock-freedom check failed: %s", res)
+	}
 
-	fmt.Println("\nTSO litmus tests (400 randomized schedules each):")
+	fmt.Fprintln(stdout, "\nTSO litmus tests (400 randomized schedules each):")
 	cases := []struct {
 		l         protogen.Litmus
 		mustHold  bool // forbidden outcome must never appear
@@ -39,15 +53,16 @@ func main() {
 	for _, tc := range cases {
 		r, err := protogen.RunLitmus(p, tc.l, 400, 11)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  %s\n", r)
+		fmt.Fprintf(stdout, "  %s\n", r)
 		if tc.mustHold && r.Forbidden > 0 {
-			log.Fatalf("%s: forbidden outcome observed — ordering broken", tc.l.Name)
+			return fmt.Errorf("%s: forbidden outcome observed — ordering broken", tc.l.Name)
 		}
 		if tc.wantRelax && r.Relaxed == 0 {
-			log.Fatalf("%s: expected the TSO-allowed relaxation to be observable", tc.l.Name)
+			return fmt.Errorf("%s: expected the TSO-allowed relaxation to be observable", tc.l.Name)
 		}
 	}
-	fmt.Println("\nSynchronized forbidden outcomes: absent. TSO-allowed relaxations: present.")
+	fmt.Fprintln(stdout, "\nSynchronized forbidden outcomes: absent. TSO-allowed relaxations: present.")
+	return nil
 }

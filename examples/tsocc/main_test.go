@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun pins the §VI-D demo: every assertion the example makes
+// (deadlock freedom, MP stale read observable, MP+acq and CoRR clean,
+// SB relaxation observable) must keep holding, and the narrative lines
+// the README quotes must keep appearing.
+func TestRun(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatalf("tsocc demo failed: %v\noutput so far:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"generated TSO-CC:",
+		"deadlock freedom:",
+		"TSO litmus tests",
+		"Synchronized forbidden outcomes: absent. TSO-allowed relaxations: present.",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output is missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"protogen/internal/core"
 	"protogen/internal/dsl"
 	"protogen/internal/ir"
+	"protogen/internal/litmus"
 	"protogen/internal/sim"
 	"protogen/internal/verify"
 )
@@ -54,6 +55,17 @@ type Config struct {
 	// lets the lint-vs-checker cross-check exercise the analyzer
 	// against the checker's ground truth on every seed.
 	LintFilter bool
+	// NoLitmus disables the litmus-oracle cross-check: no per-spec
+	// litmus verdict is recorded and the litmus-vs-checker cross-check
+	// is off. The oracle explores the quick litmus suite exhaustively
+	// on the non-stalling design of every checker-clean spec, under the
+	// axiom the protocol's access set implies (weak when it implements
+	// acquires, SC otherwise).
+	NoLitmus bool
+	// LitmusMaxStates bounds each exhaustive litmus exploration
+	// (0 = the litmus package default). Hitting the bound records a
+	// "capped" litmus verdict, not a failure.
+	LitmusMaxStates int
 	// Cache memoizes per-mode verify results across campaign runs,
 	// keyed by canonical spec text + generation options + checker
 	// config (see verify.CacheKey and docs/CACHING.md). nil disables
@@ -130,8 +142,12 @@ type Failure struct {
 	// violation or scheduler deadlock), "generate" (pipeline error),
 	// "capped" (a mode hit the state cap; inconclusive, never shrunk),
 	// "lint-rejected" (the Config.LintFilter pre-pass proved the spec
-	// broken and skipped the checks), or "lint-vs-checker" (the
-	// analyzer called a checker-clean spec broken — one oracle lies).
+	// broken and skipped the checks), "lint-vs-checker" (the analyzer
+	// called a checker-clean spec broken — one oracle lies), "litmus"
+	// (the litmus oracle wedged or errored), or "litmus-vs-checker"
+	// (the exhaustive litmus oracle reached an axiom-forbidden outcome
+	// on a checker-clean spec — an ordering bug the SC-only oracles
+	// cannot see, or an oracle bug; a campaign failure either way).
 	Class string `json:"class"`
 	// Kind is the concrete violation kind or mismatch description.
 	Kind string `json:"kind"`
@@ -183,7 +199,13 @@ type SpecReport struct {
 	// Lint is the spec-layer static-analyzer verdict ("clean",
 	// "suspect" or "broken"; empty when linting is disabled) — the
 	// third verdict dimension next to the checker and the simulator.
-	Lint      string  `json:"lint,omitempty"`
+	Lint string `json:"lint,omitempty"`
+	// Litmus is the weak-memory oracle verdict ("clean" when the quick
+	// suite's exhaustive outcome sets hold no axiom-forbidden outcome,
+	// "capped" when an exploration hit the state bound and the verdict
+	// is inconclusive; empty when the oracle is disabled or an earlier
+	// failure stopped the run) — the fourth verdict dimension.
+	Litmus    string  `json:"litmus,omitempty"`
 	Failure   Failure `json:"failure"`
 	Minimized string  `json:"-"` // shrunk reproducer source (failures only)
 	ElapsedMS int64   `json:"elapsed_ms"`
@@ -543,16 +565,23 @@ func checkSourceCtx(ctx context.Context, src string, limit int, simSeed int64, c
 		}
 	}
 
-	// Simulator cross-check on the non-stalling design: randomized
-	// schedules with the per-location SC history checker.
-	if cfg.SimSteps > 0 {
+	// Simulator and litmus cross-checks both run on the non-stalling
+	// design; generate it once.
+	var p *ir.Protocol
+	if cfg.SimSteps > 0 || !cfg.NoLitmus {
 		opts, _ := ModeOptions("nonstalling")
 		opts.PendingLimit = limit
-		p, err := core.Generate(spec, opts) // Generate clones internally
+		var err error
+		p, err = core.Generate(spec, opts) // Generate clones internally
 		if err != nil {
 			r.Failure = Failure{Class: "generate", Kind: "generate", Mode: "nonstalling", Detail: err.Error()}
 			return r
 		}
+	}
+
+	// Simulator cross-check on the non-stalling design: randomized
+	// schedules with the per-location SC history checker.
+	if cfg.SimSteps > 0 {
 		for _, w := range []sim.Workload{sim.Contended{}, sim.Migratory{}} {
 			st, err := sim.RunCtx(ctx, p, sim.Config{
 				Caches: max(cfg.Caches, 2), Steps: cfg.SimSteps,
@@ -573,6 +602,45 @@ func checkSourceCtx(ctx context.Context, src string, limit int, simSeed int64, c
 			}
 			if r.SimStats == "" {
 				r.SimStats = st.String()
+			}
+		}
+	}
+
+	// Litmus cross-check: explore the quick litmus suite exhaustively on
+	// the non-stalling design and hold the exact outcome sets to the
+	// axiom the protocol's access set implies. An axiom-forbidden
+	// outcome on a spec the checker just passed clean is an ordering bug
+	// the SC-only oracles cannot see (or an oracle bug) — a campaign
+	// failure either way, mirroring the lint-vs-checker contract.
+	if !cfg.NoLitmus {
+		ax := litmus.DefaultAxiom(p)
+		r.Litmus = "clean"
+		for _, tc := range litmus.QuickSuite() {
+			res := litmus.RunTest(ctx, p, tc, ax, litmus.Options{
+				Caches: max(cfg.Caches, 2), MaxStates: cfg.LitmusMaxStates, Exhaustive: true,
+			})
+			if ctx.Err() != nil {
+				r.Litmus = ""
+				r.Failure = Failure{Class: "canceled", Kind: "context", Detail: ctx.Err().Error()}
+				return r
+			}
+			if len(res.Forbidden) > 0 {
+				r.Litmus = "forbidden"
+				r.Failure = Failure{Class: "litmus-vs-checker", Kind: "litmus-forbidden-checker-clean", Mode: "nonstalling",
+					Detail: fmt.Sprintf("%s under %s: forbidden outcome {%s}", tc.Name, ax, res.Forbidden[0])}
+				return r
+			}
+			if len(res.Stuck) > 0 || res.Err != "" {
+				detail := res.Err
+				if detail == "" {
+					detail = res.Stuck[0]
+				}
+				r.Litmus = "stuck"
+				r.Failure = Failure{Class: "litmus", Kind: "litmus-stuck", Mode: "nonstalling", Detail: detail}
+				return r
+			}
+			if !res.Complete {
+				r.Litmus = "capped"
 			}
 		}
 	}

@@ -232,3 +232,49 @@ func TestRunRejectsBadInput(t *testing.T) {
 		t.Error("unknown family must error")
 	}
 }
+
+// TestLitmusVerdictDimension: the litmus oracle records its verdict as
+// the fourth dimension on every checker-clean seed, a tiny state budget
+// degrades the verdict to "capped" without failing the campaign, and
+// NoLitmus removes the dimension entirely.
+func TestLitmusVerdictDimension(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shrink = false
+	cfg.SimSteps = 0
+	rep, err := Run(0, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Specs {
+		if r.OK() && r.Litmus != "clean" {
+			t.Errorf("seed %d (%s): litmus verdict %q on a clean run, want clean", r.Seed, r.Family, r.Litmus)
+		}
+	}
+
+	capped := cfg
+	capped.LitmusMaxStates = 3
+	rep, err = Run(0, 2, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Specs {
+		if r.OK() && r.Litmus != "capped" {
+			t.Errorf("seed %d: litmus verdict %q under a 3-state budget, want capped", r.Seed, r.Litmus)
+		}
+		if !r.OK() && (r.Failure.Class == "litmus" || r.Failure.Class == "litmus-vs-checker") {
+			t.Errorf("seed %d: capped exploration escalated to failure %s", r.Seed, r.Failure)
+		}
+	}
+
+	off := cfg
+	off.NoLitmus = true
+	rep, err = Run(0, 2, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Specs {
+		if r.Litmus != "" {
+			t.Errorf("seed %d: litmus verdict %q with the oracle disabled", r.Seed, r.Litmus)
+		}
+	}
+}

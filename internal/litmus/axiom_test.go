@@ -1,0 +1,93 @@
+package litmus
+
+import (
+	"testing"
+
+	"protogen/internal/core"
+	"protogen/internal/protocols"
+)
+
+// TestDefaultAxiom: protocols with acquire transitions are held to
+// Weak, eager SWMR protocols to SC.
+func TestDefaultAxiom(t *testing.T) {
+	if ax := DefaultAxiom(gen(t, protocols.MSI, core.NonStallingOpts())); ax != SC {
+		t.Errorf("MSI default axiom = %s, want sc", ax)
+	}
+	if ax := DefaultAxiom(gen(t, protocols.TSOCC, core.NonStallingOpts())); ax != Weak {
+		t.Errorf("TSO_CC default axiom = %s, want weak", ax)
+	}
+}
+
+func TestParseAxiom(t *testing.T) {
+	for _, s := range []string{"sc", "tso", "weak"} {
+		if _, err := ParseAxiom(s); err != nil {
+			t.Errorf("ParseAxiom(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseAxiom("release-consistency"); err == nil {
+		t.Error("unknown axiom parsed without error")
+	}
+}
+
+// TestClassifyUnknownAxiom: a misconfigured oracle fails loudly.
+func TestClassifyUnknownAxiom(t *testing.T) {
+	if c := MP(false).Classify(Axiom("bogus"), Outcome{}); c != Forbidden {
+		t.Errorf("unknown axiom classified as %s, want forbidden", c)
+	}
+}
+
+// TestMPAxiomTable pins MP's machine-checked axiom table: the stale
+// read is forbidden under SC and TSO, relaxed under Weak; everything
+// else is allowed everywhere.
+func TestMPAxiomTable(t *testing.T) {
+	stale := "t1.rd=0 t1.rf=1"
+	for _, ax := range Axioms() {
+		rows := MP(false).Table(ax)
+		if len(rows) != 9 { // rf, rd each range over 0..2 (one store per address... 0..1) -> 2x2? see below
+			t.Logf("MP/%s table has %d rows", ax, len(rows))
+		}
+		for _, row := range rows {
+			want := "allowed"
+			if row.Outcome == stale {
+				if ax == Weak {
+					want = "relaxed"
+				} else {
+					want = "forbidden"
+				}
+			}
+			if row.Class != want {
+				t.Errorf("MP/%s table[%s] = %s, want %s", ax, row.Outcome, row.Class, want)
+			}
+		}
+	}
+}
+
+// TestTableStoreRegisters: tables over store registers respect the
+// distinct-coherence-position constraint (2+2W has two stores per
+// address; its 4 store registers admit 2x2 position assignments).
+func TestTableStoreRegisters(t *testing.T) {
+	rows := TwoPlusTwoW().Table(SC)
+	if len(rows) != 4 {
+		t.Fatalf("2+2W table has %d rows, want 4", len(rows))
+	}
+	forbidden := 0
+	for _, row := range rows {
+		if row.Class == "forbidden" {
+			forbidden++
+		}
+	}
+	if forbidden != 1 {
+		t.Errorf("2+2W/SC table has %d forbidden rows, want exactly 1 (the po∪co cycle)", forbidden)
+	}
+}
+
+// TestClassifyCoherenceForbiddenEverywhere: per-location coherence
+// shapes stay forbidden even under Weak.
+func TestClassifyCoherenceForbiddenEverywhere(t *testing.T) {
+	bad := Outcome{"t1.r1": 1, "t1.r2": 0}
+	for _, ax := range Axioms() {
+		if c := CoRR().Classify(ax, bad); c != Forbidden {
+			t.Errorf("CoRR backward read under %s = %s, want forbidden", ax, c)
+		}
+	}
+}

@@ -73,9 +73,9 @@ const (
 // or a seed range (fuzz). Zero-valued tuning fields inherit the
 // library defaults.
 type Request struct {
-	Kind string `json:"kind"` // verify | fuzz | simulate | lint
+	Kind string `json:"kind"` // verify | fuzz | simulate | lint | litmus
 
-	// Subject (verify, simulate, lint).
+	// Subject (verify, simulate, lint, litmus).
 	Protocol string `json:"protocol,omitempty"` // registry name
 	Source   string `json:"source,omitempty"`   // inline SSP DSL
 	Mode     string `json:"mode,omitempty"`     // nonstalling (default), stalling, deferred
@@ -101,10 +101,21 @@ type Request struct {
 	SimSteps *int     `json:"sim_steps,omitempty"`
 	Shrink   *bool    `json:"shrink,omitempty"`
 
-	// Run tuning (simulate).
+	// Run tuning (simulate; Seed also seeds litmus sampling).
 	Workload string `json:"workload,omitempty"`
 	Steps    int    `json:"steps,omitempty"`
 	Seed     int64  `json:"seed,omitempty"`
+
+	// Litmus oracle tuning. Tests restricts the catalog ([] = all);
+	// Axiom overrides the protocol's default consistency axiom; Runs
+	// adds a randomized sample next to the (default) exhaustive
+	// exploration; Exhaustive forces exhaustive mode on even when Runs
+	// is set without it. Caches and MaxStates above scale the composed
+	// system and the per-test state budget.
+	Tests      []string `json:"tests,omitempty"`
+	Axiom      string   `json:"axiom,omitempty"`
+	Exhaustive bool     `json:"exhaustive,omitempty"`
+	Runs       int      `json:"runs,omitempty"`
 }
 
 // validate rejects malformed submissions before they enter the queue.
@@ -129,8 +140,12 @@ func (r *Request) validate() error {
 		if r.Protocol == "" && r.Source == "" {
 			return fmt.Errorf("lint job needs protocol or source")
 		}
+	case "litmus":
+		if r.Protocol == "" && r.Source == "" {
+			return fmt.Errorf("litmus job needs protocol or source")
+		}
 	default:
-		return fmt.Errorf("unknown job kind %q (want verify, fuzz, simulate or lint)", r.Kind)
+		return fmt.Errorf("unknown job kind %q (want verify, fuzz, simulate, lint or litmus)", r.Kind)
 	}
 	if r.Protocol != "" && r.Source != "" {
 		return fmt.Errorf("protocol and source are mutually exclusive")
@@ -161,6 +176,10 @@ type ProgressView struct {
 	Steps        int `json:"steps,omitempty"`
 	TotalSteps   int `json:"total_steps,omitempty"`
 	Transactions int `json:"transactions,omitempty"`
+	// litmus
+	TestsDone  int `json:"tests_done,omitempty"`
+	TestsTotal int `json:"tests_total,omitempty"`
+	Forbidden  int `json:"forbidden,omitempty"`
 }
 
 // viewOf flattens a typed event into the wire form.
@@ -174,6 +193,9 @@ func viewOf(ev protogen.ProgressEvent, now time.Time) *ProgressView {
 		v.RanChecks, v.CacheHits = p.RanChecks, p.CacheHits
 	case protogen.SimProgress:
 		v.Steps, v.TotalSteps, v.Transactions = p.Steps, p.TotalSteps, p.Transactions
+	case protogen.LitmusProgress:
+		v.TestsDone, v.TestsTotal, v.Forbidden = p.Done, p.Total, p.Forbidden
+		v.States = p.States
 	}
 	return v
 }
@@ -216,6 +238,7 @@ type job struct {
 	fuzzReport   *protogen.FuzzReport   //protogen:guardedby mu
 	simStats     *protogen.SimStats     //protogen:guardedby mu
 	lintResult   *protogen.LintResult   //protogen:guardedby mu
+	litmusReport *protogen.LitmusReport //protogen:guardedby mu
 }
 
 // snapshot copies the wire view under the job lock.
@@ -452,6 +475,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, j.simStats)
 	case j.lintResult != nil:
 		writeJSON(w, http.StatusOK, j.lintResult)
+	case j.litmusReport != nil:
+		writeJSON(w, http.StatusOK, j.litmusReport)
 	case j.view.Status == StatusFailed:
 		writeJSON(w, http.StatusOK, map[string]string{"error": j.view.Error})
 	default:
@@ -748,6 +773,40 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 			status = StatusCanceled
 		}
 		j.finish(status, st.String(), &ok, nil)
+
+	case "litmus":
+		spec, err := subjectSpec(req)
+		if err != nil {
+			j.finish(StatusFailed, "", nil, err)
+			return
+		}
+		rep, err := s.eng.Litmus(ctx, protogen.LitmusJob{
+			Spec:         spec,
+			Mode:         req.Mode,
+			PendingLimit: req.Limit,
+			Tests:        req.Tests,
+			Axiom:        req.Axiom,
+			Exhaustive:   req.Exhaustive,
+			Runs:         req.Runs,
+			Seed:         req.Seed,
+			Caches:       req.Caches,
+			MaxStates:    req.MaxStates,
+			OnProgress:   j.onProgress,
+		})
+		if err != nil {
+			j.finish(StatusFailed, "", nil, err)
+			return
+		}
+		j.mu.Lock()
+		j.litmusReport = rep
+		j.view.Canceled = rep.Canceled
+		j.mu.Unlock()
+		ok := len(rep.Failures()) == 0 && !rep.Canceled
+		status := StatusDone
+		if rep.Canceled {
+			status = StatusCanceled
+		}
+		j.finish(status, rep.Summary(), &ok, nil)
 	}
 }
 

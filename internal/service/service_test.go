@@ -428,6 +428,46 @@ func TestLintJob(t *testing.T) {
 	}
 }
 
+// TestLitmusJob runs the weak-memory oracle as a service job: a small
+// exhaustive suite on the registry MSI must finish OK with exact
+// outcome sets, and the unvalidated kind must be rejected.
+func TestLitmusJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	var sub JobView
+	postJSON(t, ts.URL+"/jobs",
+		`{"kind":"litmus","protocol":"MSI","tests":["MP","SB","CoRR"]}`,
+		http.StatusAccepted, &sub)
+	v := pollUntil(t, ts.URL+"/jobs/"+sub.ID, 120*time.Second, isTerminal)
+	if v.Status != StatusDone || v.OK == nil || !*v.OK {
+		t.Fatalf("litmus job: %+v", v)
+	}
+	if !strings.Contains(v.Summary, "3 tests, 0 failing") {
+		t.Fatalf("summary %q lacks oracle verdict", v.Summary)
+	}
+	var rep struct {
+		Axiom   string `json:"axiom"`
+		Results []struct {
+			Test     string            `json:"test"`
+			Complete bool              `json:"complete"`
+			Outcomes []json.RawMessage `json:"outcomes"`
+		} `json:"results"`
+	}
+	if code := getJSON(t, ts.URL+"/jobs/"+sub.ID+"/result", &rep); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	if rep.Axiom != "sc" || len(rep.Results) != 3 {
+		t.Fatalf("litmus report: axiom %q, %d results", rep.Axiom, len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if !r.Complete || len(r.Outcomes) == 0 {
+			t.Fatalf("test %s: complete=%v outcomes=%d", r.Test, r.Complete, len(r.Outcomes))
+		}
+	}
+
+	postJSON(t, ts.URL+"/jobs", `{"kind":"litmus"}`, http.StatusBadRequest, nil)
+}
+
 // TestListAndCorpusEndpoints smoke-tests the remaining read endpoints.
 func TestListAndCorpusEndpoints(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, CorpusDir: t.TempDir()})

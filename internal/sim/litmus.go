@@ -70,11 +70,15 @@ func (r LitmusResult) String() string {
 		r.Name, r.Runs, len(r.Outcomes), r.Forbidden, r.Relaxed)
 }
 
-// RunLitmus executes the test over runs randomized schedules.
+// RunLitmus executes the test over runs randomized schedules. Per-run
+// seeds are derived with a splitmix64 hop: seeding run i with seed+i
+// would make adjacent runs share most of their schedule prefix (the
+// rand.Source streams overlap), silently collapsing the sample's
+// effective diversity.
 func RunLitmus(p *ir.Protocol, l Litmus, runs int, seed int64) (LitmusResult, error) {
 	res := LitmusResult{Name: l.Name, Runs: runs, Outcomes: map[string]int{}}
 	for i := 0; i < runs; i++ {
-		o, err := runOnce(p, l, rand.New(rand.NewSource(seed+int64(i))))
+		o, err := runOnce(p, l, rand.New(rand.NewSource(runSeed(seed, i))))
 		if err != nil {
 			return res, fmt.Errorf("%s run %d: %w", l.Name, i, err)
 		}
@@ -87,6 +91,16 @@ func RunLitmus(p *ir.Protocol, l Litmus, runs int, seed int64) (LitmusResult, er
 		}
 	}
 	return res, nil
+}
+
+// runSeed derives the i-th per-run seed from the campaign seed via
+// splitmix64, so runs draw from decorrelated streams.
+func runSeed(seed int64, i int) int64 {
+	x := uint64(seed) + uint64(i)*0x9e3779b97f4a7c15
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64(x ^ (x >> 31))
 }
 
 type threadState struct {
@@ -137,6 +151,7 @@ func runOnce(p *ir.Protocol, l Litmus, rng *rand.Rand) (Outcome, error) {
 		}
 		// Completion scan for in-flight transactions; their threads become
 		// runnable again on the next iteration.
+		freed := false
 		for t := range ts {
 			if ts[t].inflight < 0 {
 				continue
@@ -146,13 +161,21 @@ func runOnce(p *ir.Protocol, l Litmus, rng *rand.Rand) (Outcome, error) {
 			if st != nil && st.Kind == ir.Stable {
 				ts[t].inflight = -1
 				ts[t].pc++
+				freed = true
 			}
 		}
 		if len(choices) == 0 {
 			if done(ts, l) && quiet(systems) {
 				break
 			}
-			continue
+			if freed {
+				continue // a completed transaction re-enabled its thread
+			}
+			// No choice is enabled and the scan freed nothing: the
+			// configuration is wedged. Burning the remaining step budget
+			// spinning here (the old behavior) hides the deadlock behind a
+			// generic "did not terminate" — name the blocked threads instead.
+			return nil, stuckErr(l, systems, ts)
 		}
 		ch := choices[rng.Intn(len(choices))]
 		if ch.thread < 0 {
@@ -216,6 +239,31 @@ func runOnce(p *ir.Protocol, l Litmus, rng *rand.Rand) (Outcome, error) {
 		return nil, fmt.Errorf("litmus %s did not terminate", l.Name)
 	}
 	return out, nil
+}
+
+// stuckErr diagnoses a wedged litmus configuration: no scheduler choice
+// is enabled, no transaction can complete, yet threads have work left.
+func stuckErr(l Litmus, systems []*engine.System, ts []threadState) error {
+	var blocked []string
+	for t := range ts {
+		switch {
+		case ts[t].inflight >= 0:
+			sys := systems[ts[t].inflight]
+			blocked = append(blocked, fmt.Sprintf(
+				"t%d in-flight on addr %d (cache state %s)", t, ts[t].inflight, sys.Caches[t].State))
+		case ts[t].pc < len(l.Threads[t]):
+			op := l.Threads[t][ts[t].pc]
+			sys := systems[op.Addr]
+			blocked = append(blocked, fmt.Sprintf(
+				"t%d blocked at op %d (addr %d, cache state %s)", t, ts[t].pc, op.Addr, sys.Caches[t].State))
+		}
+	}
+	inflight := 0
+	for _, s := range systems {
+		inflight += s.Net.InFlight()
+	}
+	return fmt.Errorf("litmus %s stuck: no enabled choice, %d messages in flight all stalled; blocked: %s",
+		l.Name, inflight, strings.Join(blocked, "; "))
 }
 
 // normalize folds the engine's monotonic store values to 0/1 for litmus

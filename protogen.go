@@ -30,6 +30,7 @@ import (
 	"protogen/internal/dsl"
 	"protogen/internal/fuzz"
 	"protogen/internal/ir"
+	"protogen/internal/litmus"
 	"protogen/internal/murphi"
 	"protogen/internal/protocols"
 	"protogen/internal/sim"
@@ -87,11 +88,51 @@ type (
 	SimStats = sim.Stats
 	// Workload generates per-cache access streams.
 	Workload = sim.Workload
-	// Litmus is a multi-address litmus test.
+	// Litmus is a multi-address litmus test (the randomized harness's
+	// form; the exhaustive oracle uses LitmusTest).
 	Litmus = sim.Litmus
 	// LitmusResult aggregates litmus outcomes.
 	LitmusResult = sim.LitmusResult
 )
+
+// Litmus oracle: exhaustive weak-memory litmus testing with
+// axiom-checked outcome sets (internal/litmus, run via Engine.Litmus).
+type (
+	// LitmusTest is one catalog shape of the exhaustive oracle.
+	LitmusTest = litmus.Test
+	// LitmusAxiom names a consistency model (sc, tso, weak).
+	LitmusAxiom = litmus.Axiom
+	// LitmusOptions tunes an oracle run.
+	LitmusOptions = litmus.Options
+	// LitmusOracleResult is one test's verdict under one axiom.
+	LitmusOracleResult = litmus.Result
+	// LitmusReport aggregates an oracle run over a test suite.
+	LitmusReport = litmus.Report
+	// LitmusTableEntry is one row of a machine-checked axiom table.
+	LitmusTableEntry = litmus.TableEntry
+)
+
+// LitmusCatalog lists every shipped oracle test in canonical order.
+func LitmusCatalog() []*LitmusTest { return litmus.Catalog() }
+
+// LitmusTestNames lists the catalog test names.
+func LitmusTestNames() []string { return litmus.Names() }
+
+// LitmusTestsByName resolves catalog tests from names (nil = catalog).
+func LitmusTestsByName(names []string) ([]*LitmusTest, error) { return litmus.ByName(names) }
+
+// DefaultLitmusAxiom picks the axiom a protocol should be held to:
+// weak for protocols implementing acquire fences, SC otherwise.
+func DefaultLitmusAxiom(p *Protocol) LitmusAxiom { return litmus.DefaultAxiom(p) }
+
+// ParseLitmusAxiom resolves an axiom name (sc, tso, weak).
+func ParseLitmusAxiom(s string) (LitmusAxiom, error) { return litmus.ParseAxiom(s) }
+
+// RunLitmusOracle runs the exhaustive litmus oracle with the default
+// engine; use Engine.Litmus for progress events and cancellation.
+func RunLitmusOracle(p *Protocol, tests []*LitmusTest, ax LitmusAxiom, opts LitmusOptions) *LitmusReport {
+	return litmus.RunSuite(context.Background(), p, tests, ax, opts, nil)
+}
 
 // Fuzzing: randomized spec families with differential verification.
 type (
