@@ -235,6 +235,41 @@ func BenchmarkVerify4CacheMSI(b *testing.B) {
 	b.ReportMetric(float64(ties)/float64(b.N), "canon-tie-states")
 }
 
+// BenchmarkVerifyReduction: the partial-order-reduction sweep — the
+// stalling MSI (the registry's most fusible design) explored with
+// Reduce on. reduction-ratio is full-states / reduced-states for the
+// identical configuration (the verdicts are identical by the reduction
+// soundness gate); reduced-states/sec is the checker's throughput over
+// the states it actually stores. Both are diffed by cmd/benchdiff
+// against BENCH_baseline.json: the ratio is a higher-is-better gate so
+// a fusibility regression in internal/depend cannot land silently.
+func BenchmarkVerifyReduction(b *testing.B) {
+	p := mustGen(b, protogen.BuiltinMSI, protogen.Stalling())
+	full := protogen.Verify(p, protogen.QuickVerifyConfig())
+	if !full.OK() || !full.Complete {
+		b.Fatal(full)
+	}
+	b.ResetTimer()
+	var states, allocs uint64
+	var res *protogen.VerifyResult
+	for i := 0; i < b.N; i++ {
+		cfg := protogen.QuickVerifyConfig()
+		cfg.Reduce = true
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		res = protogen.Verify(p, cfg)
+		runtime.ReadMemStats(&m1)
+		if !res.OK() || !res.Complete || len(res.ReduceUnsafe) > 0 {
+			b.Fatal(res)
+		}
+		states += uint64(res.States)
+		allocs += m1.Mallocs - m0.Mallocs
+	}
+	b.ReportMetric(float64(full.States)/float64(res.States), "reduction-ratio")
+	b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "reduced-states/sec")
+	b.ReportMetric(float64(allocs)/float64(states), "allocs/state")
+}
+
 // BenchmarkExpC_UnorderedMSI: §VI-C — generate and model-check the
 // handshake protocol on an unordered network.
 func BenchmarkExpC_UnorderedMSI(b *testing.B) {

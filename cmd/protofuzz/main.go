@@ -30,6 +30,11 @@
 // off; -litmus-states caps each exploration (over budget the verdict
 // degrades to "capped", never a failure).
 //
+// A fifth dimension re-checks every mode with partial-order reduction
+// on: the reduced verdict must match the full one (a divergence is a
+// por-vs-full failure — a reduction soundness bug, caught per seed on
+// buggy and clean specs alike). -no-por turns it off.
+//
 // Ctrl-C (or -timeout expiry) drains the worker pool and reports the
 // seeds that completed — "canceled after N of M seeds" — instead of
 // dying silently.
@@ -75,6 +80,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		corpus   = fs.String("corpus", "", "write minimized reproducers into this directory")
 		noLint   = fs.Bool("no-lint", false, "disable the static-analyzer pre-pass (no lint verdicts, no lint-vs-checker cross-check)")
 		noLit    = fs.Bool("no-litmus", false, "disable the litmus-oracle dimension (no litmus verdicts, no litmus-vs-checker cross-check)")
+		noPOR    = fs.Bool("no-por", false, "disable the por-vs-full dimension (no reduced-vs-full verdict cross-check)")
 		litSts   = fs.Int("litmus-states", 0, "per-test state cap for the litmus dimension (0 = package default; over budget the verdict is capped, not failed)")
 		lintFlt  = fs.Bool("lint-filter", false, "short-circuit specs the analyzer proves broken before any model check (counted as lint-rejected failures)")
 		jsonOut  = fs.String("json", "", "write one JSON report line per spec to this file (- = stdout)")
@@ -104,6 +110,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.NoLint = *noLint
 	cfg.LintFilter = *lintFlt
 	cfg.NoLitmus = *noLit
+	cfg.NoPOR = *noPOR
 	cfg.LitmusMaxStates = *litSts
 	if *noLint && *lintFlt {
 		return fmt.Errorf("-no-lint and -lint-filter are mutually exclusive")
@@ -215,6 +222,9 @@ func report(stdout io.Writer, rep *protogen.FuzzReport, jsonOut, corpusDir strin
 		}
 		if r.Litmus != "" && r.Litmus != "clean" {
 			lint += " litmus=" + r.Litmus
+		}
+		if r.POR != "" && r.POR != "clean" {
+			lint += " por=" + r.POR
 		}
 		if r.OK() {
 			if verbose {

@@ -12,6 +12,14 @@
 //	protolint -file my.ssp -mode nonstalling # one file, one mode
 //	protolint -spec MESI -spec-only -json    # spec layer only, as JSON
 //	protolint -all -code PG104,PG105         # restrict to a code set
+//	protolint -spec MSI -code PG302          # dependence pessimizations
+//	protolint -all -dep-stats                # dependence stats as JSON
+//
+// -dep-stats switches to the rule-dependence summary: one JSON line per
+// (protocol, mode) with the internal/depend statistics the checker's
+// partial-order reduction is built on (class counts, invisible/fusible
+// fractions, unsafe facts). The PG3xx diagnostics carry the same facts
+// through the normal lint output.
 //
 // Exit status: 0 when every subject lints clean (no errors and no
 // warnings; info notes are allowed), 1 otherwise. -expect-dirty
@@ -73,6 +81,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		specOnly    = fs.Bool("spec-only", false, "lint the spec layer only; skip generation")
 		codes       = fs.String("code", "", "comma-separated diagnostic codes to keep (e.g. PG104,PG110)")
 		jsonOut     = fs.Bool("json", false, "emit the full structured reports as JSON")
+		depStats    = fs.Bool("dep-stats", false, "emit one JSON line per (subject, mode) with the rule-dependence statistics instead of lint reports")
 		verbose     = fs.Bool("v", false, "also print info-severity notes")
 		expectDirty = fs.Bool("expect-dirty", false, "succeed only if every subject yields at least one diagnostic (corpus CI smoke)")
 	)
@@ -113,6 +122,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if c = strings.TrimSpace(c); c != "" {
 			codeList = append(codeList, c)
 		}
+	}
+
+	if *depStats {
+		if *specOnly {
+			return fmt.Errorf("-dep-stats analyzes generated protocols; drop -spec-only")
+		}
+		return depStatsRun(stdout, subjects, *mode)
 	}
 
 	eng := protogen.NewEngine()
@@ -198,4 +214,61 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("%d subject(s) did not lint clean: %s", len(unclean), strings.Join(unclean, ", "))
 	}
 	return nil
+}
+
+// depStatsLine is the JSONL wire form of one (subject, mode) dependence
+// summary.
+type depStatsLine struct {
+	Name  string               `json:"name"`
+	Mode  string               `json:"mode"`
+	Stats protogen.DependStats `json:"stats"`
+}
+
+// depStatsRun generates each subject in each requested mode and emits
+// its rule-dependence statistics as one JSON line, sorted by (subject,
+// mode) order of the inputs. Generation failures abort: -dep-stats is a
+// measurement mode, not a defect finder.
+func depStatsRun(stdout io.Writer, subjects []subject, mode string) error {
+	modes := []string{"stalling", "nonstalling", "deferred"}
+	if mode != "" {
+		modes = []string{mode}
+	}
+	enc := json.NewEncoder(stdout)
+	for _, sub := range subjects {
+		src := sub.source
+		if src == "" {
+			spec, err := protogen.LoadSpec(sub.name, sub.file)
+			if err != nil {
+				return err
+			}
+			for _, m := range modes {
+				if err := emitDepStats(enc, sub.name, m, spec); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		spec, err := protogen.Parse(src)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sub.name, err)
+		}
+		for _, m := range modes {
+			if err := emitDepStats(enc, sub.name, m, spec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func emitDepStats(enc *json.Encoder, name, mode string, spec *protogen.Spec) error {
+	opts, err := protogen.OptionsForMode(mode)
+	if err != nil {
+		return err
+	}
+	p, err := protogen.Generate(spec, opts)
+	if err != nil {
+		return fmt.Errorf("%s (%s): %w", name, mode, err)
+	}
+	return enc.Encode(depStatsLine{Name: name, Mode: mode, Stats: protogen.DependStatsFor(p)})
 }

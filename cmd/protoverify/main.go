@@ -11,8 +11,14 @@
 //	protoverify -protocol MOSI -caches 3 -cache-dir .vcache # memoize results
 //	protoverify -protocol MSI -caches 4 -progress -timeout 5m
 //
+//	protoverify -protocol MSI -mode stalling -reduce        # partial-order reduction
+//	protoverify -protocol MSI -reduce -audit-commute        # + runtime independence audit
+//
 // -fingerprint switches the visited set to 64-bit state fingerprints
 // (~10x less memory; validate new protocols with -audit-collisions).
+// -reduce enables partial-order reduction (identical verdicts, fewer
+// states; see docs/PERFORMANCE.md); -audit-commute re-executes the
+// reduction's fused rules at runtime and fails on any discrepancy.
 // -cache-dir memoizes results keyed by canonical spec + generation
 // options + checker config; see docs/CACHING.md.
 //
@@ -75,6 +81,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		trace    = fs.Bool("trace", false, "print every violation's counterexample trace")
 		fpMode   = fs.Bool("fingerprint", false, "store 64-bit state fingerprints instead of full keys in the visited set (~10x less memory; false-merge odds ~n²/2⁶⁵)")
 		audit    = fs.Bool("audit-collisions", false, "with -fingerprint: retain full keys and report observed false merges (costs the memory fingerprinting saves)")
+		reduce   = fs.Bool("reduce", false, "enable partial-order reduction: identical verdicts, deterministically fewer states/edges (see docs/PERFORMANCE.md)")
+		commute  = fs.Bool("audit-commute", false, "with -reduce: re-execute fused rules and sampled rule pairs at runtime and fail hard on any discrepancy with the static independence relation (bypasses the result cache)")
 		cacheDir = fs.String("cache-dir", "", "memoize verify results as JSONL under this directory, keyed by canonical spec + generation options + checker config (see docs/CACHING.md for the format and when to wipe it)")
 		noLint   = fs.Bool("no-lint", false, "suppress the pre-exploration static-analyzer warnings (see docs/ANALYSIS.md)")
 		progress = fs.Bool("progress", false, "print a progress line after each BFS level")
@@ -87,6 +95,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *audit && !*fpMode {
 		return fmt.Errorf("-audit-collisions requires -fingerprint (exact mode never merges on fingerprints)")
+	}
+	if *commute && !*reduce {
+		return fmt.Errorf("-audit-commute requires -reduce (there is nothing to audit in a full exploration)")
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -139,6 +150,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.CheckValues = !*noVals
 	cfg.CheckLiveness = !*noLive
 	cfg.Symmetry = !*noSym
+	cfg.Reduce = *reduce
+	cfg.CommuteAudit = *commute
 
 	eng := protogen.NewEngine(
 		protogen.WithParallelism(*parallel),
@@ -179,6 +192,21 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *audit {
 		fmt.Fprintf(stdout, "collision audit: %d false merges over %d states\n", res.FalseMerges, res.States)
+	}
+	if *reduce {
+		switch {
+		case len(res.ReduceUnsafe) > 0:
+			fmt.Fprintf(stdout, "reduction disabled (ran full): %s\n", strings.Join(res.ReduceUnsafe, "; "))
+		case res.CandidateSuccs > 0:
+			fmt.Fprintf(stdout, "reduction: %d/%d successors emitted (%.2fx), %d steps fused through %d states\n",
+				res.EmittedSuccs, res.CandidateSuccs,
+				float64(res.CandidateSuccs)/float64(max(res.EmittedSuccs, 1)),
+				res.FusedSteps, res.ReducedStates)
+		}
+		if *commute {
+			fmt.Fprintf(stdout, "commutation audit: %d pairs re-executed, %d mismatches\n",
+				res.CommutePairs, res.CommuteMismatches)
+		}
 	}
 	if !res.OK() {
 		for vi, v := range res.Violations {

@@ -53,7 +53,7 @@ import (
 // performance work. Everything else is ignored.
 var hotFiles = map[string][]string{
 	"internal/engine": {"ctrl.go", "encode.go", "layout.go", "network.go", "system.go"},
-	"internal/verify": {"verify.go"},
+	"internal/verify": {"verify.go", "reduce.go"},
 	"internal/store":  {"store.go"},
 }
 

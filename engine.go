@@ -73,6 +73,8 @@ type Engine struct {
 	parallelism int
 	fingerprint bool
 	audit       bool
+	reduce      bool
+	commute     bool
 	cacheDir    string
 	progress    ProgressFunc
 	warn        func(string)
@@ -105,6 +107,24 @@ func WithFingerprint(enabled bool) EngineOption {
 // cache: they must actually retain and compare keys.
 func WithCollisionAudit(enabled bool) EngineOption {
 	return func(e *Engine) { e.audit = enabled }
+}
+
+// WithReduction enables partial-order reduction by default for
+// verification jobs (see VerifyConfig.Reduce): verdicts are identical
+// to full exploration, state and edge counts are deterministically
+// smaller. Reduction silently falls back to full exploration for
+// protocols the dependence analysis refuses (Result.ReduceUnsafe).
+func WithReduction(enabled bool) EngineOption {
+	return func(e *Engine) { e.reduce = enabled }
+}
+
+// WithCommuteAudit enables the runtime commutation audit by default
+// (see VerifyConfig.CommuteAudit; implies reduction is meaningful only
+// with it). Audited runs bypass the result cache entirely — the audit's
+// whole point is to re-execute, and its "por-audit" violations must
+// never be laundered into (or served from) unaudited cached results.
+func WithCommuteAudit(enabled bool) EngineOption {
+	return func(e *Engine) { e.commute = enabled }
 }
 
 // WithCacheDir gives the engine a verify result cache persisted under
@@ -350,6 +370,8 @@ func (e *Engine) verifyConfig(c *VerifyConfig) VerifyConfig {
 	}
 	cfg.Fingerprint = cfg.Fingerprint || e.fingerprint
 	cfg.CollisionAudit = cfg.CollisionAudit || e.audit
+	cfg.Reduce = cfg.Reduce || e.reduce
+	cfg.CommuteAudit = cfg.CommuteAudit || e.commute
 	if cfg.Parallelism == 0 && e.parallelism > 0 {
 		cfg.Parallelism = e.parallelism
 	}
@@ -371,12 +393,17 @@ func (e *Engine) Verify(ctx context.Context, job VerifyJob) (*VerifyResult, erro
 		cfg.Progress = func(p verify.Progress) { fn(p) }
 	}
 
-	// An audit run must actually retain and compare keys, so it never
-	// consults the cache (whose key deliberately ignores CollisionAudit);
-	// its result is still written back for future non-audit runs.
+	// A collision-audit run must actually retain and compare keys, so it
+	// never consults the cache (whose key deliberately ignores
+	// CollisionAudit); its result is still written back for future
+	// non-audit runs. A commutation-audit run bypasses the cache in BOTH
+	// directions: a cached verdict would skip the very re-execution the
+	// audit exists to perform, and an audited result (which may carry
+	// "por-audit" violations no plain run produces) must never be served
+	// to one.
 	var cache *VerifyResultCache
 	var key string
-	if spec != nil && !job.NoCache {
+	if spec != nil && !job.NoCache && !cfg.CommuteAudit {
 		if cache, err = e.Cache(); err != nil {
 			return nil, err
 		}

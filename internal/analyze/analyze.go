@@ -6,8 +6,10 @@
 // analyzer inspects only the spec's own graphs: stable-state
 // reachability, message flow between the two machine kinds, variable
 // def-use, data-payload consumption, ack fan-out consistency, handler
-// coverage and guard overlap. Each finding is a Diagnostic with a stable
-// PG1xx/PG2xx code (ir.Code, shared with the PG0xx validation errors),
+// coverage and guard overlap — plus, on generated protocols, the
+// rule-dependence analysis (internal/depend) behind the checker's
+// partial-order reduction. Each finding is a Diagnostic with a stable
+// PG1xx/PG2xx/PG3xx code (ir.Code, shared with the PG0xx validation errors),
 // a severity, and a machine-local location, so CLIs, the service and CI
 // can filter and grep them; Reports marshal directly to JSON.
 //
@@ -229,6 +231,7 @@ func CheckProtocol(p *ir.Protocol, mode string) *Report {
 		passCoverage(p, m, reach, rep)
 		passGuardOverlap(m, reach, rep)
 	}
+	passDependence(p, rep)
 	rep.sortDiags()
 	return rep
 }

@@ -1,0 +1,17 @@
+package depend
+
+import "protogen/internal/ir"
+
+// PendingsForTest exposes the classifier's pending-access fixpoint to
+// the external test package (which can import internal/core; this
+// package cannot without a cycle). It maps each cache state name to its
+// (pendLoad, pendStore) pair.
+func PendingsForTest(p *ir.Protocol) map[string][2]bool {
+	c := newClassifier(p)
+	out := make(map[string][2]bool, len(p.Cache.Order))
+	for _, n := range p.Cache.Order {
+		i := c.stateIdx[n]
+		out[string(n)] = [2]bool{c.pendLoad[i], c.pendStore[i]}
+	}
+	return out
+}

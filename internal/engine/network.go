@@ -84,6 +84,20 @@ func (n *Network) qidx(class, src, dst int) int {
 	return class
 }
 
+// TypeIdx returns the index of the message's type in Protocol.Msgs, as
+// stamped by System.execSend, or -1 for hand-built messages that were
+// never stamped. The verifier's reduction tables are keyed by it.
+func (m Msg) TypeIdx() int { return m.tIdx - 1 }
+
+// NumQueues reports the number of internal queues (ordered: one per
+// class×src×dst triple; unordered: one bag per class).
+func (n *Network) NumQueues() int { return len(n.queues) }
+
+// Queue exposes queue i read-only for the verifier's reduction scans
+// (id-freeness, capacity headroom). Callers must not mutate or retain
+// the returned slice past the next network mutation.
+func (n *Network) Queue(i int) []Msg { return n.queues[i] }
+
 // Send enqueues a message; it fails when the target queue is full.
 func (n *Network) Send(m Msg) error {
 	i := n.qidx(m.Class, m.Src, m.Dst)

@@ -55,6 +55,13 @@ type Config struct {
 	// lets the lint-vs-checker cross-check exercise the analyzer
 	// against the checker's ground truth on every seed.
 	LintFilter bool
+	// NoPOR disables the reduced-vs-full cross-check: every mode whose
+	// full exploration completed is re-checked with partial-order
+	// reduction on (verify.Config.Reduce) and the two verdicts must
+	// agree on OK — a per-seed soundness differential for the reduction,
+	// the fifth verdict dimension. Only OK is compared: a buggy spec can
+	// legitimately witness a different violation first under reduction.
+	NoPOR bool
 	// NoLitmus disables the litmus-oracle cross-check: no per-spec
 	// litmus verdict is recorded and the litmus-vs-checker cross-check
 	// is off. The oracle explores the quick litmus suite exhaustively
@@ -147,7 +154,9 @@ type Failure struct {
 	// (the litmus oracle wedged or errored), or "litmus-vs-checker"
 	// (the exhaustive litmus oracle reached an axiom-forbidden outcome
 	// on a checker-clean spec — an ordering bug the SC-only oracles
-	// cannot see, or an oracle bug; a campaign failure either way).
+	// cannot see, or an oracle bug; a campaign failure either way), or
+	// "por-vs-full" (a partial-order-reduced re-check disagreed with the
+	// full exploration's verdict — a reduction soundness bug).
 	Class string `json:"class"`
 	// Kind is the concrete violation kind or mismatch description.
 	Kind string `json:"kind"`
@@ -205,7 +214,14 @@ type SpecReport struct {
 	// "capped" when an exploration hit the state bound and the verdict
 	// is inconclusive; empty when the oracle is disabled or an earlier
 	// failure stopped the run) — the fourth verdict dimension.
-	Litmus    string  `json:"litmus,omitempty"`
+	Litmus string `json:"litmus,omitempty"`
+	// POR is the reduced-vs-full verdict ("clean" when every mode's
+	// partial-order-reduced re-check agreed with its full verdict,
+	// "capped" when a reduced exploration hit the state bound and the
+	// comparison is inconclusive, "divergent" on disagreement; empty
+	// when the cross-check is disabled or an earlier failure stopped
+	// the run) — the fifth verdict dimension.
+	POR       string  `json:"por,omitempty"`
 	Failure   Failure `json:"failure"`
 	Minimized string  `json:"-"` // shrunk reproducer source (failures only)
 	ElapsedMS int64   `json:"elapsed_ms"`
@@ -518,7 +534,7 @@ func checkSourceCtx(ctx context.Context, src string, limit int, simSeed int64, c
 	}
 
 	for _, mode := range Modes {
-		mr, failure := checkMode(ctx, spec, mode, limit, cfg)
+		mr, failure := checkMode(ctx, spec, mode, limit, cfg, false)
 		r.Modes = append(r.Modes, mr)
 		if ctx.Err() != nil {
 			r.Failure = Failure{Class: "canceled", Kind: "context", Detail: ctx.Err().Error()}
@@ -541,6 +557,40 @@ func checkSourceCtx(ctx context.Context, src string, limit int, simSeed int64, c
 			return r
 		}
 	}
+	// POR cross-check: re-check every mode with partial-order reduction
+	// on and hold the reduced verdict to the full one. Only OK is
+	// compared — a buggy spec may legitimately witness a different
+	// violation first under reduction — and the check runs on failing
+	// specs too: a reduction that prunes (or invents) a verdict is
+	// exactly what this dimension exists to catch.
+	if !cfg.NoPOR {
+		r.POR = "clean"
+		for i, mode := range Modes {
+			rmr, failure := checkMode(ctx, spec, mode, limit, cfg, true)
+			if ctx.Err() != nil {
+				r.POR = ""
+				r.Failure = Failure{Class: "canceled", Kind: "context", Detail: ctx.Err().Error()}
+				return r
+			}
+			if failure.Class == "generate" {
+				r.POR = ""
+				r.Failure = failure
+				return r
+			}
+			if !rmr.Complete {
+				r.POR = "capped"
+				continue
+			}
+			if rmr.OK != r.Modes[i].OK {
+				r.POR = "divergent"
+				r.Failure = Failure{Class: "por-vs-full", Kind: "reduced-verdict-divergence", Mode: mode,
+					Detail: fmt.Sprintf("full OK=%v (%s), reduced OK=%v (%s)",
+						r.Modes[i].OK, r.Modes[i].Violation, rmr.OK, rmr.Violation)}
+				return r
+			}
+		}
+	}
+
 	// Differential cross-check: the three designs implement the same SSP
 	// and must agree on whether it is correct.
 	for _, mr := range r.Modes[1:] {
@@ -658,8 +708,10 @@ func checkSourceCtx(ctx context.Context, src string, limit int, simSeed int64, c
 // checkMode generates and model-checks one mode of one spec, consulting
 // the result cache first when one is configured (a hit skips generation
 // too — the cache key needs only the spec and options). The parsed spec
-// is shared across modes: Generate clones it internally.
-func checkMode(ctx context.Context, spec *ir.Spec, mode string, limit int, cfg Config) (ModeResult, Failure) {
+// is shared across modes: Generate clones it internally. With reduce
+// set, the check runs under partial-order reduction (a distinct cache
+// key: verify.CacheKey includes Config.Reduce).
+func checkMode(ctx context.Context, spec *ir.Spec, mode string, limit int, cfg Config, reduce bool) (ModeResult, Failure) {
 	mr := ModeResult{Mode: mode}
 	opts, err := ModeOptions(mode)
 	if err != nil {
@@ -671,6 +723,7 @@ func checkMode(ctx context.Context, spec *ir.Spec, mode string, limit int, cfg C
 		MaxStates: cfg.MaxStates, CheckSWMR: true, CheckValues: true,
 		CheckLiveness: true, Symmetry: true, MaxViolations: 1,
 		Parallelism: 1, // campaign workers provide the parallelism
+		Reduce:      reduce,
 	}
 	var key string
 	if cfg.Cache != nil {

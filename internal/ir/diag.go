@@ -10,9 +10,10 @@ import (
 // renumbered once shipped, so CLI output, service errors and CI greps
 // stay stable across releases. The PG0xx block belongs to validation
 // (hard well-formedness errors raised by ValidateSpec /
-// ValidateProtocol); PG1xx is the analyzer's spec-level flow passes and
-// PG2xx its protocol-level passes (see docs/ANALYSIS.md for the full
-// table).
+// ValidateProtocol); PG1xx is the analyzer's spec-level flow passes,
+// PG2xx its protocol-level passes, and PG3xx the rule-dependence
+// analysis behind the checker's partial-order reduction (see
+// docs/ANALYSIS.md for the full table).
 type Code string
 
 // Validation diagnostic codes (ValidateSpec / ValidateProtocol).
@@ -117,6 +118,27 @@ const (
 	// CodeGuardOverlap: two transitions on the same (state, event) whose
 	// guards can be true simultaneously — nondeterministic dispatch.
 	CodeGuardOverlap Code = "PG204"
+)
+
+// Dependence-analysis diagnostic codes (internal/depend via
+// internal/analyze). The PG3xx block reports what the static
+// rule-dependence analysis proved about a generated protocol — the
+// analysis the checker's partial-order reduction (verify.Config.Reduce)
+// is built on. All three are informational: they never mean the
+// protocol is wrong, only how reducible it is.
+const (
+	// CodeDependUnsafe: a protocol-level fact defeats the id-freeness
+	// induction (an id sink receives a non-id expression), disabling
+	// partial-order reduction for the whole protocol.
+	CodeDependUnsafe Code = "PG301"
+	// CodeDependPessimized: a cache rule class was pessimized to
+	// invariant-visible (with the reason), so the reduction can never
+	// fuse it.
+	CodeDependPessimized Code = "PG302"
+	// CodeDependSummary: the per-protocol dependence summary — class
+	// counts, how many are invisible and fusible, and the stall/send
+	// table sizes the reducer consumes.
+	CodeDependSummary Code = "PG303"
 )
 
 // Diag is a coded validation error. It unwraps cleanly through

@@ -92,7 +92,11 @@ type Request struct {
 	Caches      int  `json:"caches,omitempty"`
 	MaxStates   int  `json:"max_states,omitempty"`
 	Fingerprint bool `json:"fingerprint,omitempty"`
-	NoCache     bool `json:"no_cache,omitempty"`
+	// Reduce enables partial-order reduction: same verdicts, fewer
+	// states. Result.ReduceUnsafe reports a silent fallback to full
+	// exploration when the protocol's dependence analysis refuses.
+	Reduce  bool `json:"reduce,omitempty"`
+	NoCache bool `json:"no_cache,omitempty"`
 
 	// Campaign range and tuning (fuzz).
 	First    uint64   `json:"first,omitempty"`
@@ -814,7 +818,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 // nil when the request carries no overrides so the engine's defaults
 // apply untouched.
 func verifyConfigFor(req Request) *protogen.VerifyConfig {
-	if req.Caches == 0 && req.MaxStates == 0 && !req.Fingerprint {
+	if req.Caches == 0 && req.MaxStates == 0 && !req.Fingerprint && !req.Reduce {
 		return nil
 	}
 	cfg := protogen.DefaultVerifyConfig()
@@ -825,6 +829,7 @@ func verifyConfigFor(req Request) *protogen.VerifyConfig {
 		cfg.MaxStates = req.MaxStates
 	}
 	cfg.Fingerprint = req.Fingerprint
+	cfg.Reduce = req.Reduce
 	return &cfg
 }
 

@@ -21,8 +21,9 @@ const cacheFile = "verify-cache.jsonl"
 // mistaken for current ones. v2: Result grew the canonicalization
 // strategy counters (CanonFast/CanonTieStates/CanonTieEncodes/
 // CanonFallbacks) — v1 entries would serve zeros for counts the
-// exploration did measure.
-const cacheKeyVersion = "v2"
+// exploration did measure. v3: Config grew Reduce (in the key) and
+// Result grew the reduction counters.
+const cacheKeyVersion = "v3"
 
 // CacheKey derives the result-cache key for one verification:
 // SHA-256 over the canonical spec text (dsl.Format output, so
@@ -36,7 +37,13 @@ const cacheKeyVersion = "v2"
 // at any worker count share cached results. Config.Fingerprint IS part
 // of the key — exact and fingerprint explorations agree in practice but
 // not in principle (a fingerprint collision merges states), and a cache
-// must never launder one mode's result into the other's.
+// must never launder one mode's result into the other's. Config.Reduce
+// is in the key for the same reason: verdicts match full exploration
+// but States/Edges/Depth do not. Config.CommuteAudit is excluded like
+// CollisionAudit (the audit never changes exploration results, only
+// adds por-audit violations on failure) — instead, audited runs bypass
+// the cache entirely at the engine layer, both read and write, so the
+// audit always actually executes.
 func CacheKey(canonicalSpec, genOptions string, cfg Config) string {
 	h := sha256.New()
 	for _, part := range []string{cacheKeyVersion, canonicalSpec, genOptions, cfg.keyString()} {
@@ -51,10 +58,10 @@ func CacheKey(canonicalSpec, genOptions string, cfg Config) string {
 // Config.Progress is excluded like Parallelism: a pure observer of the
 // exploration, never an input to it.
 func (cfg Config) keyString() string {
-	return fmt.Sprintf("caches=%d capacity=%d values=%d maxstates=%d swmr=%t datavalue=%t liveness=%t symmetry=%t maxviolations=%d fingerprint=%t",
+	return fmt.Sprintf("caches=%d capacity=%d values=%d maxstates=%d swmr=%t datavalue=%t liveness=%t symmetry=%t maxviolations=%d fingerprint=%t reduce=%t",
 		cfg.Caches, cfg.Capacity, cfg.Values, cfg.MaxStates,
 		cfg.CheckSWMR, cfg.CheckValues, cfg.CheckLiveness, cfg.Symmetry,
-		cfg.MaxViolations, cfg.Fingerprint)
+		cfg.MaxViolations, cfg.Fingerprint, cfg.Reduce)
 }
 
 // cacheEntry is one persisted line of the JSONL cache file.

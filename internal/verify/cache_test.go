@@ -22,7 +22,8 @@ func msiCacheKey(t *testing.T, opts core.Options, cfg Config) string {
 
 // TestCacheKeySensitivity: the key must change with the spec, the
 // generation options and any result-affecting checker field — and must
-// NOT change with Parallelism or CollisionAudit.
+// NOT change with Parallelism, CollisionAudit or CommuteAudit (audited
+// runs bypass the cache at the engine layer instead).
 func TestCacheKeySensitivity(t *testing.T) {
 	base := msiCacheKey(t, core.NonStallingOpts(), QuickConfig())
 
@@ -50,6 +51,7 @@ func TestCacheKeySensitivity(t *testing.T) {
 		{"symmetry", func(c *Config) { c.Symmetry = !c.Symmetry }},
 		{"maxviolations", func(c *Config) { c.MaxViolations++ }},
 		{"fingerprint", func(c *Config) { c.Fingerprint = !c.Fingerprint }},
+		{"reduce", func(c *Config) { c.Reduce = !c.Reduce }},
 	} {
 		cfg := QuickConfig()
 		mut.mod(&cfg)
@@ -63,6 +65,7 @@ func TestCacheKeySensitivity(t *testing.T) {
 	}{
 		{"parallelism", func(c *Config) { c.Parallelism = 7 }},
 		{"collision-audit", func(c *Config) { c.CollisionAudit = true }},
+		{"commute-audit", func(c *Config) { c.CommuteAudit = true }},
 	} {
 		cfg := QuickConfig()
 		mut.mod(&cfg)

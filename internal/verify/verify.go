@@ -40,6 +40,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"protogen/internal/depend"
 	"protogen/internal/engine"
 	"protogen/internal/ir"
 	"protogen/internal/store"
@@ -73,6 +74,21 @@ type Config struct {
 	// use it to validate fingerprint mode on a new protocol, not to run
 	// at scale.
 	CollisionAudit bool
+	// Reduce enables partial-order reduction: states whose enabled rules
+	// at one cache node are statically invisible (internal/depend) and
+	// dynamically unreferenced by the rest of the system expand only that
+	// node's rules. Violation and liveness verdicts match full
+	// exploration; States/Edges/Depth are (deterministically) smaller.
+	// Reduction silently falls back to full exploration when the
+	// protocol-level analysis is unsafe (Result.ReduceUnsafe).
+	Reduce bool
+	// CommuteAudit (requires Reduce) re-executes sampled (ample, skipped)
+	// rule pairs in both orders at every reduced state and asserts the
+	// final states agree — a runtime check of the static independence
+	// relation, in the spirit of CollisionAudit. Any discrepancy is a
+	// hard "por-audit" violation. Audited results are never served from
+	// or written to the result cache.
+	CommuteAudit bool
 	// Progress, when non-nil, is called after each completed BFS depth
 	// level with a snapshot of the exploration. It runs on the merge
 	// goroutine (never concurrently with itself) and must return
@@ -87,14 +103,24 @@ type Progress struct {
 	Edges    int // edges recorded so far
 	Depth    int // deepest level completed
 	Frontier int // states awaiting expansion at the next level
+	// Candidates / Emitted report reduction effectiveness live (both
+	// cumulative): successors a full expansion would have generated vs
+	// successors actually generated. Equal (and only then) when
+	// Config.Reduce is off or never fired.
+	Candidates int64
+	Emitted    int64
 }
 
 // Kind identifies the job a progress event belongs to.
 func (Progress) Kind() string { return "verify" }
 
 func (p Progress) String() string {
-	return fmt.Sprintf("verify: %d states, %d edges, depth %d, frontier %d",
+	s := fmt.Sprintf("verify: %d states, %d edges, depth %d, frontier %d",
 		p.States, p.Edges, p.Depth, p.Frontier)
+	if p.Candidates > 0 {
+		s += fmt.Sprintf(", succs %d/%d", p.Emitted, p.Candidates)
+	}
+	return s
 }
 
 // DefaultConfig mirrors the paper's setup: 3 caches, with symmetry
@@ -160,6 +186,24 @@ type Result struct {
 	CanonTieStates  int64 `json:"CanonTieStates,omitempty"`
 	CanonTieEncodes int64 `json:"CanonTieEncodes,omitempty"`
 	CanonFallbacks  int64 `json:"CanonFallbacks,omitempty"`
+	// Partial-order reduction counters (Config.Reduce). ReducedStates
+	// counts states expanded through a proper ample subset;
+	// CandidateSuccs / EmittedSuccs are the full-vs-emitted successor
+	// totals (their ratio is the reduction ratio). ReduceUnsafe lists the
+	// protocol-level analysis facts that disabled reduction entirely —
+	// non-empty means the exploration silently ran full.
+	// FusedSteps counts invisible rules executed inline by chain fusion
+	// — each one an intermediate state the exploration never stored.
+	ReducedStates  int64    `json:"ReducedStates,omitempty"`
+	CandidateSuccs int64    `json:"CandidateSuccs,omitempty"`
+	EmittedSuccs   int64    `json:"EmittedSuccs,omitempty"`
+	FusedSteps     int64    `json:"FusedSteps,omitempty"`
+	ReduceUnsafe   []string `json:"ReduceUnsafe,omitempty"`
+	// Commutation-audit counters (Config.CommuteAudit): independent
+	// pairs executed in both orders, and the discrepancies found (each
+	// also reported as a "por-audit" violation).
+	CommutePairs      int64 `json:"CommutePairs,omitempty"`
+	CommuteMismatches int64 `json:"CommuteMismatches,omitempty"`
 }
 
 // OK reports whether the exploration finished with no violations.
@@ -347,6 +391,11 @@ type succOut struct {
 	hash     uint64
 	sys      *engine.System // retained only when knownIdx < 0
 	quiet    bool
+	// seedParent: the collapse fused through a quiescent intermediate on
+	// the way to this normal form. The quiescence witness belongs to the
+	// PARENT (which really reaches that intermediate), not the normal
+	// form, so merge seeds the parent in the liveness analysis.
+	seedParent bool
 }
 
 // expansion is everything the merge needs about one frontier item.
@@ -389,6 +438,10 @@ type checker struct {
 	// the steady-state expansion loop allocates only for states that
 	// enter the frontier.
 	pool []*worker
+	// red holds the partial-order reducer (reduce.go); nil when
+	// Config.Reduce is off or the dependence analysis refused the
+	// protocol (Result.ReduceUnsafe).
+	red *reducer
 }
 
 // Check explores the protocol's state space and returns the result.
@@ -437,6 +490,14 @@ func CheckCtx(ctx context.Context, p *ir.Protocol, cfg Config) *Result {
 	init := engine.NewSystem(p, engine.Config{
 		Caches: cfg.Caches, Capacity: cfg.Capacity, Values: cfg.Values,
 	})
+	if cfg.Reduce {
+		dep := depend.New(p)
+		if dep.Safe() {
+			c.red = newReducer(dep, init)
+		} else {
+			c.res.ReduceUnsafe = dep.Unsafe
+		}
+	}
 	key := c.pool[0].enc.Canonical(init, c.perms)
 	initKey := ""
 	if c.needKey {
@@ -457,14 +518,25 @@ func CheckCtx(ctx context.Context, p *ir.Protocol, cfg Config) *Result {
 			c.res.Complete = false
 			break
 		}
-		frontier = c.merge(frontier, c.expand(frontier))
+		exps := c.expand(frontier)
+		if c.red != nil && cfg.CommuteAudit {
+			c.drainAudit()
+		}
+		frontier = c.merge(frontier, exps)
 		if cfg.Progress != nil {
-			cfg.Progress(Progress{
+			pr := Progress{
 				States:   len(c.recs),
 				Edges:    c.res.Edges,
 				Depth:    c.res.Depth,
 				Frontier: len(frontier),
-			})
+			}
+			if c.red != nil {
+				for _, w := range c.pool {
+					pr.Candidates += w.candTotal
+					pr.Emitted += w.emitTotal
+				}
+			}
+			cfg.Progress(pr)
 		}
 	}
 	// States comes from the visited store, not the record slice, so
@@ -481,6 +553,16 @@ func CheckCtx(ctx context.Context, p *ir.Protocol, cfg Config) *Result {
 	c.res.CanonTieStates = int64(canon.TieStates)
 	c.res.CanonTieEncodes = int64(canon.TieEncodes)
 	c.res.CanonFallbacks = int64(canon.Fallbacks)
+	if c.red != nil {
+		for _, w := range c.pool {
+			c.res.ReducedStates += w.redStates
+			c.res.CandidateSuccs += w.candTotal
+			c.res.EmittedSuccs += w.emitTotal
+			c.res.FusedSteps += w.fused
+			c.res.CommutePairs += w.auditPairs
+			c.res.CommuteMismatches += w.auditMism
+		}
+	}
 	if cfg.CheckLiveness && c.res.Complete && len(c.res.Violations) == 0 {
 		c.livenessCheck()
 	}
@@ -538,6 +620,28 @@ type worker struct {
 	enc   *engine.Encoder
 	rules []engine.Rule    // AppendRules scratch, reused every item
 	free  []*engine.System // recycled Systems for CloneInto
+
+	// Partial-order reduction state (used only when checker.red != nil;
+	// see reduce.go). lvls is the collapse recursion's per-depth scratch
+	// (separate rule buffers, since w.rules stays live across the item's
+	// computeSuccs calls); chain is the current fused rule tail for edge
+	// labels; pendViol carries data-value violations to the next emitted
+	// normal form; outIdx / auditRules / auditErrs serve the commutation
+	// audit; the counters feed Result and Progress.
+	lvls       []fuseLevel
+	chain      []engine.Rule
+	fuseCnt    []int
+	pendViol   []string
+	stateFused bool
+	outIdx     []int
+	auditRules []engine.Rule
+	auditErrs  []auditErr
+	candTotal  int64
+	emitTotal  int64
+	redStates  int64
+	fused      int64
+	auditPairs int64
+	auditMism  int64
 }
 
 // getClone clones src, reusing a free-listed System when one is available.
@@ -575,48 +679,47 @@ func (w *worker) expandItem(it frontierItem) expansion {
 		return expansion{deadlock: true, inFlight: inFlight}
 	}
 	exp := expansion{succs: make([]succOut, 0, len(rules))}
-	for _, r := range rules {
-		succ := w.getClone(it.sys)
-		performs, err := succ.Apply(r)
-		so := succOut{knownIdx: -1}
-		if err != nil {
-			so.rule = r.String()
-			so.hasErr = true
-			so.applyErr = err.Error()
-			exp.succs = append(exp.succs, so)
-			w.recycle(succ)
-			continue
+	if w.c.red != nil {
+		w.candTotal += int64(len(rules))
+		w.stateFused = false
+	}
+	for ri := range rules {
+		exp.succs = w.computeSuccs(it, rules[ri], exp.succs)
+	}
+	if w.c.red != nil {
+		w.emitTotal += int64(len(exp.succs))
+		if w.stateFused {
+			w.redStates++
 		}
-		for _, pf := range performs {
-			if pf.Access == ir.AccessLoad && !pf.Exempt && w.c.cfg.CheckValues && pf.Value != succ.LastWrite {
-				so.dataViol = append(so.dataViol,
-					fmt.Sprintf("cache %d load returned %d, last write is %d", pf.Node, pf.Value, succ.LastWrite)) // vethotpath:ignore — cold: violation path
-			}
-		}
-		key := w.enc.Canonical(succ, w.c.perms)
-		so.hash = engine.Fingerprint(key)
-		if idx, ok := w.c.visited.lookup(key, so.hash); ok {
-			so.knownIdx = idx
-			// The rule string is only needed for violation traces and new
-			// state records; a clean already-visited successor skips it.
-			if len(so.dataViol) > 0 {
-				so.rule = r.String()
-			}
-			w.recycle(succ)
-		} else {
-			so.rule = r.String()
-			if w.c.needKey {
-				so.key = string(key)
-			}
-			so.sys = succ
-			if w.c.cfg.CheckLiveness {
-				so.quiet = quiescent(succ)
-			}
-		}
-		exp.succs = append(exp.succs, so)
 	}
 	w.recycle(it.sys)
 	return exp
+}
+
+// computeSuccs applies one rule to a clone of the item's state and
+// appends the resulting successor(s) to out. Without reduction that is
+// exactly one normal canonicalized successor; with reduction the
+// successor is collapsed to its normal forms first (reduce.go), which
+// can branch into several.
+func (w *worker) computeSuccs(it frontierItem, r engine.Rule, out []succOut) []succOut {
+	succ := w.getClone(it.sys)
+	performs, err := succ.Apply(r)
+	if err != nil {
+		w.recycle(succ)
+		return append(out, succOut{knownIdx: -1, rule: r.String(), hasErr: true, applyErr: err.Error()})
+	}
+	w.pendViol = nil
+	for _, pf := range performs {
+		if pf.Access == ir.AccessLoad && !pf.Exempt && w.c.cfg.CheckValues && pf.Value != succ.LastWrite {
+			w.pendViol = append(w.pendViol,
+				fmt.Sprintf("cache %d load returned %d, last write is %d", pf.Node, pf.Value, succ.LastWrite)) // vethotpath:ignore — cold: violation path
+		}
+	}
+	if w.c.red == nil {
+		return append(out, w.finishSucc(succ, r, false))
+	}
+	w.chain = w.chain[:0]
+	return w.collapse(succ, r, it, 0, false, out)
 }
 
 // merge folds a level's expansions into the exploration in frontier
@@ -649,6 +752,9 @@ func (c *checker) merge(frontier []frontierItem, exps []expansion) []frontierIte
 			c.res.Edges++
 			for _, d := range so.dataViol {
 				c.violateFrom("data-value", d, int(parent), so.rule)
+			}
+			if so.seedParent && c.cfg.CheckLiveness {
+				c.quiet[parent] = true
 			}
 			idx := so.knownIdx
 			if idx < 0 {

@@ -12,6 +12,7 @@ import (
 
 	"protogen/internal/analyze"
 	"protogen/internal/core"
+	"protogen/internal/depend"
 	"protogen/internal/dsl"
 	"protogen/internal/ir"
 )
@@ -169,3 +170,16 @@ func (e *Engine) Lint(ctx context.Context, job LintJob) (*LintResult, error) {
 func Lint(job LintJob) (*LintResult, error) {
 	return DefaultEngine.Lint(context.Background(), job)
 }
+
+// DependStats is the rule-dependence statistics record of one generated
+// protocol: class counts, how many cache classes are invisible to the
+// checked invariants and how many are collapse-fusible, id-tainted
+// variables, and the protocol-level facts that disable partial-order
+// reduction. Marshals directly to JSON (protolint -dep-stats).
+type DependStats = depend.Stats
+
+// DependStatsFor runs the static rule-dependence analysis
+// (internal/depend) over a generated protocol and returns its
+// statistics — the machine-checkable summary of what the checker's
+// partial-order reduction (VerifyConfig.Reduce) may fuse.
+func DependStatsFor(p *Protocol) DependStats { return depend.New(p).Stats }
