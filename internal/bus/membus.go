@@ -1,0 +1,236 @@
+package bus
+
+import (
+	"context"
+	"sync"
+)
+
+// Mem is the in-process transport: lossless, at-most-once, ordered.
+// Each subscription owns a buffered queue and a delivery goroutine, so
+// publishers never run handlers inline (a handler may itself publish
+// without re-entering the bus) and a slow subscriber backpressures
+// its publishers instead of growing without bound.
+type Mem struct {
+	// buffer is the per-subscription queue capacity.
+	buffer int
+
+	mu       sync.Mutex
+	channels map[string]*memChannel //protogen:guardedby mu
+	closed   bool                   //protogen:guardedby mu
+}
+
+// memChannel is one channel's subscriber registry.
+type memChannel struct {
+	plain  []*memSub
+	queues map[string]*memQueue
+}
+
+// memQueue is one queue group: members split the stream.
+type memQueue struct {
+	members []*memSub
+	rr      int // round-robin tie-breaker
+}
+
+// memSub is one registration: a buffered queue drained by a dedicated
+// delivery goroutine.
+type memSub struct {
+	bus     *Mem
+	channel string
+	queue   string // "" for plain subscribers
+	h       Handler
+	ch      chan Message
+	done    chan struct{}
+	once    sync.Once
+}
+
+// MemOption tunes NewMem.
+type MemOption func(*Mem)
+
+// WithBuffer sets the per-subscription queue capacity (default 256).
+// A full queue backpressures publishers rather than dropping.
+func WithBuffer(n int) MemOption {
+	return func(m *Mem) {
+		if n > 0 {
+			m.buffer = n
+		}
+	}
+}
+
+// NewMem builds an in-memory bus.
+func NewMem(opts ...MemOption) *Mem {
+	m := &Mem{buffer: 256, channels: map[string]*memChannel{}}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Guarantees reports the in-memory contract: nothing is lost,
+// duplicated or reordered.
+func (m *Mem) Guarantees() Guarantees {
+	return Guarantees{Lossless: true, AtMostOnce: true, Ordered: true}
+}
+
+// Publish delivers payload to the channel's plain subscribers and one
+// member of each queue group. Sends block when a subscriber's queue is
+// full (backpressure) but always yield to ctx cancellation,
+// unsubscription and bus close.
+func (m *Mem) Publish(ctx context.Context, channel string, payload []byte) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	var targets []*memSub
+	if c := m.channels[channel]; c != nil {
+		targets = append(targets, c.plain...)
+		for _, q := range c.queues {
+			if s := q.pickLocked(); s != nil {
+				targets = append(targets, s)
+			}
+		}
+	}
+	m.mu.Unlock()
+	msg := Message{Channel: channel, Payload: payload}
+	for _, s := range targets {
+		select {
+		case s.ch <- msg:
+		case <-s.done: // unsubscribed mid-send; delivery forfeited
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// pickLocked (m.mu held) chooses the queue member with the smallest
+// backlog — an idle worker claims before a busy one — breaking ties
+// round-robin so equal members split the stream fairly.
+func (q *memQueue) pickLocked() *memSub {
+	if len(q.members) == 0 {
+		return nil
+	}
+	q.rr++
+	best := q.members[q.rr%len(q.members)]
+	for i := range q.members {
+		if s := q.members[(q.rr+i)%len(q.members)]; len(s.ch) < len(best.ch) {
+			best = s
+		}
+	}
+	return best
+}
+
+// Subscribe registers a fan-out subscriber.
+func (m *Mem) Subscribe(ctx context.Context, channel string, h Handler) (Subscription, error) {
+	return m.subscribe(ctx, channel, "", h)
+}
+
+// QueueSubscribe registers a queue-group member.
+func (m *Mem) QueueSubscribe(ctx context.Context, channel, queue string, h Handler) (Subscription, error) {
+	return m.subscribe(ctx, channel, queue, h)
+}
+
+func (m *Mem) subscribe(ctx context.Context, channel, queue string, h Handler) (Subscription, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := &memSub{
+		bus:     m,
+		channel: channel,
+		queue:   queue,
+		h:       h,
+		ch:      make(chan Message, m.buffer),
+		done:    make(chan struct{}),
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c := m.channels[channel]
+	if c == nil {
+		c = &memChannel{queues: map[string]*memQueue{}}
+		m.channels[channel] = c
+	}
+	if queue == "" {
+		c.plain = append(c.plain, s)
+	} else {
+		q := c.queues[queue]
+		if q == nil {
+			q = &memQueue{}
+			c.queues[queue] = q
+		}
+		q.members = append(q.members, s)
+	}
+	m.mu.Unlock()
+	go s.deliver()
+	return s, nil
+}
+
+// deliver drains the subscription queue until Unsubscribe or Close.
+func (s *memSub) deliver() {
+	for {
+		select {
+		case msg := <-s.ch:
+			s.h(msg)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Unsubscribe stops delivery and removes the registration. Buffered
+// messages are discarded; an in-flight handler may still finish.
+func (s *memSub) Unsubscribe() {
+	s.once.Do(func() {
+		close(s.done)
+		m := s.bus
+		m.mu.Lock()
+		if c := m.channels[s.channel]; c != nil {
+			if s.queue == "" {
+				c.plain = removeSub(c.plain, s)
+			} else if q := c.queues[s.queue]; q != nil {
+				q.members = removeSub(q.members, s)
+				if len(q.members) == 0 {
+					delete(c.queues, s.queue)
+				}
+			}
+			if len(c.plain) == 0 && len(c.queues) == 0 {
+				delete(m.channels, s.channel)
+			}
+		}
+		m.mu.Unlock()
+	})
+}
+
+func removeSub(subs []*memSub, s *memSub) []*memSub {
+	for i, cand := range subs {
+		if cand == s {
+			return append(subs[:i], subs[i+1:]...)
+		}
+	}
+	return subs
+}
+
+// Close stops every subscription and fails further publishes.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	var subs []*memSub
+	for _, c := range m.channels {
+		subs = append(subs, c.plain...)
+		for _, q := range c.queues {
+			subs = append(subs, q.members...)
+		}
+	}
+	m.channels = map[string]*memChannel{}
+	m.mu.Unlock()
+	for _, s := range subs {
+		s.Unsubscribe()
+	}
+	return nil
+}

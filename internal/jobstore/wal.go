@@ -1,0 +1,249 @@
+package jobstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// walEntry is one JSONL log line: a full-record upsert or a tombstone.
+type walEntry struct {
+	Op  string  `json:"op"` // "put" | "del"
+	ID  string  `json:"id,omitempty"`
+	Rec *Record `json:"rec,omitempty"`
+}
+
+// WALOptions tunes OpenWAL.
+type WALOptions struct {
+	// NoSync skips the fsync after each append. Only for tests and
+	// harnesses that simulate crashes above the filesystem — with it
+	// set, a submit acknowledged over HTTP can die with the page cache.
+	NoSync bool
+	// CompactFactor triggers a boot-time rewrite when the log holds
+	// more than CompactFactor times as many entries as live records
+	// (default 4; <=1 disables).
+	CompactFactor int
+}
+
+// WAL is the durable Store: an append-only JSONL log of full-record
+// snapshots. Every Put appends one line and (by default) syncs before
+// returning, so an acknowledged submit survives the process. Load
+// replays the log last-write-wins; a torn final line — the crash
+// signature — is tolerated and dropped. Write failures are sticky:
+// the WAL reports unhealthy until reopened, and the service above
+// degrades rather than accepting work it cannot persist.
+type WAL struct {
+	path string
+	opts WALOptions
+
+	mu sync.Mutex
+	f  *os.File //protogen:guardedby mu
+	// live mirrors the log's replay state so Load needs no re-read and
+	// compaction needs no second pass.
+	live  map[string]Record //protogen:guardedby mu
+	order []string          //protogen:guardedby mu
+	lines int               //protogen:guardedby mu
+	err   error             //protogen:guardedby mu
+}
+
+// WALName is the log's filename inside the store directory.
+const WALName = "jobs.wal"
+
+// OpenWAL opens (creating if needed) the job log in dir, replays it,
+// and compacts it when it has grown far past its live set.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
+	if opts.CompactFactor == 0 {
+		opts.CompactFactor = 4
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	w := &WAL{path: filepath.Join(dir, WALName), opts: opts}
+	if err := w.replay(); err != nil {
+		return nil, err
+	}
+	if w.opts.CompactFactor > 1 && w.lines > w.opts.CompactFactor*len(w.live) {
+		if err := w.compact(); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	w.f = f
+	return w, nil
+}
+
+// replay reads the log into the live map. Lines that do not parse are
+// skipped: a torn final line is the expected crash signature, and one
+// bad line must not take the whole history with it.
+func (w *WAL) replay() error {
+	w.live = map[string]Record{}
+	w.order = nil
+	w.lines = 0
+	f, err := os.Open(w.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		w.lines++
+		var e walEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue // torn or corrupt line: drop, keep the rest
+		}
+		w.applyLocked(e)
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("jobstore: replay %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// applyLocked (w.mu held, or pre-publication) folds one entry into the
+// live map.
+func (w *WAL) applyLocked(e walEntry) {
+	switch e.Op {
+	case "put":
+		if e.Rec == nil || e.Rec.ID == "" {
+			return
+		}
+		if _, ok := w.live[e.Rec.ID]; !ok {
+			w.order = append(w.order, e.Rec.ID)
+		}
+		w.live[e.Rec.ID] = *e.Rec
+	case "del":
+		delete(w.live, e.ID)
+	}
+}
+
+// compact rewrites the log to exactly the live set, atomically
+// (write temp, sync, rename).
+func (w *WAL) compact() error {
+	tmp := w.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	lines := 0
+	for _, id := range w.order {
+		rec, ok := w.live[id]
+		if !ok {
+			continue
+		}
+		line, err := json.Marshal(walEntry{Op: "put", Rec: &rec})
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("jobstore: compact: %w", err)
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+		lines++
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	w.lines = lines
+	return nil
+}
+
+// append writes one entry and, unless NoSync, fsyncs. A failure is
+// sticky.
+func (w *WAL) append(e walEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("jobstore: encode: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.f == nil {
+		w.err = fmt.Errorf("jobstore: log closed")
+		return w.err
+	}
+	if _, err := w.f.Write(append(line, '\n')); err != nil { //vetconcurrency:ignore designed-in: w.mu serializes the appends onto the shared handle
+		w.err = fmt.Errorf("jobstore: append: %w", err)
+		return w.err
+	}
+	if !w.opts.NoSync {
+		if err := w.f.Sync(); err != nil { //vetconcurrency:ignore designed-in: durability point; w.mu serializes syncs with appends
+			w.err = fmt.Errorf("jobstore: sync: %w", err)
+			return w.err
+		}
+	}
+	w.lines++
+	w.applyLocked(e)
+	return nil
+}
+
+// Put appends a full-record snapshot; on return (healthy, default
+// sync) the record is on disk.
+func (w *WAL) Put(rec Record) error {
+	if err := validate(rec); err != nil {
+		return err
+	}
+	rec = rec.Clone()
+	return w.append(walEntry{Op: "put", Rec: &rec})
+}
+
+// Delete appends a tombstone.
+func (w *WAL) Delete(id string) error {
+	return w.append(walEntry{Op: "del", ID: id})
+}
+
+// Load returns copies of the live records in first-submission order.
+func (w *WAL) Load() ([]Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Record, 0, len(w.live))
+	for _, id := range w.order {
+		if rec, ok := w.live[id]; ok {
+			out = append(out, rec.Clone())
+		}
+	}
+	return out, nil
+}
+
+// Err returns the sticky write failure, nil while healthy.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close() //vetconcurrency:ignore designed-in: closing the guarded handle must itself hold w.mu
+	w.f = nil
+	return err
+}

@@ -1,14 +1,21 @@
 // Package service is the long-running verification service the ROADMAP
-// names as the production-scale path: an HTTP/JSON job queue over the
-// public Engine API. Clients submit verify / fuzz / simulate jobs
-// (spec + configuration), poll status with live typed progress, fetch
-// the full result when done, and cancel mid-flight; a bounded worker
-// pool runs the jobs on one shared Engine, so every job resolves
-// through the same verify result cache (a structurally identical
-// resubmit is served in microseconds) and failing fuzz campaigns sink
-// their minimized reproducers into a corpus directory. The package is
-// deliberately built only on the root protogen package — it is the
-// first consumer of the job-oriented API, not a fourth subsystem.
+// names as the production-scale path, built as a crash-tolerant
+// coordinator/worker fleet. Clients submit verify / fuzz / simulate /
+// lint / litmus jobs over HTTP/JSON; the coordinator persists every
+// submission to a durable job store before acknowledging it, then
+// offers it on a typed job bus where a fleet of workers claims jobs
+// competitively. Workers hold time-bounded leases extended by
+// heartbeats; a worker that dies mid-job simply stops heartbeating and
+// the coordinator's sweeper requeues the attempt with exponential
+// backoff, parking jobs that exhaust their retry budget in a
+// dead-letter state with the full failure chain preserved. The
+// protocol assumes nothing of the transport — messages may be lost,
+// duplicated or reordered (the chaos tests prove it) — and a restarted
+// server replays the store to recover queued and orphaned-running
+// jobs. All jobs resolve through one shared Engine, so a structurally
+// identical resubmit is served from the verify result cache and
+// failing fuzz campaigns sink minimized reproducers into a corpus
+// directory.
 package service
 
 import (
@@ -24,13 +31,16 @@ import (
 	"time"
 
 	"protogen"
+	"protogen/internal/bus"
+	"protogen/internal/jobstore"
 )
 
 // Config tunes a Server.
 type Config struct {
-	// Workers is the job worker pool size (default 2). Each worker runs
-	// one job at a time; a job's own model-checker parallelism is set by
-	// Parallelism.
+	// Workers is the fleet size (default 2; negative runs no workers —
+	// a coordinator-only server for harnesses that manage their own
+	// fleet). Each worker runs one job at a time; a job's own
+	// model-checker parallelism is set by Parallelism.
 	Workers int
 	// QueueDepth bounds the submitted-but-unstarted queue (default 64);
 	// submits beyond it are rejected with 503 rather than buffered
@@ -54,18 +64,97 @@ type Config struct {
 	// Engine overrides the engine built from the fields above (tests,
 	// embedding). The caller keeps ownership.
 	Engine *protogen.Engine
+
+	// StoreDir persists the job store as an append-only WAL in this
+	// directory: a submit is on disk before its 202, and a restarted
+	// server replays the log to recover queued and in-flight jobs. ""
+	// keeps job state in memory only.
+	StoreDir string
+	// Store overrides the job store built from StoreDir (tests,
+	// embedding). The caller keeps ownership.
+	Store jobstore.Store
+	// Bus overrides the in-process job bus (the chaos harness injects a
+	// fault decorator here). The caller keeps ownership.
+	Bus bus.Bus
+	// Executor overrides the engine-backed job executor (tests inject
+	// fast or faulty executors).
+	Executor Executor
+
+	// LeaseTTL is how long a claimed job may go without a heartbeat
+	// before the sweeper reclaims it (default 3s).
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the worker heartbeat/liveness period (default
+	// LeaseTTL/3).
+	HeartbeatEvery time.Duration
+	// SweepEvery is the recovery-loop period (default LeaseTTL/4).
+	SweepEvery time.Duration
+	// RedispatchEvery re-offers a queued job whose dispatch vanished —
+	// lost by the transport or buffered in a worker that died (default
+	// 2×LeaseTTL).
+	RedispatchEvery time.Duration
+	// MaxAttempts dead-letters a job after this many started attempts
+	// end in transient failure or lease expiry (default 4).
+	MaxAttempts int
+	// RetryBase/RetryCap shape the exponential retry backoff (defaults
+	// 250ms and 10s); jitter in [50%,100%) is seeded by Seed.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Seed seeds the retry jitter stream (0 is a valid fixed seed).
+	Seed int64
+	// Warn receives fleet diagnostics (default log.Printf).
+	Warn func(format string, args ...any)
+}
+
+// withDefaults resolves the zero values.
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 3 * time.Second
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = cfg.LeaseTTL / 3
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = cfg.LeaseTTL / 4
+	}
+	if cfg.RedispatchEvery <= 0 {
+		cfg.RedispatchEvery = 2 * cfg.LeaseTTL
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 250 * time.Millisecond
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = 10 * time.Second
+	}
+	if cfg.Warn == nil {
+		cfg.Warn = log.Printf
+	}
+	return cfg
 }
 
 // Status is a job's lifecycle state.
 type Status string
 
-// Job lifecycle states.
+// Job lifecycle states. StatusDead is the dead-letter state: the job
+// exhausted its retry budget and is parked with its failure chain.
 const (
 	StatusQueued   Status = "queued"
 	StatusRunning  Status = "running"
 	StatusDone     Status = "done"
 	StatusFailed   Status = "failed"
 	StatusCanceled Status = "canceled"
+	StatusDead     Status = "dead"
 )
 
 // Request is the submit body. Kind selects the job; the subject is a
@@ -213,6 +302,14 @@ type JobView struct {
 	Started   *time.Time    `json:"started,omitempty"`
 	Finished  *time.Time    `json:"finished,omitempty"`
 	Progress  *ProgressView `json:"progress,omitempty"`
+	// Attempt counts execution attempts started (retries visible).
+	Attempt int `json:"attempt,omitempty"`
+	// Worker names the fleet member holding the job's lease while
+	// running.
+	Worker string `json:"worker,omitempty"`
+	// Failures is the failure chain: one entry per transient failure,
+	// lease expiry or shutdown release, oldest first.
+	Failures []string `json:"failures,omitempty"`
 	// Summary is the result's one-line rendering once the job finished.
 	Summary string `json:"summary,omitempty"`
 	// Cached marks a verify result served from the shared result cache.
@@ -222,127 +319,196 @@ type JobView struct {
 	// OK reports the verdict once done: verification passed / campaign
 	// all-pass / simulation SC-clean.
 	OK *bool `json:"ok,omitempty"`
-	// Error carries the failure message of a failed job.
+	// Error carries the failure message of a failed or dead job.
 	Error string `json:"error,omitempty"`
 	// CorpusFiles lists reproducers this job sank into the corpus dir.
 	CorpusFiles []string `json:"corpus_files,omitempty"`
 }
 
-// job is one tracked submission. req is immutable after construction;
-// everything else is shared between the HTTP handlers and the worker
-// that runs the job, under the job's own mutex.
-type job struct {
-	mu   sync.Mutex
-	view JobView //protogen:guardedby mu
-	req  Request
-	// cancel is non-nil while running.
-	cancel context.CancelFunc //protogen:guardedby mu
-
-	verifyResult *protogen.VerifyResult //protogen:guardedby mu
-	fuzzReport   *protogen.FuzzReport   //protogen:guardedby mu
-	simStats     *protogen.SimStats     //protogen:guardedby mu
-	lintResult   *protogen.LintResult   //protogen:guardedby mu
-	litmusReport *protogen.LitmusReport //protogen:guardedby mu
-}
-
-// snapshot copies the wire view under the job lock.
-func (j *job) snapshot() JobView {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	v := j.view
-	if j.view.Progress != nil {
-		p := *j.view.Progress
-		v.Progress = &p
-	}
-	v.CorpusFiles = append([]string(nil), j.view.CorpusFiles...)
-	return v
-}
-
-// Server is the HTTP job queue. Create with New, wire into an
+// Server is the HTTP face of the fleet. Create with New, wire into an
 // http.Server via ServeHTTP (it is an http.Handler), stop with
 // Shutdown.
 type Server struct {
-	cfg   Config
-	eng   *protogen.Engine
-	mux   *http.ServeMux
-	queue chan *job
+	cfg      Config
+	eng      *protogen.Engine
+	ownEng   bool
+	store    jobstore.Store
+	ownStore bool
+	b        bus.Bus
+	ownBus   bool
+	exec     Executor
+	co       *coordinator
+	mux      *http.ServeMux
 
-	baseCtx context.Context
-	stop    context.CancelFunc
-	wg      sync.WaitGroup
-
-	mu   sync.Mutex
-	jobs map[string]*job //protogen:guardedby mu
-	// order is the insertion order for listing.
-	order  []string //protogen:guardedby mu
-	nextID int      //protogen:guardedby mu
-	closed bool     //protogen:guardedby mu
+	mu         sync.Mutex
+	workers    []*Worker //protogen:guardedby mu
+	nextWorker int       //protogen:guardedby mu
+	closed     bool      //protogen:guardedby mu
 }
 
-// New builds and starts a Server: the worker pool is live on return.
+// New builds and starts a Server: store replayed, coordinator and
+// worker fleet live on return.
 func New(cfg Config) (*Server, error) {
-	if cfg.Workers <= 0 {
-		cfg.Workers = 2
-	}
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 64
-	}
-	if cfg.MaxJobs <= 0 {
-		cfg.MaxJobs = 1024
-	}
-	eng := cfg.Engine
-	if eng == nil {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg}
+
+	s.eng = cfg.Engine
+	if s.eng == nil {
 		opts := []protogen.EngineOption{
 			protogen.WithParallelism(cfg.Parallelism),
-			protogen.WithWarnings(func(msg string) { log.Printf("protoserve: %s", msg) }),
+			protogen.WithWarnings(func(msg string) { cfg.Warn("protoserve: %s", msg) }),
 		}
 		if cfg.CacheDir != "" {
 			opts = append(opts, protogen.WithCacheDir(cfg.CacheDir))
 		}
-		eng = protogen.NewEngine(opts...)
+		s.eng = protogen.NewEngine(opts...)
+		s.ownEng = true
 		// Open the cache eagerly so a bad directory fails the boot, not
 		// the first job.
-		if _, err := eng.Cache(); err != nil {
+		if _, err := s.eng.Cache(); err != nil {
+			s.eng.Close()
 			return nil, err
 		}
 	}
-	ctx, stop := context.WithCancel(context.Background())
-	s := &Server{
-		cfg:     cfg,
-		eng:     eng,
-		queue:   make(chan *job, cfg.QueueDepth),
-		baseCtx: ctx,
-		stop:    stop,
-		jobs:    map[string]*job{},
+
+	s.store = cfg.Store
+	if s.store == nil {
+		if cfg.StoreDir != "" {
+			w, err := jobstore.OpenWAL(cfg.StoreDir, jobstore.WALOptions{})
+			if err != nil {
+				s.closeOwned()
+				return nil, err
+			}
+			s.store = w
+		} else {
+			s.store = jobstore.NewMem()
+		}
+		s.ownStore = true
 	}
+
+	s.b = cfg.Bus
+	if s.b == nil {
+		s.b = bus.NewMem()
+		s.ownBus = true
+	}
+
+	s.exec = cfg.Executor
+	if s.exec == nil {
+		s.exec = engineExecutor(s.eng, cfg.CorpusDir)
+	}
+
+	co, err := newCoordinator(cfg, s.store, s.b, cfg.Warn)
+	if err != nil {
+		s.closeOwned()
+		return nil, err
+	}
+	s.co = co
 	s.routes()
+
 	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+		if err := s.StartWorker(); err != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			_ = s.Shutdown(sctx)
+			cancel()
+			return nil, err
+		}
 	}
 	return s, nil
 }
 
-// Shutdown cancels running jobs, drains the pool, and closes the engine
-// if the server built it. Queued jobs are marked canceled. Respects
-// ctx's deadline while waiting for workers.
+// closeOwned releases the resources New built, for boot-failure paths.
+func (s *Server) closeOwned() {
+	if s.ownStore && s.store != nil {
+		s.store.Close()
+	}
+	if s.ownBus && s.b != nil {
+		s.b.Close()
+	}
+	if s.ownEng && s.eng != nil {
+		s.eng.Close()
+	}
+}
+
+// StartWorker adds one worker to the fleet — also the restart half of
+// the kill/restart harness.
+func (s *Server) StartWorker() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errDraining
+	}
+	s.nextWorker++
+	id := fmt.Sprintf("w%d", s.nextWorker)
+	s.mu.Unlock()
+	w, err := newWorker(id, s.b, s.exec, s.cfg.HeartbeatEvery, s.cfg.Warn)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.workers = append(s.workers, w)
+	s.mu.Unlock()
+	return nil
+}
+
+// KillWorker crash-kills the most recently started live worker and
+// returns its id ("" when the fleet is empty): the chaos harness's
+// worker-crash fault.
+func (s *Server) KillWorker() string {
+	s.mu.Lock()
+	if len(s.workers) == 0 {
+		s.mu.Unlock()
+		return ""
+	}
+	w := s.workers[len(s.workers)-1]
+	s.workers = s.workers[:len(s.workers)-1]
+	s.mu.Unlock()
+	w.Kill()
+	return w.id
+}
+
+// Shutdown stops the fleet: no new submits, workers drain gracefully
+// within ctx's deadline (running jobs cancel and record canceled
+// results), and on deadline the workers are crash-killed and their
+// running jobs' leases released back to queued — so a restarted server
+// re-runs them instead of losing them. Returns ctx.Err() when the
+// deadline forced the escalation.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		close(s.queue)
-	}
+	s.closed = true
+	workers := append([]*Worker(nil), s.workers...)
+	s.workers = nil
 	s.mu.Unlock()
-	s.stop() // running jobs observe this at their next boundary
-	done := make(chan struct{})
-	go func() { s.wg.Wait(); close(done) }()
-	select {
-	case <-done:
-	case <-ctx.Done():
-		return ctx.Err()
+	s.co.drain()
+
+	var stopWG sync.WaitGroup
+	errs := make([]error, len(workers))
+	for i, w := range workers {
+		stopWG.Add(1)
+		go func(i int, w *Worker) {
+			defer stopWG.Done()
+			errs[i] = w.Stop(ctx)
+		}(i, w)
 	}
-	if s.cfg.Engine == nil {
-		return s.eng.Close()
+	stopWG.Wait()
+	graceful := true
+	for _, err := range errs {
+		if err != nil {
+			graceful = false
+		}
+	}
+	if graceful {
+		graceful = s.co.waitSettled(ctx.Done())
+	}
+	if !graceful {
+		for _, w := range workers {
+			w.Kill()
+		}
+		s.co.releaseRunning("released: shutdown deadline")
+	}
+	s.co.close()
+	s.closeOwned()
+	if !graceful {
+		return ctx.Err()
 	}
 	return nil
 }
@@ -386,169 +552,94 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	view, err := s.co.submit(req)
+	if err != nil {
+		// Every submit refusal is a 503: drain, full queue, or a store
+		// that cannot make the 202's durability promise.
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	s.nextID++
-	j := &job{req: req, view: JobView{
-		ID:        fmt.Sprintf("job-%d", s.nextID),
-		Kind:      req.Kind,
-		Status:    StatusQueued,
-		Submitted: time.Now(),
-	}}
-	select {
-	case s.queue <- j:
-	default:
-		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", cap(s.queue))
-		return
-	}
-	s.jobs[j.view.ID] = j
-	s.order = append(s.order, j.view.ID)
-	s.evictLocked()
-	s.mu.Unlock()
-	writeJSON(w, http.StatusAccepted, j.snapshot())
-}
-
-// evictLocked (s.mu held) drops the oldest finished jobs while the
-// record count exceeds MaxJobs. Queued and running jobs are never
-// evicted (workers hold their own pointers, so an eviction could never
-// dangle anyway — this only bounds what the server remembers).
-func (s *Server) evictLocked() {
-	if len(s.jobs) <= s.cfg.MaxJobs {
-		return
-	}
-	kept := s.order[:0]
-	for _, id := range s.order {
-		j := s.jobs[id]
-		j.mu.Lock()
-		terminal := j.view.Status == StatusDone || j.view.Status == StatusFailed || j.view.Status == StatusCanceled
-		j.mu.Unlock()
-		if terminal && len(s.jobs) > s.cfg.MaxJobs {
-			delete(s.jobs, id)
-			continue
-		}
-		kept = append(kept, id)
-	}
-	s.order = kept
+	writeJSON(w, http.StatusAccepted, view)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	views := make([]JobView, 0, len(s.order))
-	for _, id := range s.order {
-		views = append(views, s.jobs[id].snapshot())
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
-}
-
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	j := s.jobs[id]
-	s.mu.Unlock()
-	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
-	}
-	return j
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.co.list()})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if j := s.lookup(w, r); j != nil {
-		writeJSON(w, http.StatusOK, j.snapshot())
+	id := r.PathValue("id")
+	view, ok := s.co.view(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
 	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(w, r)
-	if j == nil {
+	id := r.PathValue("id")
+	payload, code, ok := s.co.result(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	switch {
-	case j.verifyResult != nil:
-		writeJSON(w, http.StatusOK, j.verifyResult)
-	case j.fuzzReport != nil:
-		writeJSON(w, http.StatusOK, j.fuzzReport)
-	case j.simStats != nil:
-		writeJSON(w, http.StatusOK, j.simStats)
-	case j.lintResult != nil:
-		writeJSON(w, http.StatusOK, j.lintResult)
-	case j.litmusReport != nil:
-		writeJSON(w, http.StatusOK, j.litmusReport)
-	case j.view.Status == StatusFailed:
-		writeJSON(w, http.StatusOK, map[string]string{"error": j.view.Error})
-	default:
-		writeError(w, http.StatusConflict, "job %s is %s; no result yet", j.view.ID, j.view.Status)
-	}
+	writeJSON(w, code, payload)
 }
 
 // handleCancel is DELETE /jobs/{id}: a queued job is marked canceled, a
-// running job's context is canceled (it stops at its next cancellation
-// boundary), and a finished job is removed — freeing its retained
-// result — so long-lived clients can bound the server's memory
-// themselves.
+// running job's cancel intent is recorded durably and its worker
+// aborted (it stops at its next cancellation boundary), and a finished
+// job is removed — freeing its retained result — so long-lived clients
+// can bound the server's memory themselves.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(w, r)
-	if j == nil {
+	id := r.PathValue("id")
+	view, deleted, ok := s.co.cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	j.mu.Lock()
-	switch j.view.Status {
-	case StatusQueued:
-		// The worker will see the status and skip it when dequeued.
-		j.view.Status = StatusCanceled
-		now := time.Now()
-		j.view.Finished = &now
-	case StatusRunning:
-		if j.cancel != nil {
-			j.cancel() // observed at the job's next cancellation boundary
-		}
-	case StatusDone, StatusFailed, StatusCanceled:
-		id := j.view.ID
-		v := j.view
-		j.mu.Unlock()
-		s.mu.Lock()
-		delete(s.jobs, id)
-		for i, o := range s.order {
-			if o == id {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
-			}
-		}
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, map[string]any{"deleted": true, "job": v})
+	if deleted {
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": true, "job": view})
 		return
 	}
-	v := j.view
-	j.mu.Unlock()
-	writeJSON(w, http.StatusOK, v)
+	writeJSON(w, http.StatusOK, view)
 }
 
+// handleHealth is honest readiness: it reports queue depth, live
+// workers, the lease-expiry backlog, and degrades to 503 when the job
+// store cannot persist submissions — a load balancer must stop sending
+// work to a server that would lose it.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	counts := map[Status]int{}
+	hv := s.co.health()
 	s.mu.Lock()
-	for _, j := range s.jobs {
-		j.mu.Lock()
-		counts[j.view.Status]++
-		j.mu.Unlock()
-	}
+	configured := len(s.workers)
 	s.mu.Unlock()
 	health := map[string]any{
-		"status":  "ok",
-		"workers": s.cfg.Workers,
-		"jobs":    counts,
+		"status": "ok",
+		"jobs":   hv.Counts,
+		"workers": map[string]any{
+			"configured": configured,
+			"live":       hv.WorkersLive,
+		},
+		"queue": map[string]any{
+			"depth":    hv.QueueDepth,
+			"capacity": s.cfg.QueueDepth,
+		},
+		"leases": map[string]any{
+			"expired_backlog": hv.LeaseBacklog,
+		},
 	}
 	if cache, err := s.eng.Cache(); err == nil && cache != nil {
 		hits, misses := cache.Stats()
 		health["cache"] = map[string]any{"entries": cache.Len(), "hits": hits, "misses": misses}
 	}
-	writeJSON(w, http.StatusOK, health)
+	code := http.StatusOK
+	if err := s.store.Err(); err != nil {
+		health["status"] = "degraded"
+		health["store_error"] = err.Error()
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, health)
 }
 
 // handleCorpus lists the reproducers in the corpus sink directory.
@@ -570,290 +661,4 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(entries)
 	writeJSON(w, http.StatusOK, map[string]any{"corpus_dir": s.cfg.CorpusDir, "entries": entries})
-}
-
-// worker drains the queue until Shutdown closes it.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	for j := range s.queue {
-		j.mu.Lock()
-		if j.view.Status != StatusQueued {
-			j.mu.Unlock() // canceled while queued
-			continue
-		}
-		if s.baseCtx.Err() != nil {
-			j.view.Status = StatusCanceled
-			now := time.Now()
-			j.view.Finished = &now
-			j.mu.Unlock()
-			continue
-		}
-		ctx, cancel := context.WithCancel(s.baseCtx)
-		now := time.Now()
-		j.view.Status = StatusRunning
-		j.view.Started = &now
-		j.cancel = cancel
-		j.mu.Unlock()
-		s.runJob(ctx, j)
-		cancel()
-	}
-}
-
-// onProgress returns the job's progress sink: each event replaces the
-// snapshot pollers read.
-func (j *job) onProgress(ev protogen.ProgressEvent) {
-	v := viewOf(ev, time.Now())
-	j.mu.Lock()
-	j.view.Progress = v
-	j.mu.Unlock()
-}
-
-// finish records a job's terminal state.
-func (j *job) finish(status Status, summary string, ok *bool, err error) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	now := time.Now()
-	j.view.Finished = &now
-	j.view.Status = status
-	j.view.Summary = summary
-	j.view.OK = ok
-	j.cancel = nil
-	if err != nil {
-		j.view.Error = err.Error()
-	}
-}
-
-// subjectSpec resolves the request's subject: a registry name or inline
-// source.
-func subjectSpec(req Request) (*protogen.Spec, error) {
-	if req.Source != "" {
-		return protogen.Parse(req.Source)
-	}
-	return protogen.LoadSpec(req.Protocol, "")
-}
-
-// runJob executes one job on the shared engine and records its outcome.
-func (s *Server) runJob(ctx context.Context, j *job) {
-	req := j.req
-	switch req.Kind {
-	case "verify":
-		spec, err := subjectSpec(req)
-		if err != nil {
-			j.finish(StatusFailed, "", nil, err)
-			return
-		}
-		res, err := s.eng.Verify(ctx, protogen.VerifyJob{
-			Spec:         spec,
-			Mode:         req.Mode,
-			PendingLimit: req.Limit,
-			Config:       verifyConfigFor(req),
-			NoCache:      req.NoCache,
-			OnProgress:   j.onProgress,
-		})
-		if err == nil && res == nil {
-			err = fmt.Errorf("verify returned no result")
-		}
-		if err != nil {
-			j.finish(StatusFailed, "", nil, err)
-			return
-		}
-		j.mu.Lock()
-		j.verifyResult = res
-		j.view.Cached = res.Cached
-		j.view.Canceled = res.Canceled
-		j.mu.Unlock()
-		ok := res.OK() && !res.Canceled
-		status := StatusDone
-		if res.Canceled {
-			status = StatusCanceled
-		}
-		j.finish(status, res.String(), &ok, nil)
-
-	case "fuzz":
-		cfg := protogen.DefaultFuzzConfig()
-		cfg.Families = req.Families
-		if req.Caches > 0 {
-			cfg.Caches = req.Caches
-		}
-		if req.MaxStates > 0 {
-			cfg.MaxStates = req.MaxStates
-		}
-		if req.SimSteps != nil {
-			cfg.SimSteps = *req.SimSteps
-		}
-		if req.Shrink != nil {
-			cfg.Shrink = *req.Shrink
-		}
-		rep, err := s.eng.Fuzz(ctx, protogen.FuzzJob{
-			First: req.First, Last: req.Last,
-			Config:     &cfg,
-			OnProgress: j.onProgress,
-		})
-		if err != nil {
-			j.finish(StatusFailed, "", nil, err)
-			return
-		}
-		files := s.sinkCorpus(rep)
-		j.mu.Lock()
-		j.fuzzReport = rep
-		j.view.Canceled = rep.Canceled
-		j.view.CorpusFiles = files
-		j.mu.Unlock()
-		ok := rep.Fail == 0 && !rep.Canceled
-		status := StatusDone
-		if rep.Canceled {
-			status = StatusCanceled
-		}
-		j.finish(status, rep.Summary(), &ok, nil)
-
-	case "lint":
-		spec, err := subjectSpec(req)
-		if err != nil {
-			j.finish(StatusFailed, "", nil, err)
-			return
-		}
-		lj := protogen.LintJob{Spec: spec, Codes: req.Codes}
-		switch {
-		case req.SpecOnly:
-			lj.Modes = []string{}
-		case req.Mode != "":
-			lj.Modes = []string{req.Mode}
-		}
-		res, err := s.eng.Lint(ctx, lj)
-		if err != nil {
-			j.finish(StatusFailed, "", nil, err)
-			return
-		}
-		j.mu.Lock()
-		j.lintResult = res
-		j.mu.Unlock()
-		ok := res.Clean()
-		j.finish(StatusDone, res.Summary(), &ok, nil)
-
-	case "simulate":
-		var wl protogen.Workload
-		for _, cand := range protogen.StandardWorkloads() {
-			if cand.Name() == req.Workload {
-				wl = cand
-			}
-		}
-		if wl == nil {
-			j.finish(StatusFailed, "", nil, fmt.Errorf("unknown workload %q", req.Workload))
-			return
-		}
-		caches := req.Caches
-		if caches <= 0 {
-			caches = 3
-		}
-		steps := req.Steps
-		if steps <= 0 {
-			steps = 50_000
-		}
-		spec, err := subjectSpec(req)
-		if err != nil {
-			j.finish(StatusFailed, "", nil, err)
-			return
-		}
-		st, err := s.eng.Simulate(ctx, protogen.SimulateJob{
-			Spec:         spec,
-			Mode:         req.Mode,
-			PendingLimit: req.Limit,
-			Config: protogen.SimConfig{
-				Caches: caches, Steps: steps, Seed: req.Seed, Workload: wl,
-			},
-			OnProgress: j.onProgress,
-		})
-		if err != nil {
-			j.finish(StatusFailed, "", nil, err)
-			return
-		}
-		j.mu.Lock()
-		j.simStats = &st
-		j.view.Canceled = st.Canceled
-		j.mu.Unlock()
-		ok := st.SCViolations == 0 && !st.Canceled
-		status := StatusDone
-		if st.Canceled {
-			status = StatusCanceled
-		}
-		j.finish(status, st.String(), &ok, nil)
-
-	case "litmus":
-		spec, err := subjectSpec(req)
-		if err != nil {
-			j.finish(StatusFailed, "", nil, err)
-			return
-		}
-		rep, err := s.eng.Litmus(ctx, protogen.LitmusJob{
-			Spec:         spec,
-			Mode:         req.Mode,
-			PendingLimit: req.Limit,
-			Tests:        req.Tests,
-			Axiom:        req.Axiom,
-			Exhaustive:   req.Exhaustive,
-			Runs:         req.Runs,
-			Seed:         req.Seed,
-			Caches:       req.Caches,
-			MaxStates:    req.MaxStates,
-			OnProgress:   j.onProgress,
-		})
-		if err != nil {
-			j.finish(StatusFailed, "", nil, err)
-			return
-		}
-		j.mu.Lock()
-		j.litmusReport = rep
-		j.view.Canceled = rep.Canceled
-		j.mu.Unlock()
-		ok := len(rep.Failures()) == 0 && !rep.Canceled
-		status := StatusDone
-		if rep.Canceled {
-			status = StatusCanceled
-		}
-		j.finish(status, rep.Summary(), &ok, nil)
-	}
-}
-
-// verifyConfigFor maps request tuning onto a checker config, leaving
-// nil when the request carries no overrides so the engine's defaults
-// apply untouched.
-func verifyConfigFor(req Request) *protogen.VerifyConfig {
-	if req.Caches == 0 && req.MaxStates == 0 && !req.Fingerprint && !req.Reduce {
-		return nil
-	}
-	cfg := protogen.DefaultVerifyConfig()
-	if req.Caches > 0 {
-		cfg.Caches = req.Caches
-	}
-	if req.MaxStates > 0 {
-		cfg.MaxStates = req.MaxStates
-	}
-	cfg.Fingerprint = req.Fingerprint
-	cfg.Reduce = req.Reduce
-	return &cfg
-}
-
-// sinkCorpus writes a failing campaign's minimized reproducers into the
-// corpus directory, returning the files written.
-func (s *Server) sinkCorpus(rep *protogen.FuzzReport) []string {
-	if s.cfg.CorpusDir == "" {
-		return nil
-	}
-	var files []string
-	for i := range rep.Specs {
-		r := &rep.Specs[i]
-		if r.Minimized == "" {
-			continue
-		}
-		txns, _ := protogen.FuzzTxnCount(r.Minimized)
-		path, err := protogen.WriteFuzzCorpusEntry(s.cfg.CorpusDir, protogen.FuzzCorpusEntry{
-			Family: r.Family, Seed: r.Seed, SimSeed: r.SimSeed,
-			Expect: r.Failure, Txns: txns, Source: r.Minimized,
-		})
-		if err != nil {
-			continue // the report still carries the reproducer inline
-		}
-		files = append(files, path)
-	}
-	return files
 }
